@@ -1,0 +1,118 @@
+// Ablation benches for the design decisions called out in DESIGN.md §5:
+//   1. numerosity reduction on/off
+//   2. centroid vs medoid cluster prototype
+//   3. DIRECT vs exhaustive grid parameter search (quality + combos)
+//   4. junction filtering on/off
+//   5. rotation-invariant transform cost on unrotated data
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/rpm.h"
+#include "harness.h"
+
+namespace {
+
+struct Measured {
+  double error;
+  double seconds;
+  std::size_t patterns;
+  std::size_t combos;
+};
+
+Measured Run(const rpm::ts::DatasetSplit& split,
+             const rpm::core::RpmOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  rpm::core::RpmClassifier clf(opt);
+  clf.Train(split.train);
+  const double err = clf.Evaluate(split.test);
+  const auto t1 = std::chrono::steady_clock::now();
+  return {err, std::chrono::duration<double>(t1 - t0).count(),
+          clf.patterns().size(), clf.combos_evaluated()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace rpm;
+  const ts::DatasetSplit cbf = ts::MakeCbf(10, 30, 128, 20160316);
+  const ts::DatasetSplit ctrl =
+      ts::MakeSyntheticControl(10, 20, 60, 20160317);
+
+  core::RpmOptions base;
+  base.search = core::ParameterSearch::kFixed;
+  base.fixed_sax.window = 32;
+  base.fixed_sax.paa_size = 5;
+  base.fixed_sax.alphabet = 4;
+
+  std::printf("Ablation benches (CBF / SyntheticControl)\n\n");
+
+  for (const auto* split : {&cbf, &ctrl}) {
+    core::RpmOptions opt = base;
+    opt.fixed_sax.window = split->train.MinLength() / 4;
+    std::printf("== %s ==\n", split->name.c_str());
+
+    {
+      core::RpmOptions a = opt;
+      core::RpmOptions b = opt;
+      b.numerosity_reduction = false;
+      const Measured ma = Run(*split, a);
+      const Measured mb = Run(*split, b);
+      std::printf("numerosity reduction  on:  err=%.4f t=%.2fs k=%zu\n",
+                  ma.error, ma.seconds, ma.patterns);
+      std::printf("numerosity reduction  off: err=%.4f t=%.2fs k=%zu\n",
+                  mb.error, mb.seconds, mb.patterns);
+    }
+    {
+      core::RpmOptions a = opt;
+      core::RpmOptions b = opt;
+      b.prototype = core::ClusterPrototype::kMedoid;
+      const Measured ma = Run(*split, a);
+      const Measured mb = Run(*split, b);
+      std::printf("prototype centroid:        err=%.4f k=%zu\n", ma.error,
+                  ma.patterns);
+      std::printf("prototype medoid:          err=%.4f k=%zu\n", mb.error,
+                  mb.patterns);
+    }
+    {
+      core::RpmOptions a = opt;
+      core::RpmOptions b = opt;
+      b.filter_junctions = false;
+      const Measured ma = Run(*split, a);
+      const Measured mb = Run(*split, b);
+      std::printf("junction filter on:        err=%.4f k=%zu\n", ma.error,
+                  ma.patterns);
+      std::printf("junction filter off:       err=%.4f k=%zu\n", mb.error,
+                  mb.patterns);
+    }
+    {
+      core::RpmOptions a = opt;
+      a.search = core::ParameterSearch::kDirect;
+      a.direct_max_evaluations = 16;
+      a.param_splits = 2;
+      a.param_folds = 3;
+      core::RpmOptions b = a;
+      b.search = core::ParameterSearch::kGrid;
+      b.grid_window_step = 8;
+      const Measured ma = Run(*split, a);
+      const Measured mb = Run(*split, b);
+      std::printf("search DIRECT:             err=%.4f t=%.2fs R=%zu\n",
+                  ma.error, ma.seconds, ma.combos);
+      std::printf("search grid:               err=%.4f t=%.2fs R=%zu\n",
+                  mb.error, mb.seconds, mb.combos);
+    }
+    {
+      core::RpmOptions a = opt;
+      core::RpmOptions b = opt;
+      b.rotation_invariant = true;
+      const Measured ma = Run(*split, a);
+      const Measured mb = Run(*split, b);
+      std::printf("rotation-invariant off:    err=%.4f t=%.2fs\n", ma.error,
+                  ma.seconds);
+      std::printf("rotation-invariant on:     err=%.4f t=%.2fs\n", mb.error,
+                  mb.seconds);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Regenerates Figure 7: pairwise error-rate comparison of NN-DTWB,
+// SAX-VSM, FS and LS against RPM. For each pair, prints the per-dataset
+// (x, y) scatter points, the win/tie/loss counts, and the Wilcoxon
+// signed-rank p-value shown in the figure.
+
+#include <cstdio>
+#include <set>
+
+#include "harness.h"
+#include "ml/wilcoxon.h"
+
+int main() {
+  using namespace rpm;
+  const auto results = bench::RunOrLoadSuiteResults();
+  const auto idx = bench::Index(results);
+
+  std::set<std::string> seen;
+  std::vector<std::string> datasets;
+  for (const auto& r : results) {
+    if (seen.insert(r.dataset).second) datasets.push_back(r.dataset);
+  }
+
+  for (const std::string rival :
+       {"NN-DTWB", "SAX-VSM", "FS", "LS"}) {
+    std::printf("== Figure 7 panel: %s vs RPM ==\n", rival.c_str());
+    std::printf("%-18s%12s%12s\n", "dataset", rival.c_str(), "RPM");
+    std::vector<double> a;
+    std::vector<double> b;
+    int rival_wins = 0;
+    int rpm_wins = 0;
+    int ties = 0;
+    for (const auto& ds : datasets) {
+      const double ea = idx.at({ds, rival}).error;
+      const double eb = idx.at({ds, "RPM"}).error;
+      a.push_back(ea);
+      b.push_back(eb);
+      if (ea < eb) {
+        ++rival_wins;
+      } else if (eb < ea) {
+        ++rpm_wins;
+      } else {
+        ++ties;
+      }
+      std::printf("%-18s%12.4f%12.4f\n", ds.c_str(), ea, eb);
+    }
+    const auto w = ml::WilcoxonSignedRank(a, b);
+    std::printf("%s wins %d | ties %d | RPM wins %d;  Wilcoxon p=%.4f\n\n",
+                rival.c_str(), rival_wins, ties, rpm_wins, w.p_value);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Regenerates Figure 8: log-runtime scatter of LS vs RPM and FS vs RPM.
+// Prints (log10 rival, log10 RPM) pairs per dataset with the win counts;
+// points above the diagonal mean RPM is faster.
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "harness.h"
+
+int main() {
+  using namespace rpm;
+  const auto results = bench::RunOrLoadSuiteResults();
+  const auto idx = bench::Index(results);
+
+  std::set<std::string> seen;
+  std::vector<std::string> datasets;
+  for (const auto& r : results) {
+    if (seen.insert(r.dataset).second) datasets.push_back(r.dataset);
+  }
+
+  for (const std::string rival : {"LS", "FS"}) {
+    std::printf("== Figure 8 panel: runtime (log10 s) %s vs RPM ==\n",
+                rival.c_str());
+    int rival_wins = 0;
+    int rpm_wins = 0;
+    for (const auto& ds : datasets) {
+      const auto& ra = idx.at({ds, rival});
+      const auto& rb = idx.at({ds, "RPM"});
+      const double ta =
+          std::max(1e-6, ra.train_seconds + ra.classify_seconds);
+      const double tb =
+          std::max(1e-6, rb.train_seconds + rb.classify_seconds);
+      (ta < tb ? rival_wins : rpm_wins) += 1;
+      std::printf("%-18s  log10(%s)=%8.3f  log10(RPM)=%8.3f\n", ds.c_str(),
+                  rival.c_str(), std::log10(ta), std::log10(tb));
+    }
+    std::printf("%s wins %d | RPM wins %d\n\n", rival.c_str(), rival_wins,
+                rpm_wins);
+  }
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Shared benchmark harness: builds the six classifiers with the
+// evaluation configuration, sweeps them over the synthetic UCR-style
+// suite, and caches per-(dataset, method) error/time results on disk so
+// the table/figure binaries that share a sweep (Table 1, Table 2,
+// Figures 7-8) compute it only once per build.
+//
+// Environment knobs:
+//   RPM_BENCH_SCALE  size multiplier for the dataset suite (default 1.0)
+//   RPM_BENCH_CACHE  cache file path (default build/bench/.results_cache.csv;
+//                    set to "off" to disable caching)
+
+#ifndef RPM_BENCH_HARNESS_H_
+#define RPM_BENCH_HARNESS_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/fast_shapelets.h"
+#include "baselines/learning_shapelets.h"
+#include "baselines/nn_dtw.h"
+#include "baselines/nn_euclidean.h"
+#include "baselines/rpm_adapter.h"
+#include "baselines/sax_vsm.h"
+#include "ts/generators.h"
+
+namespace rpm::bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("RPM_BENCH_SCALE");
+  return env != nullptr ? std::atof(env) : 1.0;
+}
+
+inline std::vector<ts::DatasetSplit> Suite() {
+  ts::SuiteOptions options;
+  options.size_scale = BenchScale();
+  return ts::BenchmarkSuite(options);
+}
+
+/// Names of the six evaluated methods, table order (Table 1).
+inline const std::vector<std::string>& MethodNames() {
+  static const std::vector<std::string> names = {
+      "NN-ED", "NN-DTWB", "SAX-VSM", "FS", "LS", "RPM"};
+  return names;
+}
+
+/// Fresh classifier instance by method name, configured as in Section 5.
+inline std::unique_ptr<baselines::Classifier> MakeMethod(
+    const std::string& name) {
+  if (name == "NN-ED") return std::make_unique<baselines::NnEuclidean>();
+  if (name == "NN-DTWB") {
+    return std::make_unique<baselines::NnDtwBestWindow>();
+  }
+  if (name == "SAX-VSM") return std::make_unique<baselines::SaxVsm>();
+  if (name == "FS") return std::make_unique<baselines::FastShapelets>();
+  if (name == "LS") {
+    // Grabocka et al. run thousands of full-batch iterations; this is what
+    // makes LS the accurate-but-slow pole of Table 2.
+    baselines::LearningShapeletsOptions opt;
+    opt.max_epochs = 2000;
+    return std::make_unique<baselines::LearningShapelets>(opt);
+  }
+  // RPM with the paper's defaults: per-class DIRECT parameter selection,
+  // gamma 20 %, tau at the 30th percentile.
+  core::RpmOptions opt;
+  opt.search = core::ParameterSearch::kDirect;
+  opt.direct_max_evaluations = 16;
+  opt.param_splits = 2;
+  opt.param_folds = 3;
+  return std::make_unique<baselines::RpmAdapter>(opt);
+}
+
+/// One (dataset, method) measurement.
+struct Result {
+  std::string dataset;
+  std::string method;
+  double error = 0.0;
+  double train_seconds = 0.0;
+  double classify_seconds = 0.0;
+};
+
+inline std::string CachePath() {
+  const char* env = std::getenv("RPM_BENCH_CACHE");
+  return env != nullptr ? env : ".rpm_bench_results_cache.csv";
+}
+
+inline std::vector<Result> LoadCache(const std::string& path,
+                                     const std::string& tag) {
+  std::vector<Result> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::string line;
+  if (!std::getline(in, line) || line != "# " + tag) return {};
+  while (std::getline(in, line)) {
+    std::istringstream row(line);
+    Result r;
+    std::string err;
+    std::string tr;
+    std::string cl;
+    if (std::getline(row, r.dataset, ',') &&
+        std::getline(row, r.method, ',') && std::getline(row, err, ',') &&
+        std::getline(row, tr, ',') && std::getline(row, cl, ',')) {
+      r.error = std::atof(err.c_str());
+      r.train_seconds = std::atof(tr.c_str());
+      r.classify_seconds = std::atof(cl.c_str());
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+inline void SaveCache(const std::string& path, const std::string& tag,
+                      const std::vector<Result>& results) {
+  std::ofstream out(path);
+  if (!out) return;
+  out << "# " << tag << "\n";
+  for (const auto& r : results) {
+    out << r.dataset << ',' << r.method << ',' << r.error << ','
+        << r.train_seconds << ',' << r.classify_seconds << '\n';
+  }
+}
+
+/// Runs every method over every suite dataset (or loads the cached sweep).
+inline std::vector<Result> RunOrLoadSuiteResults() {
+  const std::string tag = "v3 scale=" + std::to_string(BenchScale());
+  const std::string path = CachePath();
+  if (path != "off") {
+    std::vector<Result> cached = LoadCache(path, tag);
+    if (!cached.empty()) {
+      std::fprintf(stderr, "[harness] loaded %zu cached results from %s\n",
+                   cached.size(), path.c_str());
+      return cached;
+    }
+  }
+  std::vector<Result> results;
+  for (const auto& split : Suite()) {
+    for (const auto& name : MethodNames()) {
+      auto clf = MakeMethod(name);
+      const auto t0 = std::chrono::steady_clock::now();
+      clf->Train(split.train);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double error = clf->Evaluate(split.test);
+      const auto t2 = std::chrono::steady_clock::now();
+      Result r;
+      r.dataset = split.name;
+      r.method = name;
+      r.error = error;
+      r.train_seconds = std::chrono::duration<double>(t1 - t0).count();
+      r.classify_seconds = std::chrono::duration<double>(t2 - t1).count();
+      results.push_back(r);
+      std::fprintf(stderr, "[harness] %-16s %-8s err=%.4f train=%.2fs\n",
+                   split.name.c_str(), name.c_str(), r.error,
+                   r.train_seconds);
+    }
+  }
+  if (path != "off") SaveCache(path, tag, results);
+  return results;
+}
+
+/// (dataset, method) -> result lookup.
+inline std::map<std::pair<std::string, std::string>, Result> Index(
+    const std::vector<Result>& results) {
+  std::map<std::pair<std::string, std::string>, Result> idx;
+  for (const auto& r : results) idx[{r.dataset, r.method}] = r;
+  return idx;
+}
+
+}  // namespace rpm::bench
+
+#endif  // RPM_BENCH_HARNESS_H_

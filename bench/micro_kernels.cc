@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the Section 5.3 complexity
+// claims: SAX discretization and Sequitur inference are linear in the
+// input; the best-match scan is the classification-time hot loop; DTW
+// cost scales with the band width.
+
+#include <benchmark/benchmark.h>
+
+#include "distance/approximate.h"
+#include "distance/dtw.h"
+#include "distance/euclidean.h"
+#include "grammar/motifs.h"
+#include "grammar/repair.h"
+#include "grammar/sequitur.h"
+#include "sax/sax.h"
+#include "ts/rng.h"
+
+namespace {
+
+rpm::ts::Series RandomWalk(std::size_t n, std::uint64_t seed) {
+  rpm::ts::Rng rng(seed);
+  rpm::ts::Series s(n);
+  double v = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v += rng.Gaussian(0.0, 1.0);
+    s[i] = v;
+  }
+  return s;
+}
+
+void BM_SaxDiscretize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const rpm::ts::Series s = RandomWalk(n, 1);
+  rpm::sax::SaxOptions opt;
+  opt.window = 32;
+  opt.paa_size = 6;
+  opt.alphabet = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpm::sax::DiscretizeSlidingWindow(s, opt));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SaxDiscretize)->Range(256, 16384)->Complexity(benchmark::oN);
+
+void BM_SequiturInfer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rpm::ts::Rng rng(2);
+  std::vector<std::uint32_t> tokens(n);
+  for (auto& t : tokens) {
+    t = static_cast<std::uint32_t>(rng.UniformInt(0, 7));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpm::grammar::InferGrammar(tokens));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SequiturInfer)->Range(256, 16384)->Complexity(benchmark::oN);
+
+void BM_RePairInfer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rpm::ts::Rng rng(2);
+  std::vector<std::uint32_t> tokens(n);
+  for (auto& t : tokens) {
+    t = static_cast<std::uint32_t>(rng.UniformInt(0, 7));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpm::grammar::InferGrammarRePair(tokens));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RePairInfer)->Range(256, 8192)->Complexity();
+
+void BM_BestMatchApprox(benchmark::State& state) {
+  const auto hay_len = static_cast<std::size_t>(state.range(0));
+  const rpm::ts::Series hay = RandomWalk(hay_len, 3);
+  rpm::ts::Series pattern = RandomWalk(32, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rpm::distance::FindBestMatchApprox(pattern, hay));
+  }
+}
+BENCHMARK(BM_BestMatchApprox)->Range(256, 8192);
+
+void BM_BestMatchScan(benchmark::State& state) {
+  const auto hay_len = static_cast<std::size_t>(state.range(0));
+  const rpm::ts::Series hay = RandomWalk(hay_len, 3);
+  rpm::ts::Series pattern = RandomWalk(32, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpm::distance::FindBestMatch(pattern, hay));
+  }
+}
+BENCHMARK(BM_BestMatchScan)->Range(256, 8192);
+
+void BM_DtwBanded(benchmark::State& state) {
+  const std::size_t n = 256;
+  const auto band = static_cast<std::size_t>(state.range(0));
+  const rpm::ts::Series a = RandomWalk(n, 5);
+  const rpm::ts::Series b = RandomWalk(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpm::distance::Dtw(a, b, band));
+  }
+}
+BENCHMARK(BM_DtwBanded)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LbKeogh(benchmark::State& state) {
+  const std::size_t n = 256;
+  const rpm::ts::Series a = RandomWalk(n, 7);
+  const rpm::ts::Series b = RandomWalk(n, 8);
+  const rpm::distance::Envelope env = rpm::distance::MakeEnvelope(b, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpm::distance::LbKeogh(a, env));
+  }
+}
+BENCHMARK(BM_LbKeogh);
+
+void BM_MotifCandidates(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const rpm::ts::Series s = RandomWalk(n, 9);
+  rpm::sax::SaxOptions opt;
+  opt.window = 32;
+  opt.paa_size = 5;
+  opt.alphabet = 4;
+  const auto records = rpm::sax::DiscretizeSlidingWindow(s, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpm::grammar::FindMotifCandidates(
+        records, opt.window, s.size(), {}, true));
+  }
+}
+BENCHMARK(BM_MotifCandidates)->Range(512, 8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

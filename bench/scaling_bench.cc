@@ -1,0 +1,71 @@
+// Pipeline-level scaling study for the Section 5.3 complexity analysis:
+// RPM training cost as a function of (a) training-set size and (b) series
+// length, with the per-stage breakdown from the TrainingReport. The
+// discretization + grammar stages should scale near-linearly; the
+// candidate-matching stage (Transform during selection) dominates, as the
+// paper observes ("this step seems to be the bottleneck of the training
+// stage due to the repeated distance call").
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/rpm.h"
+#include "ts/generators.h"
+
+namespace {
+
+rpm::core::RpmOptions Fixed(std::size_t window) {
+  rpm::core::RpmOptions opt;
+  opt.search = rpm::core::ParameterSearch::kFixed;
+  opt.fixed_sax.window = window;
+  opt.fixed_sax.paa_size = 5;
+  opt.fixed_sax.alphabet = 4;
+  return opt;
+}
+
+void Row(const rpm::ts::DatasetSplit& split, std::size_t window) {
+  rpm::core::RpmClassifier clf(Fixed(window));
+  const auto t0 = std::chrono::steady_clock::now();
+  clf.Train(split.train);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto& r = clf.report();
+  std::printf("  n=%3zu m=%4zu  total=%7.3fs  mine=%6.3fs select=%6.3fs "
+              "fit=%6.3fs  cands=%3zu k=%2zu\n",
+              split.train.size(), split.train.MinLength(),
+              std::chrono::duration<double>(t1 - t0).count(),
+              r.candidate_mining_seconds, r.pattern_selection_seconds,
+              r.classifier_fit_seconds, r.candidates_total,
+              r.patterns_selected);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rpm;
+  std::printf("Scaling in training-set size (CBF, length 128):\n");
+  for (std::size_t n : {5u, 10u, 20u, 40u}) {
+    Row(ts::MakeCbf(n, 2, 128, 900 + n), 32);
+  }
+  std::printf("\nScaling in series length (CBF, 10 train/class):\n");
+  for (std::size_t m : {64u, 128u, 256u, 512u}) {
+    Row(ts::MakeCbf(10, 2, m, 950 + m), m / 4);
+  }
+  std::printf("\nScaling with threads (CBF 20x512, DIRECT budget 12):\n");
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    const ts::DatasetSplit split = ts::MakeCbf(20, 2, 512, 999);
+    core::RpmOptions opt;
+    opt.search = core::ParameterSearch::kDirect;
+    opt.direct_max_evaluations = 12;
+    opt.param_splits = 2;
+    opt.param_folds = 2;
+    opt.num_threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    core::RpmClassifier clf(opt);
+    clf.Train(split.train);
+    const auto t1 = std::chrono::steady_clock::now();
+    std::printf("  threads=%zu  total=%.3fs  (R=%zu combos)\n", threads,
+                std::chrono::duration<double>(t1 - t0).count(),
+                clf.combos_evaluated());
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Regenerates Table 1: classification error rate of NN-ED, NN-DTWB,
+// SAX-VSM, FS, LS and RPM on the dataset suite, the "# of best (including
+// ties)" row, and the Wilcoxon signed-rank p-values of each method vs RPM
+// (the footer of Table 1 / Figure 7).
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "harness.h"
+#include "ml/wilcoxon.h"
+
+int main() {
+  using namespace rpm;
+  const auto results = bench::RunOrLoadSuiteResults();
+  const auto idx = bench::Index(results);
+  const auto& methods = bench::MethodNames();
+
+  std::set<std::string> dataset_set;
+  std::vector<std::string> datasets;
+  for (const auto& r : results) {
+    if (dataset_set.insert(r.dataset).second) datasets.push_back(r.dataset);
+  }
+
+  std::printf("Table 1: classification error rates\n");
+  std::printf("%-18s", "Dataset");
+  for (const auto& m : methods) std::printf("%10s", m.c_str());
+  std::printf("\n");
+
+  std::map<std::string, int> best_count;
+  std::map<std::string, std::vector<double>> per_method_errors;
+  for (const auto& ds : datasets) {
+    std::printf("%-18s", ds.c_str());
+    double best = 1e9;
+    for (const auto& m : methods) {
+      best = std::min(best, idx.at({ds, m}).error);
+    }
+    for (const auto& m : methods) {
+      const double e = idx.at({ds, m}).error;
+      per_method_errors[m].push_back(e);
+      std::printf(e <= best + 1e-12 ? "%9.4f*" : "%10.4f", e);
+      if (e <= best + 1e-12) ++best_count[m];
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-18s", "# of best (ties)");
+  for (const auto& m : methods) std::printf("%10d", best_count[m]);
+  std::printf("\n\nWilcoxon signed-rank test, method vs RPM (two-sided):\n");
+  for (const auto& m : methods) {
+    if (m == "RPM") continue;
+    const auto w = ml::WilcoxonSignedRank(per_method_errors[m],
+                                          per_method_errors["RPM"]);
+    std::printf("  %-8s vs RPM: W=%6.1f  p=%.4f  (n=%zu)\n", m.c_str(),
+                w.statistic, w.p_value, w.n_nonzero);
+  }
+
+  // Shape check against the paper: RPM should be among the two most
+  // accurate methods overall (Section 5.2: "second best ... slightly lose
+  // to Learning Shapelets").
+  std::vector<std::pair<double, std::string>> mean_rank;
+  for (const auto& m : methods) {
+    double mean = 0.0;
+    for (double e : per_method_errors[m]) mean += e;
+    mean_rank.emplace_back(mean / static_cast<double>(datasets.size()), m);
+  }
+  std::sort(mean_rank.begin(), mean_rank.end());
+  std::printf("\nmean error ranking:\n");
+  for (const auto& [mean, m] : mean_rank) {
+    std::printf("  %-8s %.4f\n", m.c_str(), mean);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Regenerates Table 2: total running time (training incl. parameter
+// selection + classification) of Learning Shapelets, Fast Shapelets and
+// RPM per dataset, the "# best" row, and the LS/RPM speedup summary
+// (Section 5.3 reports a 78x average speedup on the authors' hardware;
+// the shape to reproduce is LS >> RPM ~ FS).
+
+#include <cstdio>
+#include <set>
+
+#include "harness.h"
+
+int main() {
+  using namespace rpm;
+  const auto results = bench::RunOrLoadSuiteResults();
+  const auto idx = bench::Index(results);
+  const std::vector<std::string> methods = {"LS", "FS", "RPM"};
+
+  std::set<std::string> seen;
+  std::vector<std::string> datasets;
+  for (const auto& r : results) {
+    if (seen.insert(r.dataset).second) datasets.push_back(r.dataset);
+  }
+
+  std::printf("Table 2: running time in seconds (train + classify)\n");
+  std::printf("%-18s%12s%12s%12s%14s\n", "Dataset", "LS", "FS", "RPM",
+              "LS/RPM");
+  std::map<std::string, int> best_count;
+  double speedup_sum = 0.0;
+  double speedup_max = 0.0;
+  for (const auto& ds : datasets) {
+    std::map<std::string, double> total;
+    for (const auto& m : methods) {
+      const auto& r = idx.at({ds, m});
+      total[m] = r.train_seconds + r.classify_seconds;
+    }
+    double best = 1e300;
+    for (const auto& m : methods) best = std::min(best, total[m]);
+    for (const auto& m : methods) {
+      if (total[m] <= best + 1e-12) ++best_count[m];
+    }
+    const double speedup = total["LS"] / std::max(1e-9, total["RPM"]);
+    speedup_sum += speedup;
+    speedup_max = std::max(speedup_max, speedup);
+    std::printf("%-18s%12.3f%12.3f%12.3f%13.1fx\n", ds.c_str(),
+                total["LS"], total["FS"], total["RPM"], speedup);
+  }
+  std::printf("%-18s%12d%12d%12d\n", "# best (ties)", best_count["LS"],
+              best_count["FS"], best_count["RPM"]);
+  std::printf("\nLS/RPM speedup: average %.1fx, max %.1fx\n",
+              speedup_sum / static_cast<double>(datasets.size()),
+              speedup_max);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Figure 6: transform the ECGFiveDays training data into the
+// representative-pattern feature space and dump the 2-D (first two
+// features) embedding, demonstrating that visually-similar raw series
+// become linearly separable.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/rpm.h"
+#include "ts/generators.h"
+
+int main() {
+  using namespace rpm;
+  const ts::DatasetSplit split = ts::MakeEcg(15, 15, 136, 6);
+
+  core::RpmOptions options;
+  options.search = core::ParameterSearch::kFixed;
+  options.fixed_sax.window = 34;
+  options.fixed_sax.paa_size = 5;
+  options.fixed_sax.alphabet = 4;
+
+  // Run Algorithms 1 + 2 directly to get the patterns, then transform.
+  std::map<int, sax::SaxOptions> sax;
+  for (int label : split.train.ClassLabels()) {
+    sax[label] = options.fixed_sax;
+  }
+  const auto candidates =
+      core::FindAllCandidates(split.train, sax, options);
+  const auto patterns =
+      core::FindDistinctPatterns(split.train, candidates, options);
+  std::printf("candidates: %zu -> selected patterns: %zu\n",
+              candidates.size(), patterns.size());
+  if (patterns.empty()) {
+    std::printf("no patterns found; try other SAX parameters\n");
+    return 1;
+  }
+
+  const ml::FeatureDataset f =
+      core::TransformDataset(patterns, split.train, false);
+  std::printf("\n# Figure 6 data: distance to pattern 1, distance to "
+              "pattern 2, class\n");
+  const std::size_t d2 = std::min<std::size_t>(2, f.num_features());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    for (std::size_t j = 0; j < d2; ++j) std::printf("%.4f,", f.x[i][j]);
+    std::printf("%d\n", f.y[i]);
+  }
+
+  // Quantify the separability claim: per-class feature-1 means.
+  for (int label : split.train.ClassLabels()) {
+    double mean = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      if (f.y[i] == label) {
+        mean += f.x[i][0];
+        ++n;
+      }
+    }
+    std::printf("class %d: mean distance to first pattern = %.4f\n", label,
+                mean / static_cast<double>(n));
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// GrammarViz-style exploration (the view behind the paper's Figure 4):
+// concatenate one class of a dataset, discretize, induce the grammar, and
+// print the rule table, the motif summary, the per-point coverage
+// density strip, and the lowest-coverage region (a discord candidate).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/candidates.h"
+#include "grammar/inspect.h"
+#include "sax/sax.h"
+#include "ts/generators.h"
+
+int main() {
+  using namespace rpm;
+  const ts::DatasetSplit split = ts::MakeCbf(8, 2, 128, 44);
+  const int label = 1;  // Cylinder
+  const core::ConcatenatedClass cls =
+      core::ConcatenateClass(split.train, label);
+  std::printf("class %d: %zu instances concatenated into %zu points "
+              "(%zu junctions)\n",
+              label, cls.num_instances, cls.values.size(),
+              cls.boundaries.size());
+
+  sax::SaxOptions sax;
+  sax.window = 32;
+  sax.paa_size = 4;
+  sax.alphabet = 4;
+  const auto records = sax::DiscretizeSlidingWindow(cls.values, sax);
+  std::printf("discretized to %zu SAX words (numerosity-reduced from "
+              "%zu windows)\n",
+              records.size(), cls.values.size() - sax.window + 1);
+
+  const auto tokens = grammar::TokensFromRecords(records);
+  const grammar::Grammar g = grammar::InferGrammar(tokens);
+  std::printf("\ngrammar (%zu rules):\n%s\n", g.rules().size(),
+              g.ToString().c_str());
+
+  const auto motifs = grammar::FindMotifCandidates(
+      records, sax.window, cls.values.size(), cls.boundaries, true);
+  std::printf("motif candidates (junction-filtered):\n%s\n",
+              grammar::FormatMotifTable(motifs).c_str());
+
+  const auto density =
+      grammar::CoverageDensity(motifs, cls.values.size());
+  std::printf("coverage: %.1f%% of points under at least one rule\n",
+              100.0 * grammar::CoverageFraction(motifs, cls.values.size()));
+
+  // Coverage strip, 64 buckets.
+  const std::size_t buckets = 64;
+  const std::size_t max_d =
+      *std::max_element(density.begin(), density.end());
+  std::printf("density strip: ");
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t lo = b * density.size() / buckets;
+    const std::size_t hi = (b + 1) * density.size() / buckets;
+    std::size_t acc = 0;
+    for (std::size_t t = lo; t < hi; ++t) acc = std::max(acc, density[t]);
+    const char* shades = " .:-=+*#%@";
+    const std::size_t shade =
+        max_d == 0 ? 0 : std::min<std::size_t>(9, 9 * acc / max_d);
+    std::printf("%c", shades[shade]);
+  }
+  std::printf("\n");
+
+  // Discord candidates: the least rule-covered regions.
+  for (const auto& d :
+       grammar::FindDiscords(motifs, cls.values.size(), sax.window, 3)) {
+    std::printf("discord candidate: [%zu, %zu) mean density %.2f\n",
+                d.start, d.start + d.length, d.mean_density);
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Dataset emitter: writes any of the built-in synthetic generators to
+// UCR-format train/test files, so rpm_cli (or any UCR-consuming tool) can
+// be driven without external data.
+//
+// Usage:
+//   make_dataset NAME TRAIN_OUT TEST_OUT [--train N] [--test N]
+//                [--length N] [--seed N]
+// NAME: CBF TwoPatterns SyntheticControl GunPoint Coffee ECGFiveDays
+//       Trace ShapeOutlines ItalyPower Wafer Symbols FaceFour Lightning
+//       MoteStrain AbpAlarm AbpAlarmTypes
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ts/generators.h"
+#include "ts/ucr_io.h"
+
+int main(int argc, char** argv) {
+  using namespace rpm::ts;
+  using Maker = std::function<DatasetSplit(std::size_t, std::size_t,
+                                           std::size_t, std::uint64_t)>;
+  const std::map<std::string, std::pair<Maker, std::size_t>> makers = {
+      {"CBF", {MakeCbf, 128}},
+      {"TwoPatterns", {MakeTwoPatterns, 128}},
+      {"SyntheticControl", {MakeSyntheticControl, 60}},
+      {"GunPoint", {MakeGunPoint, 150}},
+      {"Coffee", {MakeCoffee, 200}},
+      {"ECGFiveDays", {MakeEcg, 136}},
+      {"Trace", {MakeTrace, 200}},
+      {"ShapeOutlines", {MakeShapeOutlines, 128}},
+      {"ItalyPower", {MakeItalyPower, 24}},
+      {"Wafer", {MakeWafer, 120}},
+      {"Symbols", {MakeSymbols, 128}},
+      {"FaceFour", {MakeFaceFour, 140}},
+      {"Lightning", {MakeLightning, 160}},
+      {"MoteStrain", {MakeMoteStrain, 96}},
+      {"AbpAlarm", {MakeAbpAlarm, 240}},
+      {"AbpAlarmTypes", {MakeAbpAlarmTypes, 240}},
+  };
+
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: make_dataset NAME TRAIN_OUT TEST_OUT "
+                 "[--train N] [--test N] [--length N] [--seed N]\n"
+                 "names:");
+    for (const auto& [name, maker] : makers) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const auto it = makers.find(argv[1]);
+  if (it == makers.end()) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", argv[1]);
+    return 2;
+  }
+  std::size_t train_per_class = 10;
+  std::size_t test_per_class = 30;
+  std::size_t length = it->second.second;
+  std::uint64_t seed = 20160315;
+  for (int i = 4; i + 1 < argc; i += 2) {
+    const std::string arg = argv[i];
+    const auto value = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    if (arg == "--train") {
+      train_per_class = value;
+    } else if (arg == "--test") {
+      test_per_class = value;
+    } else if (arg == "--length") {
+      length = value;
+    } else if (arg == "--seed") {
+      seed = value;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const DatasetSplit split =
+      it->second.first(train_per_class, test_per_class, length, seed);
+  SaveUcrFile(split.train, argv[2]);
+  SaveUcrFile(split.test, argv[3]);
+  std::printf("%s: %zu train / %zu test instances of length %zu "
+              "(%zu classes) -> %s, %s\n",
+              split.name.c_str(), split.train.size(), split.test.size(),
+              length, split.train.NumClasses(), argv[2], argv[3]);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Section 6.1 demo: train on unmodified GunPoint-style data, rotate the
+// test set at random cut points, and compare RPM (with and without the
+// rotation-invariant transform) against 1-NN Euclidean.
+
+#include <cstdio>
+
+#include "baselines/nn_euclidean.h"
+#include "core/rpm.h"
+#include "ts/generators.h"
+#include "ts/rng.h"
+#include "ts/rotation.h"
+
+int main() {
+  using namespace rpm;
+  const ts::DatasetSplit split = ts::MakeGunPoint(12, 40, 150, 61);
+  ts::Rng rng(7);
+  const ts::Dataset rotated = ts::RandomlyRotate(split.test, rng);
+
+  core::RpmOptions base;
+  base.search = core::ParameterSearch::kFixed;
+  base.fixed_sax.window = 30;
+  base.fixed_sax.paa_size = 5;
+  base.fixed_sax.alphabet = 4;
+
+  core::RpmClassifier plain(base);
+  plain.Train(split.train);
+
+  core::RpmOptions inv = base;
+  inv.rotation_invariant = true;
+  core::RpmClassifier invariant(inv);
+  invariant.Train(split.train);
+
+  baselines::NnEuclidean ed;
+  ed.Train(split.train);
+
+  std::printf("%-28s %-14s %-14s\n", "classifier", "original test",
+              "rotated test");
+  std::printf("%-28s %-14.4f %-14.4f\n", "NN-ED",
+              ed.Evaluate(split.test), ed.Evaluate(rotated));
+  std::printf("%-28s %-14.4f %-14.4f\n", "RPM (plain)",
+              plain.Evaluate(split.test), plain.Evaluate(rotated));
+  std::printf("%-28s %-14.4f %-14.4f\n", "RPM (rotation-invariant)",
+              invariant.Evaluate(split.test), invariant.Evaluate(rotated));
+  std::printf("\nExpected shape (Table 4): NN-ED collapses on rotated "
+              "data; rotation-invariant RPM holds up.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "baselines/bag_of_patterns.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rpm::baselines {
+
+BagOfPatterns::Bag BagOfPatterns::MakeBag(ts::SeriesView series) const {
+  Bag bag;
+  for (const auto& rec :
+       sax::DiscretizeSlidingWindow(series, options_.sax)) {
+    bag[rec.word] += 1.0;
+  }
+  return bag;
+}
+
+double BagOfPatterns::BagDistance(const Bag& a, const Bag& b) const {
+  if (options_.cosine) {
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    for (const auto& [word, count] : a) {
+      na += count * count;
+      const auto it = b.find(word);
+      if (it != b.end()) dot += count * it->second;
+    }
+    for (const auto& [word, count] : b) nb += count * count;
+    const double denom = std::sqrt(std::max(na * nb, 1e-24));
+    return 1.0 - dot / denom;
+  }
+  double acc = 0.0;
+  for (const auto& [word, count] : a) {
+    const auto it = b.find(word);
+    const double d = count - (it == b.end() ? 0.0 : it->second);
+    acc += d * d;
+  }
+  for (const auto& [word, count] : b) {
+    if (a.find(word) == a.end()) acc += count * count;
+  }
+  return std::sqrt(acc);
+}
+
+void BagOfPatterns::Train(const ts::Dataset& train) {
+  if (train.empty()) {
+    throw std::invalid_argument("BagOfPatterns::Train: empty training set");
+  }
+  bags_.clear();
+  labels_.clear();
+  for (const auto& inst : train) {
+    bags_.push_back(MakeBag(inst.values));
+    labels_.push_back(inst.label);
+  }
+}
+
+int BagOfPatterns::Classify(ts::SeriesView series) const {
+  if (bags_.empty()) {
+    throw std::logic_error("BagOfPatterns::Classify before Train");
+  }
+  const Bag query = MakeBag(series);
+  double best = std::numeric_limits<double>::infinity();
+  int label = labels_.front();
+  for (std::size_t i = 0; i < bags_.size(); ++i) {
+    const double d = BagDistance(query, bags_[i]);
+    if (d < best) {
+      best = d;
+      label = labels_[i];
+    }
+  }
+  return label;
+}
+
+}  // namespace rpm::baselines

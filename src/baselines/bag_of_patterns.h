@@ -1,0 +1,47 @@
+// Bag-of-Patterns (Lin & Li 2009), the direct predecessor of SAX-VSM and
+// the natural ablation anchor for it: each series becomes a histogram of
+// its SAX words (same discretization substrate, no tf*idf class
+// aggregation), classified by 1-NN over histogram distance. Comparing BOP
+// and SAX-VSM isolates the contribution of the tf*idf class weighting.
+
+#ifndef RPM_BASELINES_BAG_OF_PATTERNS_H_
+#define RPM_BASELINES_BAG_OF_PATTERNS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/classifier.h"
+#include "sax/sax.h"
+
+namespace rpm::baselines {
+
+struct BagOfPatternsOptions {
+  sax::SaxOptions sax;
+  /// Histogram distance: true = cosine dissimilarity, false = Euclidean.
+  bool cosine = true;
+};
+
+class BagOfPatterns : public Classifier {
+ public:
+  explicit BagOfPatterns(BagOfPatternsOptions options = {})
+      : options_(options) {}
+
+  void Train(const ts::Dataset& train) override;
+  int Classify(ts::SeriesView series) const override;
+  std::string Name() const override { return "BOP"; }
+
+ private:
+  using Bag = std::unordered_map<std::string, double>;
+
+  Bag MakeBag(ts::SeriesView series) const;
+  double BagDistance(const Bag& a, const Bag& b) const;
+
+  BagOfPatternsOptions options_;
+  std::vector<Bag> bags_;
+  std::vector<int> labels_;
+};
+
+}  // namespace rpm::baselines
+
+#endif  // RPM_BASELINES_BAG_OF_PATTERNS_H_

@@ -1,0 +1,262 @@
+#include "baselines/fast_shapelets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "distance/euclidean.h"
+#include "sax/sax.h"
+#include "ts/rng.h"
+#include "ts/znorm.h"
+
+namespace rpm::baselines {
+namespace {
+
+// One sampled subsequence candidate.
+struct Candidate {
+  std::size_t series = 0;  // index into the node's instance list
+  std::size_t pos = 0;
+  std::size_t length = 0;
+  std::string word;
+  double score = 0.0;
+};
+
+double Entropy(const std::map<int, std::size_t>& hist, std::size_t total) {
+  double h = 0.0;
+  for (const auto& [label, count] : hist) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+void FastShapelets::Train(const ts::Dataset& train) {
+  if (train.empty()) {
+    throw std::invalid_argument("FastShapelets::Train: empty training set");
+  }
+  ts::Rng rng(options_.seed);
+
+  // Recursive node builder over index subsets.
+  auto build = [&](auto&& self, std::vector<std::size_t> idx,
+                   std::size_t depth) -> std::unique_ptr<Node> {
+    auto node = std::make_unique<Node>();
+    std::map<int, std::size_t> hist;
+    for (std::size_t i : idx) ++hist[train[i].label];
+    // Majority label.
+    node->label = hist.begin()->first;
+    for (const auto& [label, count] : hist) {
+      if (count > hist[node->label]) node->label = label;
+    }
+    if (hist.size() == 1 || depth >= options_.max_depth ||
+        idx.size() < 2 * options_.min_node_size) {
+      return node;
+    }
+
+    // --- Candidate sampling + SAX words. ---
+    const std::size_t min_len = [&] {
+      std::size_t m = train[idx[0]].values.size();
+      for (std::size_t i : idx) m = std::min(m, train[i].values.size());
+      return m;
+    }();
+    std::vector<Candidate> cands;
+    for (double frac : options_.length_fractions) {
+      const auto len = static_cast<std::size_t>(
+          std::lround(frac * static_cast<double>(min_len)));
+      if (len < 4) continue;
+      for (std::size_t s = 0; s < idx.size(); ++s) {
+        const auto& values = train[idx[s]].values;
+        if (values.size() < len) continue;
+        const std::size_t span = values.size() - len;
+        const std::size_t stride =
+            std::max<std::size_t>(1, span / options_.starts_per_series);
+        for (std::size_t p = 0; p <= span; p += stride) {
+          Candidate c;
+          c.series = s;
+          c.pos = p;
+          c.length = len;
+          ts::Series z(values.begin() + static_cast<std::ptrdiff_t>(p),
+                       values.begin() + static_cast<std::ptrdiff_t>(p + len));
+          ts::ZNormalizeInPlace(z);
+          c.word = sax::SaxWord(
+              z, std::min(options_.sax_word_length, len), options_.alphabet);
+          cands.push_back(std::move(c));
+        }
+      }
+    }
+    if (cands.empty()) return node;
+
+    // --- Random projection rounds: collision counting per class. ---
+    const std::vector<int> class_labels = [&] {
+      std::vector<int> out;
+      for (const auto& [label, count] : hist) out.push_back(label);
+      return out;
+    }();
+    std::map<int, std::size_t> class_index;
+    for (std::size_t c = 0; c < class_labels.size(); ++c) {
+      class_index[class_labels[c]] = c;
+    }
+    std::map<int, std::size_t> class_sizes = hist;
+
+    for (std::size_t round = 0; round < options_.projection_rounds; ++round) {
+      // Random mask positions.
+      std::vector<std::size_t> mask;
+      const std::size_t word_len = cands.front().word.size();
+      for (std::size_t m = 0; m < options_.mask_size; ++m) {
+        mask.push_back(static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(word_len) - 1)));
+      }
+      struct WordStats {
+        std::vector<std::size_t> per_class;
+        std::size_t last_series = static_cast<std::size_t>(-1);
+      };
+      std::unordered_map<std::string, WordStats> table;
+      std::vector<std::string> masked(cands.size());
+      for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+        std::string w = cands[ci].word;
+        for (std::size_t m : mask) {
+          if (m < w.size()) w[m] = '*';
+        }
+        masked[ci] = w;
+        WordStats& st = table[w];
+        if (st.per_class.empty()) st.per_class.resize(class_labels.size(), 0);
+        // Count distinct series per word (candidates arrive grouped by
+        // series because of the sampling order).
+        if (st.last_series != cands[ci].series) {
+          st.last_series = cands[ci].series;
+          ++st.per_class[class_index[train[idx[cands[ci].series]].label]];
+        }
+      }
+      // Distinguishing power: spread of per-class presence fractions.
+      for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+        const WordStats& st = table[masked[ci]];
+        double lo = 1.0;
+        double hi = 0.0;
+        for (std::size_t c = 0; c < class_labels.size(); ++c) {
+          const double frac =
+              static_cast<double>(st.per_class[c]) /
+              static_cast<double>(class_sizes[class_labels[c]]);
+          lo = std::min(lo, frac);
+          hi = std::max(hi, frac);
+        }
+        cands[ci].score += hi - lo;
+      }
+    }
+
+    // --- Exact evaluation of the top-k candidates. ---
+    std::vector<std::size_t> order(cands.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const std::size_t k = std::min(options_.top_k, order.size());
+    std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return cands[a].score > cands[b].score;
+                      });
+
+    const double h_node = Entropy(hist, idx.size());
+    double best_gain = -1.0;
+    ts::Series best_shapelet;
+    double best_threshold = 0.0;
+    for (std::size_t oi = 0; oi < k; ++oi) {
+      const Candidate& c = cands[order[oi]];
+      const auto& src = train[idx[c.series]].values;
+      ts::Series shapelet(
+          src.begin() + static_cast<std::ptrdiff_t>(c.pos),
+          src.begin() + static_cast<std::ptrdiff_t>(c.pos + c.length));
+      ts::ZNormalizeInPlace(shapelet);
+      // Distances from every node series to the candidate.
+      std::vector<std::pair<double, int>> dist;  // (distance, label)
+      dist.reserve(idx.size());
+      for (std::size_t i : idx) {
+        dist.emplace_back(
+            distance::FindBestMatch(shapelet, train[i].values).distance,
+            train[i].label);
+      }
+      std::sort(dist.begin(), dist.end());
+      // Scan split points.
+      std::map<int, std::size_t> left_hist;
+      for (std::size_t split = 1; split < dist.size(); ++split) {
+        ++left_hist[dist[split - 1].second];
+        if (dist[split].first == dist[split - 1].first) continue;
+        std::map<int, std::size_t> right_hist;
+        for (const auto& [label, count] : hist) {
+          const auto it = left_hist.find(label);
+          const std::size_t l = it == left_hist.end() ? 0 : it->second;
+          right_hist[label] = count - l;
+        }
+        const double hl = Entropy(left_hist, split);
+        const double hr = Entropy(right_hist, dist.size() - split);
+        const double nl = static_cast<double>(split);
+        const double nr = static_cast<double>(dist.size() - split);
+        const double n = nl + nr;
+        const double gain = h_node - (nl / n * hl + nr / n * hr);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_shapelet = shapelet;
+          best_threshold =
+              0.5 * (dist[split - 1].first + dist[split].first);
+        }
+      }
+    }
+    if (best_gain <= 1e-9 || best_shapelet.empty()) return node;
+
+    // Split and recurse.
+    std::vector<std::size_t> left_idx;
+    std::vector<std::size_t> right_idx;
+    for (std::size_t i : idx) {
+      const double d =
+          distance::FindBestMatch(best_shapelet, train[i].values).distance;
+      (d <= best_threshold ? left_idx : right_idx).push_back(i);
+    }
+    if (left_idx.empty() || right_idx.empty()) return node;
+    node->leaf = false;
+    node->shapelet = std::move(best_shapelet);
+    node->threshold = best_threshold;
+    node->left = self(self, std::move(left_idx), depth + 1);
+    node->right = self(self, std::move(right_idx), depth + 1);
+    return node;
+  };
+
+  std::vector<std::size_t> all(train.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  root_ = build(build, std::move(all), 0);
+}
+
+int FastShapelets::Classify(ts::SeriesView series) const {
+  if (root_ == nullptr) {
+    throw std::logic_error("FastShapelets::Classify before Train");
+  }
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    const double d =
+        distance::FindBestMatch(node->shapelet, series).distance;
+    node = (d <= node->threshold) ? node->left.get() : node->right.get();
+  }
+  return node->label;
+}
+
+std::size_t FastShapelets::num_shapelet_nodes() const {
+  std::size_t count = 0;
+  std::vector<const Node*> stack;
+  if (root_ != nullptr) stack.push_back(root_.get());
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->leaf) continue;
+    ++count;
+    stack.push_back(n->left.get());
+    stack.push_back(n->right.get());
+  }
+  return count;
+}
+
+const ts::Series& FastShapelets::root_shapelet() const {
+  static const ts::Series kEmpty;
+  return root_ != nullptr ? root_->shapelet : kEmpty;
+}
+
+}  // namespace rpm::baselines

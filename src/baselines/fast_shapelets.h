@@ -1,0 +1,64 @@
+// Fast Shapelets (Rakthanmanon & Keogh 2013, Table 1/2 comparator): a
+// shapelet decision tree where each node's shapelet is found by SAX
+// random projection — subsequences are discretized, random positions are
+// masked over several rounds, and collision statistics identify the most
+// class-distinguishing words; only the top-k survivors are scored exactly
+// by information gain.
+
+#ifndef RPM_BASELINES_FAST_SHAPELETS_H_
+#define RPM_BASELINES_FAST_SHAPELETS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/classifier.h"
+
+namespace rpm::baselines {
+
+struct FastShapeletsOptions {
+  /// Candidate shapelet lengths as fractions of the shortest series.
+  std::vector<double> length_fractions = {0.1, 0.2, 0.3, 0.45};
+  std::size_t sax_word_length = 16;  ///< PAA segments per word
+  int alphabet = 4;                  ///< SAX cardinality
+  std::size_t projection_rounds = 10;
+  std::size_t mask_size = 3;         ///< masked positions per round
+  std::size_t top_k = 10;            ///< candidates scored exactly
+  std::size_t starts_per_series = 20;  ///< sampling stride control
+  std::size_t max_depth = 8;
+  std::size_t min_node_size = 2;
+  std::uint64_t seed = 42;
+};
+
+class FastShapelets : public Classifier {
+ public:
+  explicit FastShapelets(FastShapeletsOptions options = {})
+      : options_(options) {}
+
+  void Train(const ts::Dataset& train) override;
+  int Classify(ts::SeriesView series) const override;
+  std::string Name() const override { return "FS"; }
+
+  /// Number of internal (shapelet) nodes in the learned tree.
+  std::size_t num_shapelet_nodes() const;
+
+  /// The shapelet at the tree root (empty before Train or for pure data).
+  const ts::Series& root_shapelet() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int label = 0;
+    ts::Series shapelet;  // z-normalized
+    double threshold = 0.0;
+    std::unique_ptr<Node> left;   // distance <= threshold
+    std::unique_ptr<Node> right;  // distance > threshold
+  };
+
+  FastShapeletsOptions options_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace rpm::baselines
+
+#endif  // RPM_BASELINES_FAST_SHAPELETS_H_

@@ -1,0 +1,233 @@
+#include "baselines/learning_shapelets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "ts/rng.h"
+#include "ts/znorm.h"
+
+namespace rpm::baselines {
+namespace {
+
+// Per-window mean squared distance between shapelet `s` and the window of
+// `t` starting at j.
+double WindowDistance(const ts::Series& s, ts::SeriesView t, std::size_t j) {
+  double acc = 0.0;
+  for (std::size_t l = 0; l < s.size(); ++l) {
+    const double d = s[l] - t[j + l];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(s.size());
+}
+
+struct SoftMin {
+  double value = 0.0;
+  std::vector<double> weight;  // d M / d D_j per window
+};
+
+// Soft minimum M = sum_j D_j e^{a D_j} / sum_j e^{a D_j} with its
+// derivative wrt each window distance.
+SoftMin ComputeSoftMin(const std::vector<double>& d, double alpha) {
+  SoftMin out;
+  out.weight.resize(d.size());
+  // Stabilize: alpha < 0, so shift by min.
+  const double dmin = *std::min_element(d.begin(), d.end());
+  double denom = 0.0;
+  double numer = 0.0;
+  std::vector<double> e(d.size());
+  for (std::size_t j = 0; j < d.size(); ++j) {
+    e[j] = std::exp(alpha * (d[j] - dmin));
+    denom += e[j];
+    numer += d[j] * e[j];
+  }
+  out.value = numer / denom;
+  for (std::size_t j = 0; j < d.size(); ++j) {
+    out.weight[j] = e[j] * (1.0 + alpha * (d[j] - out.value)) / denom;
+  }
+  return out;
+}
+
+}  // namespace
+
+void LearningShapelets::Train(const ts::Dataset& train) {
+  if (train.empty()) {
+    throw std::invalid_argument(
+        "LearningShapelets::Train: empty training set");
+  }
+  ts::Rng rng(options_.seed);
+
+  // Label bookkeeping.
+  labels_ = train.ClassLabels();
+  std::map<int, std::size_t> label_to_id;
+  for (std::size_t c = 0; c < labels_.size(); ++c) {
+    label_to_id[labels_[c]] = c;
+  }
+  const std::size_t num_classes = labels_.size();
+
+  // --- Initialize shapelets from random training segments per scale. ---
+  shapelets_.clear();
+  const std::size_t min_len = train.MinLength();
+  const std::size_t per_scale =
+      options_.shapelets_per_scale > 0
+          ? options_.shapelets_per_scale
+          : std::max<std::size_t>(4, 2 * num_classes);
+  for (double frac : options_.length_fractions) {
+    const auto len = static_cast<std::size_t>(
+        std::lround(frac * static_cast<double>(min_len)));
+    if (len < 3) continue;
+    for (std::size_t k = 0; k < per_scale; ++k) {
+      const auto si = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(train.size()) - 1));
+      const auto& v = train[si].values;
+      if (v.size() < len) {
+        --k;  // resample; all series are >= min_len so this terminates
+        continue;
+      }
+      const auto p = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(v.size() - len)));
+      ts::Series s(v.begin() + static_cast<std::ptrdiff_t>(p),
+                   v.begin() + static_cast<std::ptrdiff_t>(p + len));
+      ts::ZNormalizeInPlace(s);
+      shapelets_.push_back(std::move(s));
+    }
+  }
+  if (shapelets_.empty()) {
+    // Series too short for every scale: use halves.
+    ts::Series s(train[0].values.begin(),
+                 train[0].values.begin() +
+                     static_cast<std::ptrdiff_t>(
+                         std::max<std::size_t>(2, min_len / 2)));
+    ts::ZNormalizeInPlace(s);
+    shapelets_.push_back(std::move(s));
+  }
+  const std::size_t k_total = shapelets_.size();
+
+  weights_.assign(num_classes, std::vector<double>(k_total + 1, 0.0));
+  for (auto& row : weights_) {
+    for (double& w : row) w = rng.Gaussian(0.0, 0.01);
+  }
+
+  // --- Joint SGD over instances. ---
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    rng.Shuffle(order);
+    const double lr = options_.learning_rate /
+                      (1.0 + 0.01 * static_cast<double>(epoch));
+    for (std::size_t i : order) {
+      const auto& t = train[i].values;
+      const std::size_t yc = label_to_id[train[i].label];
+
+      // Forward: window distances, soft-min features, softmax.
+      std::vector<std::vector<double>> window_d(k_total);
+      std::vector<SoftMin> sm(k_total);
+      std::vector<double> m(k_total + 1);
+      m[k_total] = 1.0;  // bias
+      for (std::size_t k = 0; k < k_total; ++k) {
+        const std::size_t len = shapelets_[k].size();
+        const std::size_t nwin = t.size() >= len ? t.size() - len + 1 : 1;
+        window_d[k].resize(nwin);
+        for (std::size_t j = 0; j < nwin && t.size() >= len; ++j) {
+          window_d[k][j] = WindowDistance(shapelets_[k], t, j);
+        }
+        if (t.size() < len) window_d[k][0] = 0.0;
+        sm[k] = ComputeSoftMin(window_d[k], options_.softmin_alpha);
+        m[k] = sm[k].value;
+      }
+      std::vector<double> logits(num_classes, 0.0);
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        for (std::size_t k = 0; k <= k_total; ++k) {
+          logits[c] += weights_[c][k] * m[k];
+        }
+      }
+      const double mx = *std::max_element(logits.begin(), logits.end());
+      double z = 0.0;
+      std::vector<double> prob(num_classes);
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        prob[c] = std::exp(logits[c] - mx);
+        z += prob[c];
+      }
+      for (double& p : prob) p /= z;
+
+      // Backward: error per class drives both weight and shapelet grads.
+      std::vector<double> err(num_classes);
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        err[c] = prob[c] - (c == yc ? 1.0 : 0.0);
+      }
+      // Shapelet gradients first (they need the pre-update weights).
+      for (std::size_t k = 0; k < k_total; ++k) {
+        if (t.size() < shapelets_[k].size()) continue;
+        double gm = 0.0;  // dL/dM_k
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          gm += err[c] * weights_[c][k];
+        }
+        if (std::abs(gm) < 1e-12) continue;
+        auto& s = shapelets_[k];
+        const double inv_len = 1.0 / static_cast<double>(s.size());
+        for (std::size_t j = 0; j < window_d[k].size(); ++j) {
+          const double g = gm * sm[k].weight[j];
+          if (std::abs(g) < 1e-12) continue;
+          for (std::size_t l = 0; l < s.size(); ++l) {
+            s[l] -= lr * g * 2.0 * (s[l] - t[j + l]) * inv_len;
+          }
+        }
+      }
+      // Weight updates with L2.
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        for (std::size_t k = 0; k <= k_total; ++k) {
+          weights_[c][k] -=
+              lr * (err[c] * m[k] + options_.lambda * weights_[c][k]);
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> LearningShapelets::Features(ts::SeriesView series) const {
+  std::vector<double> m(shapelets_.size() + 1);
+  m.back() = 1.0;
+  for (std::size_t k = 0; k < shapelets_.size(); ++k) {
+    const std::size_t len = shapelets_[k].size();
+    if (series.size() < len) {
+      // Degenerate: compare over the overlapping prefix only.
+      double acc = 0.0;
+      for (std::size_t l = 0; l < series.size(); ++l) {
+        const double d = shapelets_[k][l] - series[l];
+        acc += d * d;
+      }
+      m[k] = acc / static_cast<double>(std::max<std::size_t>(1, series.size()));
+      continue;
+    }
+    std::vector<double> d(series.size() - len + 1);
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      d[j] = WindowDistance(shapelets_[k], series, j);
+    }
+    m[k] = ComputeSoftMin(d, options_.softmin_alpha).value;
+  }
+  return m;
+}
+
+int LearningShapelets::Classify(ts::SeriesView series) const {
+  if (weights_.empty()) {
+    throw std::logic_error("LearningShapelets::Classify before Train");
+  }
+  const std::vector<double> m = Features(series);
+  std::size_t best = 0;
+  double best_logit = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    double logit = 0.0;
+    for (std::size_t k = 0; k < m.size(); ++k) {
+      logit += weights_[c][k] * m[k];
+    }
+    if (logit > best_logit) {
+      best_logit = logit;
+      best = c;
+    }
+  }
+  return labels_[best];
+}
+
+}  // namespace rpm::baselines

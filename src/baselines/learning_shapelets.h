@@ -1,0 +1,53 @@
+// Learning Shapelets (Grabocka et al. 2014, Table 1/2 comparator — "the
+// best accuracy so far" per Section 5.1): K shapelets per length scale
+// are optimized jointly with a multinomial logistic model by gradient
+// descent; a series is embedded as the vector of *soft*-minimum distances
+// to the shapelets, which makes the whole objective differentiable. It is
+// the slow-but-accurate pole of Table 2.
+
+#ifndef RPM_BASELINES_LEARNING_SHAPELETS_H_
+#define RPM_BASELINES_LEARNING_SHAPELETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/classifier.h"
+
+namespace rpm::baselines {
+
+struct LearningShapeletsOptions {
+  /// Shapelets per length scale; 0 = auto (2 per class, min 4).
+  std::size_t shapelets_per_scale = 0;
+  /// Shapelet lengths as fractions of series length.
+  std::vector<double> length_fractions = {0.125, 0.25};
+  double learning_rate = 0.1;
+  double lambda = 0.01;            ///< L2 on the logistic weights
+  std::size_t max_epochs = 300;
+  double softmin_alpha = -30.0;    ///< sharpness of the soft minimum
+  std::uint64_t seed = 17;
+};
+
+class LearningShapelets : public Classifier {
+ public:
+  explicit LearningShapelets(LearningShapeletsOptions options = {})
+      : options_(options) {}
+
+  void Train(const ts::Dataset& train) override;
+  int Classify(ts::SeriesView series) const override;
+  std::string Name() const override { return "LS"; }
+
+  const std::vector<ts::Series>& shapelets() const { return shapelets_; }
+
+ private:
+  /// Soft-min distance features of one series against all shapelets.
+  std::vector<double> Features(ts::SeriesView series) const;
+
+  LearningShapeletsOptions options_;
+  std::vector<ts::Series> shapelets_;
+  std::vector<int> labels_;                     // class id -> label
+  std::vector<std::vector<double>> weights_;    // [class][feature+bias]
+};
+
+}  // namespace rpm::baselines
+
+#endif  // RPM_BASELINES_LEARNING_SHAPELETS_H_

@@ -1,0 +1,69 @@
+// Logical Shapelets (Mueen, Keogh & Young 2011), cited in the paper's
+// related work (Section 2.2: "an augmented, more expressive shapelet
+// representation based on conjunctions or disjunctions of shapelets").
+//
+// This implementation keeps the decision-tree skeleton of the original
+// shapelet classifier but lets every internal node test a *logical*
+// predicate over up to two shapelets:
+//     d(s1, T) <= t1  AND  d(s2, T) <= t2
+//     d(s1, T) <= t1  OR   d(s2, T) <= t2
+// A node first finds the best single shapelet by information gain, then
+// tries to extend it with a second shapelet under both connectives and
+// keeps whichever split gains the most.
+
+#ifndef RPM_BASELINES_LOGICAL_SHAPELETS_H_
+#define RPM_BASELINES_LOGICAL_SHAPELETS_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/classifier.h"
+
+namespace rpm::baselines {
+
+struct LogicalShapeletsOptions {
+  std::vector<double> length_fractions = {0.15, 0.3, 0.45};
+  std::size_t starts_per_series = 8;
+  /// Second-shapelet candidates tried when extending a node (the top-k by
+  /// single-shapelet gain).
+  std::size_t combine_top_k = 6;
+  std::size_t max_depth = 6;
+  std::size_t min_node_size = 2;
+};
+
+class LogicalShapelets : public Classifier {
+ public:
+  explicit LogicalShapelets(LogicalShapeletsOptions options = {})
+      : options_(options) {}
+
+  void Train(const ts::Dataset& train) override;
+  int Classify(ts::SeriesView series) const override;
+  std::string Name() const override { return "Logical"; }
+
+  /// Internal nodes that use a two-shapelet (AND/OR) predicate.
+  std::size_t num_logical_nodes() const;
+  std::size_t num_shapelet_nodes() const;
+
+ private:
+  enum class Connective { kSingle, kAnd, kOr };
+  struct Node {
+    bool leaf = true;
+    int label = 0;
+    Connective connective = Connective::kSingle;
+    ts::Series shapelet1;
+    double threshold1 = 0.0;
+    ts::Series shapelet2;  // empty for kSingle
+    double threshold2 = 0.0;
+    std::unique_ptr<Node> left;   // predicate true
+    std::unique_ptr<Node> right;  // predicate false
+  };
+
+  bool Predicate(const Node& node, ts::SeriesView series) const;
+
+  LogicalShapeletsOptions options_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace rpm::baselines
+
+#endif  // RPM_BASELINES_LOGICAL_SHAPELETS_H_

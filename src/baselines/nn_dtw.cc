@@ -1,0 +1,78 @@
+#include "baselines/nn_dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace rpm::baselines {
+
+void NnDtwBestWindow::Train(const ts::Dataset& train) {
+  train_ = train;
+  envelopes_.clear();
+  if (train_.empty()) return;
+
+  // Candidate windows in points, deduplicated.
+  const double len = static_cast<double>(train_.MaxLength());
+  std::vector<std::size_t> windows;
+  for (double f : options_.window_fractions) {
+    windows.push_back(static_cast<std::size_t>(std::lround(f * len)));
+  }
+  std::sort(windows.begin(), windows.end());
+  windows.erase(std::unique(windows.begin(), windows.end()), windows.end());
+
+  // LOOCV over the training set (smaller window wins ties).
+  best_window_ = windows.front();
+  std::size_t best_hits = 0;
+  for (std::size_t w : windows) {
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < train_.size(); ++i) {
+      if (ClassifyWithWindow(train_[i].values, w, i) == train_[i].label) {
+        ++hits;
+      }
+    }
+    if (hits > best_hits) {
+      best_hits = hits;
+      best_window_ = w;
+    }
+  }
+
+  // Precompute envelopes at the chosen window for LB_Keogh pruning.
+  envelopes_.reserve(train_.size());
+  for (const auto& inst : train_) {
+    envelopes_.push_back(distance::MakeEnvelope(inst.values, best_window_));
+  }
+}
+
+int NnDtwBestWindow::ClassifyWithWindow(ts::SeriesView series,
+                                        std::size_t window,
+                                        std::size_t exclude) const {
+  double best = std::numeric_limits<double>::infinity();
+  int label = train_[0].label;
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    if (i == exclude) continue;
+    const auto& inst = train_[i];
+    // LB_Keogh prune only when an envelope set matching this window is
+    // available (the post-training fast path).
+    if (!envelopes_.empty() && window == best_window_ &&
+        series.size() == inst.values.size()) {
+      if (distance::LbKeogh(series, envelopes_[i]) >= best) continue;
+    }
+    const double d = distance::Dtw(series, inst.values, window, best);
+    if (d < best) {
+      best = d;
+      label = inst.label;
+    }
+  }
+  return label;
+}
+
+int NnDtwBestWindow::Classify(ts::SeriesView series) const {
+  if (train_.empty()) {
+    throw std::logic_error("NnDtwBestWindow::Classify before Train");
+  }
+  return ClassifyWithWindow(series, best_window_, train_.size());
+}
+
+}  // namespace rpm::baselines

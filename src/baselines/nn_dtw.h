@@ -1,0 +1,46 @@
+// 1-NN DTW with the best warping window (NN-DTWB, Table 1): the window
+// half-width is chosen by leave-one-out cross-validation on the training
+// set over a fraction grid, the standard UCR protocol. Classification uses
+// LB_Keogh lower-bound pruning plus DTW early abandoning.
+
+#ifndef RPM_BASELINES_NN_DTW_H_
+#define RPM_BASELINES_NN_DTW_H_
+
+#include <vector>
+
+#include "baselines/classifier.h"
+#include "distance/dtw.h"
+
+namespace rpm::baselines {
+
+struct NnDtwOptions {
+  /// Candidate warping-window sizes as fractions of the series length;
+  /// LOOCV picks the best (ties -> smaller window).
+  std::vector<double> window_fractions = {0.0,  0.01, 0.02, 0.04,
+                                          0.06, 0.1,  0.2};
+};
+
+class NnDtwBestWindow : public Classifier {
+ public:
+  explicit NnDtwBestWindow(NnDtwOptions options = {}) : options_(options) {}
+
+  void Train(const ts::Dataset& train) override;
+  int Classify(ts::SeriesView series) const override;
+  std::string Name() const override { return "NN-DTWB"; }
+
+  /// The LOOCV-selected window half-width in points.
+  std::size_t best_window() const { return best_window_; }
+
+ private:
+  int ClassifyWithWindow(ts::SeriesView series, std::size_t window,
+                         std::size_t exclude) const;
+
+  NnDtwOptions options_;
+  ts::Dataset train_;
+  std::vector<distance::Envelope> envelopes_;
+  std::size_t best_window_ = 0;
+};
+
+}  // namespace rpm::baselines
+
+#endif  // RPM_BASELINES_NN_DTW_H_

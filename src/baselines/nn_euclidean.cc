@@ -1,0 +1,34 @@
+#include "baselines/nn_euclidean.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "distance/euclidean.h"
+#include "ts/resample.h"
+
+namespace rpm::baselines {
+
+int NnEuclidean::Classify(ts::SeriesView series) const {
+  if (train_.empty()) {
+    throw std::logic_error("NnEuclidean::Classify before Train");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  int label = train_[0].label;
+  ts::Series resampled;
+  for (const auto& inst : train_) {
+    ts::SeriesView query = series;
+    if (inst.values.size() != series.size()) {
+      resampled = ts::ResampleLinear(series, inst.values.size());
+      query = resampled;
+    }
+    const double d =
+        distance::SquaredEuclideanEarlyAbandon(query, inst.values, best);
+    if (d < best) {
+      best = d;
+      label = inst.label;
+    }
+  }
+  return label;
+}
+
+}  // namespace rpm::baselines

@@ -1,0 +1,24 @@
+// 1-NN with Euclidean distance (NN-ED, Table 1): the simplest credible
+// time-series classifier and the standard strawman. Early abandoning
+// against the best-so-far keeps the scan cheap.
+
+#ifndef RPM_BASELINES_NN_EUCLIDEAN_H_
+#define RPM_BASELINES_NN_EUCLIDEAN_H_
+
+#include "baselines/classifier.h"
+
+namespace rpm::baselines {
+
+class NnEuclidean : public Classifier {
+ public:
+  void Train(const ts::Dataset& train) override { train_ = train; }
+  int Classify(ts::SeriesView series) const override;
+  std::string Name() const override { return "NN-ED"; }
+
+ private:
+  ts::Dataset train_;
+};
+
+}  // namespace rpm::baselines
+
+#endif  // RPM_BASELINES_NN_EUCLIDEAN_H_

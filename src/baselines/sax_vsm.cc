@@ -1,0 +1,193 @@
+#include "baselines/sax_vsm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/cross_validation.h"
+#include "opt/direct.h"
+#include "ts/rng.h"
+
+namespace rpm::baselines {
+
+SaxVsm::Bag SaxVsm::BagOfWords(ts::SeriesView series,
+                               const sax::SaxOptions& sax) {
+  Bag bag;
+  for (const auto& rec : sax::DiscretizeSlidingWindow(series, sax)) {
+    bag[rec.word] += 1.0;
+  }
+  return bag;
+}
+
+void SaxVsm::Fit(const ts::Dataset& train, const sax::SaxOptions& sax) {
+  chosen_sax_ = sax;
+  class_weights_.clear();
+
+  // Term frequencies per class corpus.
+  std::map<int, Bag> tf;
+  for (const auto& inst : train) {
+    Bag bag = BagOfWords(inst.values, sax);
+    Bag& class_bag = tf[inst.label];
+    for (const auto& [word, count] : bag) class_bag[word] += count;
+  }
+  const double num_classes = static_cast<double>(tf.size());
+
+  // Document frequency: number of class corpora containing the word.
+  std::unordered_map<std::string, double> df;
+  for (const auto& [label, bag] : tf) {
+    for (const auto& [word, count] : bag) df[word] += 1.0;
+  }
+
+  // tf*idf per the SAX-VSM paper: (1 + log tf) * log(N / df), zero when
+  // the word appears in every class (log 1 = 0 removes non-discriminative
+  // words automatically).
+  for (auto& [label, bag] : tf) {
+    Bag weights;
+    for (const auto& [word, count] : bag) {
+      const double w =
+          (1.0 + std::log(count)) * std::log(num_classes / df[word]);
+      if (w > 0.0) weights[word] = w;
+    }
+    class_weights_[label] = std::move(weights);
+  }
+}
+
+double SaxVsm::CvAccuracy(const ts::Dataset& train,
+                          const sax::SaxOptions& sax) {
+  std::vector<int> labels;
+  for (const auto& inst : train) labels.push_back(inst.label);
+  ts::Rng rng(options_.seed);
+  const std::size_t k =
+      std::min<std::size_t>(std::max<std::size_t>(2, options_.cv_folds),
+                            train.size());
+  const std::vector<int> folds = ml::StratifiedFolds(labels, k, rng);
+
+  std::size_t hits = 0;
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    ts::Dataset sub;
+    std::vector<std::size_t> held;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      if (folds[i] == static_cast<int>(fold)) {
+        held.push_back(i);
+      } else {
+        sub.Add(train[i]);
+      }
+    }
+    if (sub.empty() || held.empty()) continue;
+    SaxVsmOptions sub_options = options_;
+    sub_options.sax = sax;
+    sub_options.optimize = false;
+    SaxVsm model(sub_options);
+    model.Train(sub);
+    for (std::size_t i : held) {
+      if (model.Classify(train[i].values) == train[i].label) ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(train.size());
+}
+
+void SaxVsm::Train(const ts::Dataset& train) {
+  if (train.empty()) {
+    throw std::invalid_argument("SaxVsm::Train: empty training set");
+  }
+  if (!options_.optimize) {
+    Fit(train, options_.sax);
+    return;
+  }
+  const auto len = static_cast<int>(train.MinLength());
+  if (options_.use_direct) {
+    // DIRECT over the 3-D integer box, as in the original SAX-VSM paper.
+    opt::Bounds bounds;
+    bounds.lower = {std::max(6.0, len / 6.0), 3.0, 3.0};
+    bounds.upper = {std::max(8.0, len / 2.0), 9.0, 7.0};
+    opt::DirectOptions direct;
+    direct.max_evaluations = options_.direct_max_evaluations;
+    double best_acc = -1.0;
+    sax::SaxOptions best_sax = options_.sax;
+    opt::Minimize(
+        [&](std::span<const double> x) {
+          sax::SaxOptions sax;
+          sax.window = static_cast<std::size_t>(std::lround(x[0]));
+          sax.paa_size = std::min<std::size_t>(
+              static_cast<std::size_t>(std::lround(x[1])), sax.window);
+          sax.alphabet = static_cast<int>(std::lround(x[2]));
+          const double acc = CvAccuracy(train, sax);
+          if (acc > best_acc) {
+            best_acc = acc;
+            best_sax = sax;
+          }
+          return 1.0 - acc;
+        },
+        bounds, direct);
+    Fit(train, best_sax);
+    return;
+  }
+  const std::vector<int> windows = {std::max(6, len / 6), std::max(8, len / 3),
+                                    std::max(10, len / 2)};
+  const std::vector<std::size_t> paas = {4, 6, 8};
+  const std::vector<int> alphabets = {3, 4, 6};
+
+  double best_acc = -1.0;
+  sax::SaxOptions best = options_.sax;
+  for (int w : windows) {
+    for (std::size_t p : paas) {
+      for (int a : alphabets) {
+        sax::SaxOptions sax;
+        sax.window = static_cast<std::size_t>(w);
+        sax.paa_size = std::min<std::size_t>(p, sax.window);
+        sax.alphabet = a;
+        const double acc = CvAccuracy(train, sax);
+        if (acc > best_acc) {
+          best_acc = acc;
+          best = sax;
+        }
+      }
+    }
+  }
+  Fit(train, best);
+}
+
+std::vector<std::pair<std::string, double>> SaxVsm::TopWords(
+    int label, std::size_t k) const {
+  std::vector<std::pair<std::string, double>> out;
+  const auto it = class_weights_.find(label);
+  if (it == class_weights_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+int SaxVsm::Classify(ts::SeriesView series) const {
+  if (class_weights_.empty()) {
+    throw std::logic_error("SaxVsm::Classify before Train");
+  }
+  const Bag bag = BagOfWords(series, chosen_sax_);
+  double bag_norm = 0.0;
+  for (const auto& [word, count] : bag) bag_norm += count * count;
+  bag_norm = std::sqrt(std::max(bag_norm, 1e-12));
+
+  int best_label = class_weights_.begin()->first;
+  double best_sim = -1.0;
+  for (const auto& [label, weights] : class_weights_) {
+    double dot = 0.0;
+    double norm = 0.0;
+    for (const auto& [word, w] : weights) norm += w * w;
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (const auto& [word, count] : bag) {
+      const auto it = weights.find(word);
+      if (it != weights.end()) dot += count * it->second;
+    }
+    const double sim = dot / (bag_norm * norm);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace rpm::baselines

@@ -1,0 +1,65 @@
+// SAX-VSM (Senin & Malinchik 2013, Table 1 comparator): each class is a
+// tf*idf-weighted bag of SAX words collected from sliding windows over all
+// of the class's training series; a test series is classified by cosine
+// similarity of its word bag against the class weight vectors. An optional
+// small grid search picks the SAX parameters by cross-validation on the
+// training data (the original uses DIRECT; the grid here mirrors that at
+// this repository's dataset scale).
+
+#ifndef RPM_BASELINES_SAX_VSM_H_
+#define RPM_BASELINES_SAX_VSM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "baselines/classifier.h"
+#include "sax/sax.h"
+
+namespace rpm::baselines {
+
+struct SaxVsmOptions {
+  sax::SaxOptions sax;   ///< used when optimize == false
+  bool optimize = true;  ///< search (window, paa, alphabet) by CV
+  /// true = DIRECT-driven search (as in the original SAX-VSM paper);
+  /// false = the small grid.
+  bool use_direct = false;
+  std::size_t direct_max_evaluations = 20;
+  std::size_t cv_folds = 3;
+  std::uint64_t seed = 99;
+};
+
+class SaxVsm : public Classifier {
+ public:
+  explicit SaxVsm(SaxVsmOptions options = {}) : options_(options) {}
+
+  void Train(const ts::Dataset& train) override;
+  int Classify(ts::SeriesView series) const override;
+  std::string Name() const override { return "SAX-VSM"; }
+
+  const sax::SaxOptions& chosen_sax() const { return chosen_sax_; }
+
+  /// The k highest-tf*idf words of a class (weight descending) — the
+  /// "class-characteristic patterns" view of the SAX-VSM paper, used by
+  /// the Figure 1 reproduction. Empty for unknown labels.
+  std::vector<std::pair<std::string, double>> TopWords(
+      int label, std::size_t k) const;
+
+ private:
+  using Bag = std::unordered_map<std::string, double>;
+
+  static Bag BagOfWords(ts::SeriesView series, const sax::SaxOptions& sax);
+  void Fit(const ts::Dataset& train, const sax::SaxOptions& sax);
+  double CvAccuracy(const ts::Dataset& train, const sax::SaxOptions& sax);
+
+  SaxVsmOptions options_;
+  sax::SaxOptions chosen_sax_;
+  std::map<int, Bag> class_weights_;  // label -> tf*idf vector
+};
+
+}  // namespace rpm::baselines
+
+#endif  // RPM_BASELINES_SAX_VSM_H_

@@ -1,0 +1,169 @@
+#include "baselines/shapelet_transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "distance/euclidean.h"
+#include "ts/znorm.h"
+
+namespace rpm::baselines {
+namespace {
+
+double Entropy(const std::map<int, std::size_t>& hist, std::size_t total) {
+  double h = 0.0;
+  for (const auto& [label, count] : hist) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+// Best information gain over all split points of (distance, label) pairs.
+double BestInfoGain(std::vector<std::pair<double, int>> dist,
+                    const std::map<int, std::size_t>& hist) {
+  std::sort(dist.begin(), dist.end());
+  const double h_node = Entropy(hist, dist.size());
+  double best = 0.0;
+  std::map<int, std::size_t> left;
+  for (std::size_t split = 1; split < dist.size(); ++split) {
+    ++left[dist[split - 1].second];
+    if (dist[split].first == dist[split - 1].first) continue;
+    std::map<int, std::size_t> right;
+    for (const auto& [label, count] : hist) {
+      const auto it = left.find(label);
+      right[label] = count - (it == left.end() ? 0 : it->second);
+    }
+    const double nl = static_cast<double>(split);
+    const double nr = static_cast<double>(dist.size() - split);
+    const double n = nl + nr;
+    const double gain =
+        h_node - (nl / n * Entropy(left, split) +
+                  nr / n * Entropy(right, dist.size() - split));
+    best = std::max(best, gain);
+  }
+  return best;
+}
+
+struct ScoredCandidate {
+  double gain = 0.0;
+  std::size_t series = 0;
+  std::size_t pos = 0;
+  std::size_t length = 0;
+};
+
+}  // namespace
+
+void ShapeletTransform::Train(const ts::Dataset& train) {
+  if (train.empty()) {
+    throw std::invalid_argument(
+        "ShapeletTransform::Train: empty training set");
+  }
+  shapelets_.clear();
+
+  std::map<int, std::size_t> hist;
+  for (const auto& inst : train) ++hist[inst.label];
+  // Majority label doubles as the degenerate fallback.
+  lone_label_ = hist.begin()->first;
+  for (const auto& [label, count] : hist) {
+    if (count > hist.at(lone_label_)) lone_label_ = label;
+  }
+  trained_ = true;
+  if (hist.size() == 1) return;
+
+  // Score sampled candidates by whole-train information gain.
+  const std::size_t min_len = train.MinLength();
+  std::vector<ScoredCandidate> scored;
+  for (double frac : options_.length_fractions) {
+    const auto len = static_cast<std::size_t>(
+        std::lround(frac * static_cast<double>(min_len)));
+    if (len < 4) continue;
+    for (std::size_t s = 0; s < train.size(); ++s) {
+      const auto& values = train[s].values;
+      if (values.size() < len) continue;
+      const std::size_t span = values.size() - len;
+      const std::size_t stride =
+          std::max<std::size_t>(1, span / options_.starts_per_series);
+      for (std::size_t p = 0; p <= span; p += stride) {
+        ts::Series cand(values.begin() + static_cast<std::ptrdiff_t>(p),
+                        values.begin() + static_cast<std::ptrdiff_t>(p + len));
+        ts::ZNormalizeInPlace(cand);
+        std::vector<std::pair<double, int>> dist;
+        dist.reserve(train.size());
+        for (const auto& inst : train) {
+          dist.emplace_back(
+              distance::FindBestMatch(cand, inst.values).distance,
+              inst.label);
+        }
+        scored.push_back(
+            {BestInfoGain(std::move(dist), hist), s, p, len});
+      }
+    }
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              return a.gain > b.gain;
+            });
+
+  // Greedy selection with self-similarity pruning.
+  struct Claimed {
+    std::size_t series;
+    std::size_t lo;
+    std::size_t hi;
+  };
+  std::vector<Claimed> claimed;
+  for (const auto& c : scored) {
+    if (shapelets_.size() >= options_.num_shapelets) break;
+    if (c.gain <= 0.0) break;
+    if (options_.prune_self_similar) {
+      bool overlaps = false;
+      for (const auto& cl : claimed) {
+        if (cl.series == c.series && c.pos < cl.hi &&
+            cl.lo < c.pos + c.length) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (overlaps) continue;
+    }
+    const auto& values = train[c.series].values;
+    ts::Series shapelet(
+        values.begin() + static_cast<std::ptrdiff_t>(c.pos),
+        values.begin() + static_cast<std::ptrdiff_t>(c.pos + c.length));
+    ts::ZNormalizeInPlace(shapelet);
+    shapelets_.push_back(std::move(shapelet));
+    claimed.push_back({c.series, c.pos, c.pos + c.length});
+  }
+  if (shapelets_.empty()) return;  // Majority fallback stays in force.
+
+  // Transform and fit the downstream classifier.
+  ml::FeatureDataset features;
+  for (const auto& inst : train) {
+    features.Add(Transform(inst.values), inst.label);
+  }
+  svm_ = ml::SvmClassifier(options_.svm);
+  svm_.Train(features);
+}
+
+std::vector<double> ShapeletTransform::Transform(
+    ts::SeriesView series) const {
+  std::vector<double> row;
+  row.reserve(shapelets_.size());
+  for (const auto& s : shapelets_) {
+    const double d = distance::FindBestMatch(s, series).distance;
+    row.push_back(std::isfinite(d) ? d : 1e6);
+  }
+  return row;
+}
+
+int ShapeletTransform::Classify(ts::SeriesView series) const {
+  if (!trained_) {
+    throw std::logic_error("ShapeletTransform::Classify before Train");
+  }
+  if (shapelets_.empty()) return lone_label_;
+  return svm_.Predict(Transform(series));
+}
+
+}  // namespace rpm::baselines

@@ -1,0 +1,168 @@
+#include "cluster/hierarchical.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "distance/euclidean.h"
+
+namespace rpm::cluster {
+
+std::vector<double> PairwiseDistanceMatrix(
+    const std::vector<ts::Series>& items) {
+  const std::size_t n = items.size();
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dist = distance::Euclidean(items[i], items[j]);
+      d[i * n + j] = dist;
+      d[j * n + i] = dist;
+    }
+  }
+  return d;
+}
+
+std::vector<int> CompleteLinkageCut(const std::vector<ts::Series>& items,
+                                    std::size_t k) {
+  const std::size_t n = items.size();
+  std::vector<int> assignment(n, 0);
+  if (n == 0) return assignment;
+  k = std::clamp<std::size_t>(k, 1, n);
+
+  // Naive O(n^3) agglomeration over the complete-linkage distance, which
+  // is ample for motif occurrence counts (tens to low hundreds).
+  std::vector<double> dist = PairwiseDistanceMatrix(items);
+  std::vector<std::vector<std::size_t>> clusters(n);
+  for (std::size_t i = 0; i < n; ++i) clusters[i] = {i};
+  // linkage[a][b] = max pairwise distance between clusters a and b.
+  auto linkage = [&](const std::vector<std::size_t>& a,
+                     const std::vector<std::size_t>& b) {
+    double mx = 0.0;
+    for (std::size_t i : a) {
+      for (std::size_t j : b) mx = std::max(mx, dist[i * n + j]);
+    }
+    return mx;
+  };
+
+  while (clusters.size() > k) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0;
+    std::size_t bj = 1;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        const double l = linkage(clusters[i], clusters[j]);
+        if (l < best) {
+          best = l;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                        clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (std::size_t i : clusters[c]) assignment[i] = static_cast<int>(c);
+  }
+  return assignment;
+}
+
+namespace {
+
+// Max pairwise distance within `group` (indices into items).
+double Diameter(const std::vector<ts::Series>& items,
+                const std::vector<std::size_t>& group) {
+  double mx = 0.0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    for (std::size_t j = i + 1; j < group.size(); ++j) {
+      mx = std::max(mx, distance::Euclidean(items[group[i]],
+                                            items[group[j]]));
+    }
+  }
+  return mx;
+}
+
+// Recursive helper: try to split group `idx` (indices into items) in two.
+void SplitRecursive(const std::vector<ts::Series>& items,
+                    std::vector<std::size_t> group,
+                    const SplitOptions& options,
+                    std::vector<std::vector<std::size_t>>& out) {
+  if (group.size() < options.min_size_to_split) {
+    out.push_back(std::move(group));
+    return;
+  }
+  std::vector<ts::Series> members;
+  members.reserve(group.size());
+  for (std::size_t i : group) members.push_back(items[i]);
+  const std::vector<int> cut = CompleteLinkageCut(members, 2);
+
+  std::vector<std::size_t> left;
+  std::vector<std::size_t> right;
+  for (std::size_t m = 0; m < group.size(); ++m) {
+    (cut[m] == cut[0] ? left : right).push_back(group[m]);
+  }
+  const double frac = static_cast<double>(std::min(left.size(), right.size())) /
+                      static_cast<double>(group.size());
+  if (right.empty() || frac < options.min_fraction) {
+    // Drastically unbalanced (or degenerate) split: keep the group whole.
+    out.push_back(std::move(group));
+    return;
+  }
+  // Homogeneity check: a split must actually tighten the clusters.
+  const double parent_diameter = Diameter(items, group);
+  const double child_diameter =
+      std::max(Diameter(items, left), Diameter(items, right));
+  if (parent_diameter <= 0.0 ||
+      child_diameter >
+          options.max_child_diameter_fraction * parent_diameter) {
+    out.push_back(std::move(group));
+    return;
+  }
+  SplitRecursive(items, std::move(left), options, out);
+  SplitRecursive(items, std::move(right), options, out);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> IterativeSplit(
+    const std::vector<ts::Series>& items, const SplitOptions& options) {
+  std::vector<std::vector<std::size_t>> out;
+  if (items.empty()) return out;
+  std::vector<std::size_t> all(items.size());
+  std::iota(all.begin(), all.end(), 0);
+  SplitRecursive(items, std::move(all), options, out);
+  return out;
+}
+
+ts::Series Centroid(const std::vector<ts::Series>& members) {
+  ts::Series out;
+  if (members.empty()) return out;
+  out.assign(members.front().size(), 0.0);
+  for (const auto& m : members) {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += m[i];
+  }
+  const double inv = 1.0 / static_cast<double>(members.size());
+  for (double& v : out) v *= inv;
+  return out;
+}
+
+std::size_t MedoidIndex(const std::vector<ts::Series>& members) {
+  if (members.size() <= 1) return 0;
+  const std::vector<double> dist = PairwiseDistanceMatrix(members);
+  const std::size_t n = members.size();
+  std::size_t best = 0;
+  double best_sum = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) sum += dist[i * n + j];
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace rpm::cluster

@@ -1,0 +1,58 @@
+// Complete-linkage agglomerative clustering plus the paper's iterative
+// two-way splitting refinement (Section 3.2.2, Algorithm 1 lines 10-17):
+// a motif's occurrence set is repeatedly split in two; a split is accepted
+// only when both halves hold at least `min_fraction` of the parent, and
+// splitting recurses until no group can be split further.
+
+#ifndef RPM_CLUSTER_HIERARCHICAL_H_
+#define RPM_CLUSTER_HIERARCHICAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ts/series.h"
+
+namespace rpm::cluster {
+
+/// Pairwise Euclidean distance matrix of equal-length items, row-major,
+/// d(i,j) at [i * n + j].
+std::vector<double> PairwiseDistanceMatrix(
+    const std::vector<ts::Series>& items);
+
+/// Cuts a complete-linkage dendrogram over `items` into `k` clusters.
+/// Returns a cluster id in [0, k) per item (ids are dense but arbitrary).
+/// Items must share one length; k is clamped to [1, n].
+std::vector<int> CompleteLinkageCut(const std::vector<ts::Series>& items,
+                                    std::size_t k);
+
+/// Controls the iterative splitting refinement.
+struct SplitOptions {
+  /// A 2-way split is rejected when either side holds fewer than this
+  /// fraction of the parent group (the paper's 30 % rule).
+  double min_fraction = 0.3;
+  /// Groups smaller than this are never split.
+  std::size_t min_size_to_split = 4;
+  /// A split is accepted only if the larger child diameter (max pairwise
+  /// distance) drops below this fraction of the parent's diameter —
+  /// otherwise the group is considered homogeneous and kept whole. This
+  /// realizes the paper's intent of splitting only motifs that "contain
+  /// more than one group of similar patterns".
+  double max_child_diameter_fraction = 0.7;
+};
+
+/// Iteratively splits `items` per the paper's rule. Returns groups as
+/// index lists into `items`; the union of groups is always the full index
+/// set (no item is dropped here — frequency filtering happens later).
+std::vector<std::vector<std::size_t>> IterativeSplit(
+    const std::vector<ts::Series>& items, const SplitOptions& options = {});
+
+/// Pointwise mean of equal-length members (empty input -> empty series).
+ts::Series Centroid(const std::vector<ts::Series>& members);
+
+/// Index of the member minimizing the sum of distances to the others.
+/// Returns 0 for a single member; undefined (0) for empty input.
+std::size_t MedoidIndex(const std::vector<ts::Series>& members);
+
+}  // namespace rpm::cluster
+
+#endif  // RPM_CLUSTER_HIERARCHICAL_H_

@@ -1,0 +1,219 @@
+#include "core/classifier.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/candidates.h"
+#include "core/distinct.h"
+#include "core/transform.h"
+#include "ml/metrics.h"
+
+namespace rpm::core {
+
+void RpmClassifier::Train(const ts::Dataset& train) {
+  if (train.empty()) {
+    throw std::invalid_argument("RpmClassifier::Train: empty training set");
+  }
+  trained_ = false;
+  patterns_.clear();
+  report_ = TrainingReport{};
+  using Clock = std::chrono::steady_clock;
+  auto seconds_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  // Majority label as the degenerate fallback.
+  const auto hist = train.ClassHistogram();
+  majority_label_ = hist.begin()->first;
+  for (const auto& [label, count] : hist) {
+    if (count > hist.at(majority_label_)) majority_label_ = label;
+  }
+
+  // Stage 0: SAX parameters per class (Section 4).
+  auto t0 = Clock::now();
+  ParameterSelectionResult params = SelectSaxParameters(train, options_);
+  sax_by_class_ = std::move(params.sax_by_class);
+  combos_evaluated_ = params.combos_evaluated;
+  report_.parameter_selection_seconds = seconds_since(t0);
+  report_.combos_evaluated = combos_evaluated_;
+
+  // Stage 1+2: candidates and representative patterns (Algorithms 1, 2;
+  // Section 4.3 combines per-class parameter results and re-selects).
+  t0 = Clock::now();
+  const std::vector<PatternCandidate> candidates =
+      FindAllCandidates(train, sax_by_class_, options_);
+  report_.candidate_mining_seconds = seconds_since(t0);
+  report_.candidates_total = candidates.size();
+  for (const auto& c : candidates) {
+    ++report_.candidates_per_class[c.class_label];
+  }
+
+  t0 = Clock::now();
+  patterns_ = FindDistinctPatterns(train, candidates, options_);
+  report_.pattern_selection_seconds = seconds_since(t0);
+  report_.patterns_selected = patterns_.size();
+  if (patterns_.empty()) {
+    trained_ = true;  // Majority-class fallback.
+    return;
+  }
+  t0 = Clock::now();
+
+  // Stage 3: fit the feature-space classifier (training transform is
+  // never rotation-augmented; the invariance trick applies at test time).
+  TransformOptions train_transform;
+  train_transform.approximate = options_.approximate_matching;
+  train_transform.approx.refine_top_k = options_.approx_refine_top_k;
+  train_transform.num_threads = options_.num_threads;
+  const ml::FeatureDataset transformed =
+      TransformDataset(patterns_, train, train_transform);
+  feature_classifier_ = ml::MakeFeatureClassifier(
+      options_.final_classifier, options_.svm, options_.knn_k);
+  feature_classifier_->Train(transformed);
+  report_.classifier_fit_seconds = seconds_since(t0);
+  trained_ = true;
+}
+
+int RpmClassifier::Classify(ts::SeriesView series) const {
+  if (!trained_) {
+    throw std::logic_error("RpmClassifier::Classify before Train");
+  }
+  if (patterns_.empty() || feature_classifier_ == nullptr ||
+      !feature_classifier_->trained()) {
+    return majority_label_;
+  }
+  TransformOptions transform;
+  transform.rotation_invariant = options_.rotation_invariant;
+  transform.approximate = options_.approximate_matching;
+  transform.approx.refine_top_k = options_.approx_refine_top_k;
+  const std::vector<double> row =
+      TransformSeries(patterns_, series, transform);
+  return feature_classifier_->Predict(row);
+}
+
+std::vector<int> RpmClassifier::ClassifyAll(const ts::Dataset& test) const {
+  std::vector<int> out;
+  out.reserve(test.size());
+  for (const auto& inst : test) out.push_back(Classify(inst.values));
+  return out;
+}
+
+void RpmClassifier::Save(std::ostream& out) const {
+  if (!trained_) {
+    throw std::logic_error("RpmClassifier::Save before Train");
+  }
+  out.precision(17);
+  out << "RPM-MODEL v1\n";
+  out << "flags " << (options_.rotation_invariant ? 1 : 0) << ' '
+      << (options_.approximate_matching ? 1 : 0) << ' '
+      << options_.approx_refine_top_k << ' '
+      << static_cast<int>(options_.final_classifier) << ' '
+      << options_.knn_k << '\n';
+  out << "majority " << majority_label_ << '\n';
+  out << "sax " << sax_by_class_.size() << '\n';
+  for (const auto& [label, sax] : sax_by_class_) {
+    out << label << ' ' << sax.window << ' ' << sax.paa_size << ' '
+        << sax.alphabet << '\n';
+  }
+  out << "patterns " << patterns_.size() << '\n';
+  for (const auto& p : patterns_) {
+    out << p.class_label << ' ' << p.frequency << ' ' << p.values.size();
+    for (double v : p.values) out << ' ' << v;
+    out << '\n';
+  }
+  out << "classifier "
+      << (patterns_.empty() || feature_classifier_ == nullptr ? 0 : 1)
+      << '\n';
+  if (!patterns_.empty() && feature_classifier_ != nullptr) {
+    feature_classifier_->Save(out);
+  }
+}
+
+void RpmClassifier::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("RpmClassifier::SaveToFile: cannot open " +
+                             path);
+  }
+  Save(out);
+  if (!out) {
+    throw std::runtime_error("RpmClassifier::SaveToFile: write failed");
+  }
+}
+
+RpmClassifier RpmClassifier::Load(std::istream& in) {
+  auto fail = [](const std::string& what) -> void {
+    throw std::runtime_error("RpmClassifier::Load: " + what);
+  };
+  std::string line;
+  if (!std::getline(in, line) || line != "RPM-MODEL v1") fail("bad magic");
+
+  RpmClassifier clf;
+  std::string tag;
+  int rotation = 0;
+  int approximate = 0;
+  int classifier_kind = 0;
+  if (!(in >> tag >> rotation >> approximate >>
+        clf.options_.approx_refine_top_k >> classifier_kind >>
+        clf.options_.knn_k) ||
+      tag != "flags") {
+    fail("bad flags");
+  }
+  clf.options_.rotation_invariant = rotation != 0;
+  clf.options_.approximate_matching = approximate != 0;
+  clf.options_.final_classifier =
+      static_cast<ml::FeatureClassifierKind>(classifier_kind);
+  if (!(in >> tag >> clf.majority_label_) || tag != "majority") {
+    fail("bad majority");
+  }
+  std::size_t num_sax = 0;
+  if (!(in >> tag >> num_sax) || tag != "sax") fail("bad sax header");
+  for (std::size_t i = 0; i < num_sax; ++i) {
+    int label = 0;
+    sax::SaxOptions sax;
+    in >> label >> sax.window >> sax.paa_size >> sax.alphabet;
+    clf.sax_by_class_[label] = sax;
+  }
+  std::size_t num_patterns = 0;
+  if (!(in >> tag >> num_patterns) || tag != "patterns") {
+    fail("bad patterns header");
+  }
+  clf.patterns_.resize(num_patterns);
+  for (auto& p : clf.patterns_) {
+    std::size_t len = 0;
+    in >> p.class_label >> p.frequency >> len;
+    p.values.resize(len);
+    for (double& v : p.values) in >> v;
+  }
+  int has_classifier = 0;
+  if (!(in >> tag >> has_classifier) || tag != "classifier") {
+    fail("bad classifier header");
+  }
+  if (has_classifier != 0) {
+    clf.feature_classifier_ = ml::MakeFeatureClassifier(
+        clf.options_.final_classifier, clf.options_.svm, clf.options_.knn_k);
+    clf.feature_classifier_->Load(in);
+  }
+  if (!in) fail("truncated input");
+  clf.trained_ = true;
+  return clf;
+}
+
+RpmClassifier RpmClassifier::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("RpmClassifier::LoadFromFile: cannot open " +
+                             path);
+  }
+  return Load(in);
+}
+
+double RpmClassifier::Evaluate(const ts::Dataset& test) const {
+  std::vector<int> truth;
+  truth.reserve(test.size());
+  for (const auto& inst : test) truth.push_back(inst.label);
+  return ml::ErrorRate(ClassifyAll(test), truth);
+}
+
+}  // namespace rpm::core

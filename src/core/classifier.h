@@ -1,0 +1,105 @@
+// The end-to-end RPM classifier (the paper's contribution): learn the
+// representative patterns from the training data (Algorithms 1-3), embed
+// series into the pattern-distance feature space, and classify with an
+// SVM. This is the main public entry point of the library.
+
+#ifndef RPM_CORE_CLASSIFIER_H_
+#define RPM_CORE_CLASSIFIER_H_
+
+#include <map>
+#include <vector>
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/options.h"
+#include "core/parameter_selection.h"
+#include "core/pattern.h"
+#include "ml/simple_classifiers.h"
+#include "ts/series.h"
+
+namespace rpm::core {
+
+/// Per-stage training diagnostics, populated by Train.
+struct TrainingReport {
+  double parameter_selection_seconds = 0.0;
+  double candidate_mining_seconds = 0.0;
+  double pattern_selection_seconds = 0.0;
+  double classifier_fit_seconds = 0.0;
+  std::size_t candidates_total = 0;
+  std::size_t patterns_selected = 0;
+  std::size_t combos_evaluated = 0;
+  std::map<int, std::size_t> candidates_per_class;
+
+  double total_seconds() const {
+    return parameter_selection_seconds + candidate_mining_seconds +
+           pattern_selection_seconds + classifier_fit_seconds;
+  }
+};
+
+class RpmClassifier {
+ public:
+  explicit RpmClassifier(RpmOptions options = {}) : options_(options) {}
+
+  /// Learns SAX parameters (per `options.search`), mines the
+  /// representative patterns, and fits the SVM on the transformed
+  /// training data. Degenerate inputs (no minable patterns) fall back to
+  /// a majority-class model so Classify never fails.
+  void Train(const ts::Dataset& train);
+
+  /// Classifies one series.
+  int Classify(ts::SeriesView series) const;
+
+  /// Classifies every instance of `test` (labels in `test` are ignored).
+  std::vector<int> ClassifyAll(const ts::Dataset& test) const;
+
+  /// Error rate on a labeled test set.
+  double Evaluate(const ts::Dataset& test) const;
+
+  /// The learned representative patterns (empty before Train).
+  const std::vector<RepresentativePattern>& patterns() const {
+    return patterns_;
+  }
+
+  /// SAX parameters chosen per class.
+  const std::map<int, sax::SaxOptions>& sax_by_class() const {
+    return sax_by_class_;
+  }
+
+  /// Distinct SAX combos evaluated during parameter selection (R).
+  std::size_t combos_evaluated() const { return combos_evaluated_; }
+
+  bool trained() const { return trained_; }
+
+  const RpmOptions& options() const { return options_; }
+
+  /// Stage timings and counts from the last Train call.
+  const TrainingReport& report() const { return report_; }
+
+  /// Persists the trained model (patterns, per-class SAX parameters,
+  /// transform flags, feature classifier) as line-oriented text.
+  /// Requires trained().
+  void Save(std::ostream& out) const;
+  void SaveToFile(const std::string& path) const;
+
+  /// Restores a model written by Save. The returned classifier is ready
+  /// to Classify without retraining. Throws std::runtime_error on
+  /// malformed input.
+  static RpmClassifier Load(std::istream& in);
+  static RpmClassifier LoadFromFile(const std::string& path);
+
+ private:
+  RpmOptions options_;
+  bool trained_ = false;
+  int majority_label_ = 0;
+  std::vector<RepresentativePattern> patterns_;
+  std::map<int, sax::SaxOptions> sax_by_class_;
+  std::size_t combos_evaluated_ = 0;
+  TrainingReport report_;
+  std::unique_ptr<ml::FeatureClassifier> feature_classifier_;
+};
+
+}  // namespace rpm::core
+
+#endif  // RPM_CORE_CLASSIFIER_H_

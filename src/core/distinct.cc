@@ -1,0 +1,89 @@
+#include "core/distinct.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/transform.h"
+#include "distance/euclidean.h"
+#include "ml/feature_selection.h"
+
+namespace rpm::core {
+
+double CandidateDistance(const PatternCandidate& a,
+                         const PatternCandidate& b) {
+  const ts::Series& shorter = a.values.size() <= b.values.size()
+                                  ? a.values
+                                  : b.values;
+  const ts::Series& longer = a.values.size() <= b.values.size()
+                                 ? b.values
+                                 : a.values;
+  if (shorter.size() == longer.size()) {
+    return distance::NormalizedEuclidean(shorter, longer);
+  }
+  return distance::FindBestMatch(shorter, longer).distance;
+}
+
+double ComputeSimilarityThreshold(
+    const std::vector<PatternCandidate>& candidates, double percentile) {
+  std::vector<double> pooled;
+  for (const auto& c : candidates) {
+    // Within-cluster distances were measured on full-length members;
+    // normalize by sqrt(len) to line up with the closest-match scale.
+    const double inv_sqrt_len =
+        c.values.empty() ? 1.0
+                         : 1.0 / std::sqrt(static_cast<double>(
+                                     c.values.size()));
+    for (double d : c.within_cluster_distances) {
+      pooled.push_back(d * inv_sqrt_len);
+    }
+  }
+  if (pooled.empty()) return 0.0;
+  std::sort(pooled.begin(), pooled.end());
+  const double rank = std::clamp(percentile, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(pooled.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, pooled.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return pooled[lo] * (1.0 - frac) + pooled[hi] * frac;
+}
+
+std::vector<PatternCandidate> RemoveSimilarCandidates(
+    const std::vector<PatternCandidate>& candidates, double tau) {
+  std::vector<PatternCandidate> kept;
+  for (const auto& c : candidates) {
+    bool is_similar = false;
+    for (auto& k : kept) {
+      if (CandidateDistance(c, k) < tau) {
+        // Keep whichever occurs more often in its concatenated series.
+        if (k.frequency < c.frequency) k = c;
+        is_similar = true;
+        break;
+      }
+    }
+    if (!is_similar) kept.push_back(c);
+  }
+  return kept;
+}
+
+std::vector<RepresentativePattern> FindDistinctPatterns(
+    const ts::Dataset& train, const std::vector<PatternCandidate>& candidates,
+    const RpmOptions& options) {
+  if (candidates.empty()) return {};
+  const double tau =
+      ComputeSimilarityThreshold(candidates, options.tau_percentile);
+  const std::vector<PatternCandidate> pruned =
+      RemoveSimilarCandidates(candidates, tau);
+
+  // Transform the training data into candidate-distance features and let
+  // CFS pick the discriminative subset.
+  const std::vector<RepresentativePattern> all = AsPatterns(pruned);
+  const ml::FeatureDataset transformed = TransformDataset(all, train, false);
+  const std::vector<std::size_t> selected = ml::CfsSelect(transformed);
+
+  std::vector<RepresentativePattern> out;
+  out.reserve(selected.size());
+  for (std::size_t idx : selected) out.push_back(all[idx]);
+  return out;
+}
+
+}  // namespace rpm::core

@@ -1,0 +1,234 @@
+#include "core/parameter_selection.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "core/candidates.h"
+#include "core/distinct.h"
+#include "core/transform.h"
+#include "ml/cross_validation.h"
+#include "ml/metrics.h"
+#include "ml/svm.h"
+#include "opt/direct.h"
+#include "opt/grid.h"
+#include "ts/parallel.h"
+#include "ts/rng.h"
+
+namespace rpm::core {
+
+SaxParamRange DefaultRange(const ts::Dataset& train) {
+  SaxParamRange r;
+  const auto min_len = static_cast<int>(train.MinLength());
+  r.window_lo = std::max(5, min_len / 8);
+  r.window_hi = std::max(r.window_lo + 1, min_len * 3 / 5);
+  r.paa_lo = 2;
+  r.paa_hi = std::min(9, std::max(3, r.window_lo));
+  r.alphabet_lo = 3;
+  r.alphabet_hi = 9;
+  return r;
+}
+
+namespace {
+
+// Clamps a raw integer triple into a valid SaxOptions.
+sax::SaxOptions MakeSax(int window, int paa, int alphabet,
+                        const SaxParamRange& range) {
+  sax::SaxOptions s;
+  s.window = static_cast<std::size_t>(
+      std::clamp(window, range.window_lo, range.window_hi));
+  s.paa_size = static_cast<std::size_t>(std::clamp(
+      paa, range.paa_lo, std::min(range.paa_hi, static_cast<int>(s.window))));
+  s.alphabet = std::clamp(alphabet, range.alphabet_lo, range.alphabet_hi);
+  return s;
+}
+
+// Evaluation shared by both engines, memoized on the integer triple.
+class ComboEvaluator {
+ public:
+  ComboEvaluator(const ts::Dataset& train, const RpmOptions& options)
+      : train_(train), options_(options) {
+    // Fixed splits reused across combos keep comparisons apples-to-apples.
+    ts::Rng rng(options.seed);
+    for (std::size_t s = 0; s < std::max<std::size_t>(1, options.param_splits);
+         ++s) {
+      splits_.push_back(
+          ml::SplitDataset(train, options.param_train_fraction, rng));
+    }
+  }
+
+  const std::map<int, double>& Evaluate(const sax::SaxOptions& sax) {
+    const std::array<int, 3> key = {static_cast<int>(sax.window),
+                                    static_cast<int>(sax.paa_size),
+                                    sax.alphabet};
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    std::map<int, double> f = EvaluateUncached(sax);
+    return cache_.emplace(key, std::move(f)).first->second;
+  }
+
+  std::size_t combos_evaluated() const { return cache_.size(); }
+
+ private:
+  std::map<int, double> EvaluateUncached(const sax::SaxOptions& sax) const {
+    std::map<int, double> f_sum;
+    const std::vector<int> labels = train_.ClassLabels();
+    for (int label : labels) f_sum[label] = 0.0;
+
+    // The splits are independent; evaluate them in parallel and merge in
+    // order (deterministic for any thread count).
+    std::vector<std::map<int, double>> split_scores(splits_.size());
+    ts::ParallelFor(splits_.size(), options_.num_threads, [&](std::size_t s) {
+      split_scores[s] = EvaluateSplit(sax, s);
+    });
+    for (const auto& scores : split_scores) {
+      for (const auto& [label, f1] : scores) {
+        if (f_sum.count(label) > 0) f_sum[label] += f1;
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(splits_.size());
+    for (auto& [label, f] : f_sum) f *= inv;
+    return f_sum;
+  }
+
+  // One split's per-class F1 under `sax` (Alg. 3 lines 7-12). Returns an
+  // empty map when the combo is pruned (no candidates / patterns).
+  std::map<int, double> EvaluateSplit(const sax::SaxOptions& sax,
+                                      std::size_t s) const {
+    const std::vector<int> labels = train_.ClassLabels();
+    const auto& [sub_train, validation] = splits_[s];
+    std::map<int, sax::SaxOptions> sax_by_class;
+    for (int label : labels) sax_by_class[label] = sax;
+    // Candidate mining inside a parallel split stays single-threaded;
+    // the split level is the unit of parallelism here.
+    RpmOptions inner = options_;
+    inner.num_threads = 1;
+    const std::vector<PatternCandidate> candidates =
+        FindAllCandidates(sub_train, sax_by_class, inner);
+    if (candidates.empty()) return {};  // Pruned: contributes 0.
+    const std::vector<RepresentativePattern> patterns =
+        FindDistinctPatterns(sub_train, candidates, inner);
+    if (patterns.empty()) return {};
+
+    const ml::FeatureDataset tv =
+        TransformDataset(patterns, validation, false);
+    if (tv.empty()) return {};
+
+    // k-fold CV on the transformed validation data (Alg. 3 line 12).
+    ts::Rng fold_rng(options_.seed + 101 * (s + 1));
+    const std::size_t k =
+        std::min<std::size_t>(std::max<std::size_t>(2, options_.param_folds),
+                              tv.size());
+    const std::vector<int> folds = ml::StratifiedFolds(tv.y, k, fold_rng);
+    std::vector<int> predicted(tv.size(), 0);
+    for (std::size_t fold = 0; fold < k; ++fold) {
+      std::vector<std::size_t> tr;
+      std::vector<std::size_t> te;
+      for (std::size_t i = 0; i < tv.size(); ++i) {
+        (folds[i] == static_cast<int>(fold) ? te : tr).push_back(i);
+      }
+      if (tr.empty() || te.empty()) continue;
+      ml::SvmClassifier svm(options_.svm);
+      svm.Train(tv.SelectRows(tr));
+      for (std::size_t i : te) predicted[i] = svm.Predict(tv.x[i]);
+    }
+    std::map<int, double> out;
+    for (const auto& [label, score] : ml::PerClassScores(predicted, tv.y)) {
+      out[label] = score.f1;
+    }
+    return out;
+  }
+
+  const ts::Dataset& train_;
+  const RpmOptions& options_;
+  std::vector<std::pair<ts::Dataset, ts::Dataset>> splits_;
+  std::map<std::array<int, 3>, std::map<int, double>> cache_;
+};
+
+}  // namespace
+
+std::map<int, double> EvaluateSaxCombo(const ts::Dataset& train,
+                                       const sax::SaxOptions& sax,
+                                       const RpmOptions& options) {
+  ComboEvaluator evaluator(train, options);
+  return evaluator.Evaluate(sax);
+}
+
+ParameterSelectionResult SelectSaxParameters(const ts::Dataset& train,
+                                             const RpmOptions& options) {
+  ParameterSelectionResult result;
+  const std::vector<int> labels = train.ClassLabels();
+  if (options.search == ParameterSearch::kFixed) {
+    for (int label : labels) result.sax_by_class[label] = options.fixed_sax;
+    return result;
+  }
+
+  const SaxParamRange range = DefaultRange(train);
+  ComboEvaluator evaluator(train, options);
+  std::map<int, double> best_f;
+  std::map<int, sax::SaxOptions> best_sax;
+  for (int label : labels) {
+    best_f[label] = -1.0;
+    best_sax[label] = MakeSax(range.window_lo, range.paa_lo,
+                              range.alphabet_lo, range);
+  }
+  auto consider = [&](const sax::SaxOptions& sax) {
+    const auto& f = evaluator.Evaluate(sax);
+    for (const auto& [label, value] : f) {
+      if (value > best_f[label]) {
+        best_f[label] = value;
+        best_sax[label] = sax;
+      }
+    }
+  };
+
+  if (options.search == ParameterSearch::kGrid) {
+    std::vector<opt::IntRange> ranges = {
+        {range.window_lo, range.window_hi,
+         std::max(1, options.grid_window_step)},
+        {range.paa_lo, range.paa_hi, 2},
+        {range.alphabet_lo, range.alphabet_hi, 2}};
+    opt::GridSearchMin(
+        [&](std::span<const int> p) {
+          const sax::SaxOptions sax = MakeSax(p[0], p[1], p[2], range);
+          consider(sax);
+          // Grid minimizes a scalar; use the mean class error so the
+          // engine has something coherent to report.
+          const auto& f = evaluator.Evaluate(sax);
+          double mean = 0.0;
+          for (const auto& [label, v] : f) mean += v;
+          return 1.0 - mean / static_cast<double>(f.size());
+        },
+        ranges);
+  } else {  // kDirect: one 3-D search per class, shared cache.
+    opt::Bounds bounds;
+    bounds.lower = {static_cast<double>(range.window_lo),
+                    static_cast<double>(range.paa_lo),
+                    static_cast<double>(range.alphabet_lo)};
+    bounds.upper = {static_cast<double>(range.window_hi),
+                    static_cast<double>(range.paa_hi),
+                    static_cast<double>(range.alphabet_hi)};
+    opt::DirectOptions direct_options;
+    direct_options.max_evaluations = options.direct_max_evaluations;
+    for (int label : labels) {
+      opt::Minimize(
+          [&](std::span<const double> x) {
+            const sax::SaxOptions sax =
+                MakeSax(static_cast<int>(std::lround(x[0])),
+                        static_cast<int>(std::lround(x[1])),
+                        static_cast<int>(std::lround(x[2])), range);
+            consider(sax);
+            const auto& f = evaluator.Evaluate(sax);
+            const auto it = f.find(label);
+            return 1.0 - (it != f.end() ? it->second : 0.0);
+          },
+          bounds, direct_options);
+    }
+  }
+
+  result.sax_by_class = std::move(best_sax);
+  result.combos_evaluated = evaluator.combos_evaluated();
+  return result;
+}
+
+}  // namespace rpm::core

@@ -1,0 +1,40 @@
+// Value types of the RPM pipeline: candidate and representative patterns.
+
+#ifndef RPM_CORE_PATTERN_H_
+#define RPM_CORE_PATTERN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ts/series.h"
+
+namespace rpm::core {
+
+/// A candidate representative pattern: one refined-cluster prototype
+/// (Algorithm 1 output). Values are z-normalized.
+struct PatternCandidate {
+  int class_label = 0;
+  ts::Series values;
+  /// Number of occurrences in the class's concatenated series (cluster
+  /// size) — the tiebreaker when removing similar candidates (Alg. 2).
+  std::size_t frequency = 0;
+  /// Number of distinct training instances covered by the occurrences.
+  std::size_t instance_coverage = 0;
+  /// Grammar rule the cluster came from (diagnostics).
+  int rule_id = 0;
+  /// Pairwise distances between the cluster's (resampled) members; pooled
+  /// across candidates to fix the similarity threshold tau (Section 3.2.3).
+  std::vector<double> within_cluster_distances;
+};
+
+/// A selected representative pattern (Algorithm 2 output): the feature
+/// definition used at classification time.
+struct RepresentativePattern {
+  int class_label = 0;
+  ts::Series values;  // z-normalized
+  std::size_t frequency = 0;
+};
+
+}  // namespace rpm::core
+
+#endif  // RPM_CORE_PATTERN_H_

@@ -1,0 +1,21 @@
+// Umbrella header: everything a downstream user needs to run RPM.
+//
+//   rpm::core::RpmOptions opt;                 // tune or keep defaults
+//   rpm::core::RpmClassifier clf(opt);
+//   clf.Train(train);                          // ts::Dataset
+//   int label = clf.Classify(series);          // ts::Series
+//
+// See examples/quickstart.cc for a complete program.
+
+#ifndef RPM_CORE_RPM_H_
+#define RPM_CORE_RPM_H_
+
+#include "core/candidates.h"      // IWYU pragma: export
+#include "core/classifier.h"      // IWYU pragma: export
+#include "core/distinct.h"        // IWYU pragma: export
+#include "core/options.h"         // IWYU pragma: export
+#include "core/parameter_selection.h"  // IWYU pragma: export
+#include "core/pattern.h"         // IWYU pragma: export
+#include "core/transform.h"       // IWYU pragma: export
+
+#endif  // RPM_CORE_RPM_H_

@@ -1,0 +1,104 @@
+#include "core/transform.h"
+
+#include <algorithm>
+
+#include "distance/euclidean.h"
+#include "ts/parallel.h"
+#include "ts/resample.h"
+#include "ts/rotation.h"
+#include "ts/znorm.h"
+
+namespace rpm::core {
+
+double PatternDistance(const ts::Series& pattern, ts::SeriesView series) {
+  if (pattern.empty() || series.empty()) return 0.0;
+  if (pattern.size() <= series.size()) {
+    return distance::FindBestMatch(pattern, series).distance;
+  }
+  // Degenerate: pattern longer than the series. Compare at series length.
+  ts::Series shrunk = ts::ResampleLinear(pattern, series.size());
+  ts::ZNormalizeInPlace(shrunk);
+  ts::Series z(series.begin(), series.end());
+  ts::ZNormalizeInPlace(z);
+  return distance::NormalizedEuclidean(shrunk, z);
+}
+
+double PatternDistanceRotationInvariant(const ts::Series& pattern,
+                                        ts::SeriesView series) {
+  const double direct = PatternDistance(pattern, series);
+  const ts::Series rotated = ts::RotateAtMidpoint(series);
+  return std::min(direct, PatternDistance(pattern, rotated));
+}
+
+namespace {
+
+// One pattern-to-series distance under the configured matching mode.
+double DistanceWith(const ts::Series& pattern, ts::SeriesView series,
+                    const TransformOptions& options) {
+  if (options.approximate && pattern.size() <= series.size() &&
+      !pattern.empty()) {
+    return distance::FindBestMatchApprox(pattern, series, options.approx)
+        .distance;
+  }
+  return PatternDistance(pattern, series);
+}
+
+}  // namespace
+
+std::vector<double> TransformSeries(
+    const std::vector<RepresentativePattern>& patterns,
+    ts::SeriesView series, const TransformOptions& options) {
+  std::vector<double> row;
+  row.reserve(patterns.size());
+  ts::Series rotated;
+  if (options.rotation_invariant) rotated = ts::RotateAtMidpoint(series);
+  for (const auto& p : patterns) {
+    double d = DistanceWith(p.values, series, options);
+    if (options.rotation_invariant) {
+      d = std::min(d, DistanceWith(p.values, rotated, options));
+    }
+    row.push_back(d);
+  }
+  return row;
+}
+
+ml::FeatureDataset TransformDataset(
+    const std::vector<RepresentativePattern>& patterns,
+    const ts::Dataset& data, const TransformOptions& options) {
+  ml::FeatureDataset out;
+  out.x.resize(data.size());
+  out.y.resize(data.size());
+  ts::ParallelFor(data.size(), options.num_threads, [&](std::size_t i) {
+    out.x[i] = TransformSeries(patterns, data[i].values, options);
+    out.y[i] = data[i].label;
+  });
+  return out;
+}
+
+std::vector<double> TransformSeries(
+    const std::vector<RepresentativePattern>& patterns,
+    ts::SeriesView series, bool rotation_invariant) {
+  TransformOptions options;
+  options.rotation_invariant = rotation_invariant;
+  return TransformSeries(patterns, series, options);
+}
+
+ml::FeatureDataset TransformDataset(
+    const std::vector<RepresentativePattern>& patterns,
+    const ts::Dataset& data, bool rotation_invariant) {
+  TransformOptions options;
+  options.rotation_invariant = rotation_invariant;
+  return TransformDataset(patterns, data, options);
+}
+
+std::vector<RepresentativePattern> AsPatterns(
+    const std::vector<PatternCandidate>& candidates) {
+  std::vector<RepresentativePattern> out;
+  out.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    out.push_back(RepresentativePattern{c.class_label, c.values, c.frequency});
+  }
+  return out;
+}
+
+}  // namespace rpm::core

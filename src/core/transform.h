@@ -1,0 +1,66 @@
+// Time-series -> feature-space transformation (Section 3.1): a series of
+// length m becomes a K-vector of closest-match distances to the K
+// representative patterns. The rotation-invariant variant (Section 6.1)
+// also matches against the series rotated at its midpoint and keeps the
+// minimum per pattern.
+
+#ifndef RPM_CORE_TRANSFORM_H_
+#define RPM_CORE_TRANSFORM_H_
+
+#include <vector>
+
+#include "core/pattern.h"
+#include "distance/approximate.h"
+#include "ml/feature_dataset.h"
+#include "ts/series.h"
+
+namespace rpm::core {
+
+/// Controls how series are embedded into the pattern-distance space.
+struct TransformOptions {
+  /// Also match against the midpoint-rotated series (Section 6.1).
+  bool rotation_invariant = false;
+  /// Use the PAA-coarse approximate scan instead of the exact one
+  /// (Section 5.3's "approximate matching" speedup).
+  bool approximate = false;
+  distance::ApproxMatchOptions approx;
+  /// Worker threads for whole-dataset transforms (deterministic).
+  std::size_t num_threads = 1;
+};
+
+/// Closest-match distance of one pattern inside one series (both directions
+/// of degenerate lengths handled: a pattern longer than the series is
+/// resampled down before matching).
+double PatternDistance(const ts::Series& pattern, ts::SeriesView series);
+
+/// Rotation-invariant variant: min over the series and its
+/// midpoint-rotated copy.
+double PatternDistanceRotationInvariant(const ts::Series& pattern,
+                                        ts::SeriesView series);
+
+/// Transforms one series into the K-dim feature row.
+std::vector<double> TransformSeries(
+    const std::vector<RepresentativePattern>& patterns, ts::SeriesView series,
+    const TransformOptions& options);
+
+/// Transforms a labeled dataset; labels carry over.
+ml::FeatureDataset TransformDataset(
+    const std::vector<RepresentativePattern>& patterns,
+    const ts::Dataset& data, const TransformOptions& options);
+
+/// Back-compat overloads: `rotation_invariant` only, exact matching.
+std::vector<double> TransformSeries(
+    const std::vector<RepresentativePattern>& patterns, ts::SeriesView series,
+    bool rotation_invariant = false);
+ml::FeatureDataset TransformDataset(
+    const std::vector<RepresentativePattern>& patterns,
+    const ts::Dataset& data, bool rotation_invariant = false);
+
+/// Convenience overload for candidate pools (Algorithm 2 transforms the
+/// training data against *candidates* before feature selection).
+std::vector<RepresentativePattern> AsPatterns(
+    const std::vector<PatternCandidate>& candidates);
+
+}  // namespace rpm::core
+
+#endif  // RPM_CORE_TRANSFORM_H_

@@ -1,0 +1,88 @@
+#include "distance/approximate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sax/sax.h"
+#include "ts/znorm.h"
+
+namespace rpm::distance {
+
+BestMatch FindBestMatchApprox(ts::SeriesView pattern,
+                              ts::SeriesView haystack,
+                              const ApproxMatchOptions& options) {
+  BestMatch best;
+  const std::size_t n = pattern.size();
+  if (n == 0 || haystack.size() < n) return best;
+  const std::size_t paa =
+      std::clamp<std::size_t>(options.paa_size, 1, n);
+  if (paa >= n || options.refine_top_k == 0) {
+    return FindBestMatch(pattern, haystack);  // No compression to exploit.
+  }
+
+  // Pattern PAA (pattern is already z-normalized).
+  const ts::Series pattern_paa = sax::Paa(pattern, paa);
+
+  // Prefix sums for O(1) window moments and segment sums.
+  const std::size_t m = haystack.size();
+  std::vector<double> prefix(m + 1, 0.0);
+  std::vector<double> prefix_sq(m + 1, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    prefix[i + 1] = prefix[i] + haystack[i];
+    prefix_sq[i + 1] = prefix_sq[i] + haystack[i] * haystack[i];
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  // Integer segment boundaries relative to the window start.
+  std::vector<std::size_t> bounds(paa + 1);
+  for (std::size_t s = 0; s <= paa; ++s) {
+    bounds[s] = s * n / paa;
+  }
+
+  // Coarse scan: PAA-space length-normalized distance per position.
+  const std::size_t positions = m - n + 1;
+  std::vector<std::pair<double, std::size_t>> coarse;
+  coarse.reserve(positions);
+  for (std::size_t pos = 0; pos < positions; ++pos) {
+    const double sum = prefix[pos + n] - prefix[pos];
+    const double sum_sq = prefix_sq[pos + n] - prefix_sq[pos];
+    const double mu = sum * inv_n;
+    const double var = std::max(0.0, sum_sq * inv_n - mu * mu);
+    const double sigma = std::sqrt(var);
+    const double inv_sigma =
+        sigma < ts::kFlatThreshold ? 1.0 : 1.0 / sigma;
+    double acc = 0.0;
+    for (std::size_t s = 0; s < paa; ++s) {
+      const std::size_t lo = pos + bounds[s];
+      const std::size_t hi = pos + bounds[s + 1];
+      const double seg_mean = (prefix[hi] - prefix[lo]) /
+                              static_cast<double>(hi - lo);
+      const double z = (seg_mean - mu) * inv_sigma;
+      const double d = z - pattern_paa[s];
+      acc += d * d;
+    }
+    coarse.emplace_back(acc, pos);
+  }
+
+  // Refine the k best coarse candidates exactly.
+  const std::size_t k = std::min(options.refine_top_k, coarse.size());
+  std::partial_sort(coarse.begin(),
+                    coarse.begin() + static_cast<std::ptrdiff_t>(k),
+                    coarse.end());
+  ts::Series window;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t pos = coarse[i].second;
+    window.assign(haystack.begin() + static_cast<std::ptrdiff_t>(pos),
+                  haystack.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    ts::ZNormalizeInPlace(window);
+    const double d = NormalizedEuclidean(window, pattern);
+    if (d < best.distance) {
+      best.distance = d;
+      best.position = pos;
+    }
+  }
+  return best;
+}
+
+}  // namespace rpm::distance

@@ -1,0 +1,36 @@
+// Approximate best-match scan (Section 5.3 notes the exact subsequence
+// matching is the training bottleneck and that "other options are
+// possible such as approximate matching"). Strategy: a cheap PAA-space
+// scan over every window — O(paa_size) per position via prefix sums —
+// ranks candidate positions; only the top-k are refined with the exact
+// z-normalized Euclidean distance. With paa_size << window this cuts the
+// scan cost by roughly window/paa_size at a small accuracy risk.
+
+#ifndef RPM_DISTANCE_APPROXIMATE_H_
+#define RPM_DISTANCE_APPROXIMATE_H_
+
+#include <cstddef>
+
+#include "distance/euclidean.h"
+#include "ts/series.h"
+
+namespace rpm::distance {
+
+struct ApproxMatchOptions {
+  /// PAA segments used for the coarse scan.
+  std::size_t paa_size = 8;
+  /// Number of coarse candidates refined exactly.
+  std::size_t refine_top_k = 10;
+};
+
+/// Approximate closest match of `pattern` (z-normalized) in `haystack`.
+/// The returned distance is exact for the returned position; the position
+/// itself may differ from the true best when the PAA ranking misleads.
+/// Degenerate inputs behave like FindBestMatch.
+BestMatch FindBestMatchApprox(ts::SeriesView pattern,
+                              ts::SeriesView haystack,
+                              const ApproxMatchOptions& options = {});
+
+}  // namespace rpm::distance
+
+#endif  // RPM_DISTANCE_APPROXIMATE_H_

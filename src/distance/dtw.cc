@@ -1,0 +1,83 @@
+#include "distance/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace rpm::distance {
+
+double Dtw(ts::SeriesView a, ts::SeriesView b, std::size_t window,
+           double cutoff) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) {
+    return (n == m) ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  const std::size_t diff = n > m ? n - m : m - n;
+  std::size_t w = window == kUnconstrained ? std::max(n, m) : window;
+  w = std::max(w, diff);
+
+  const double inf = std::numeric_limits<double>::infinity();
+  const double cutoff_sq =
+      std::isinf(cutoff) ? inf : cutoff * cutoff;
+  std::vector<double> prev(m + 1, inf);
+  std::vector<double> curr(m + 1, inf);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), inf);
+    const std::size_t j_lo = i > w ? i - w : 1;
+    const std::size_t j_hi = std::min(m, i + w);
+    double row_min = inf;
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double d = a[i - 1] - b[j - 1];
+      const double step =
+          std::min({prev[j], curr[j - 1], prev[j - 1]});
+      if (std::isinf(step)) continue;
+      curr[j] = step + d * d;
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > cutoff_sq) return inf;
+    std::swap(prev, curr);
+  }
+  return std::sqrt(prev[m]);
+}
+
+Envelope MakeEnvelope(ts::SeriesView s, std::size_t window) {
+  const std::size_t n = s.size();
+  Envelope env;
+  env.upper.resize(n);
+  env.lower.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= window ? i - window : 0;
+    const std::size_t hi = std::min(n - 1, i + window);
+    double mx = s[lo];
+    double mn = s[lo];
+    for (std::size_t j = lo + 1; j <= hi; ++j) {
+      mx = std::max(mx, s[j]);
+      mn = std::min(mn, s[j]);
+    }
+    env.upper[i] = mx;
+    env.lower[i] = mn;
+  }
+  return env;
+}
+
+double LbKeogh(ts::SeriesView query, const Envelope& candidate_envelope) {
+  double acc = 0.0;
+  const std::size_t n =
+      std::min(query.size(), candidate_envelope.upper.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = query[i];
+    if (v > candidate_envelope.upper[i]) {
+      const double d = v - candidate_envelope.upper[i];
+      acc += d * d;
+    } else if (v < candidate_envelope.lower[i]) {
+      const double d = v - candidate_envelope.lower[i];
+      acc += d * d;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace rpm::distance

@@ -1,0 +1,43 @@
+// Dynamic Time Warping with an optional Sakoe-Chiba band, plus the
+// LB_Keogh lower bound. Substrate of the NN-DTWB baseline (Table 1):
+// "DTW with the best warping window" searches band widths on the training
+// set; LB_Keogh + early abandoning keep the search tractable.
+
+#ifndef RPM_DISTANCE_DTW_H_
+#define RPM_DISTANCE_DTW_H_
+
+#include <cstddef>
+#include <limits>
+
+#include "ts/series.h"
+
+namespace rpm::distance {
+
+/// DTW distance (sqrt of accumulated squared point costs) with a
+/// Sakoe-Chiba band of half-width `window` (in points). `window` >= the
+/// length difference is enforced internally; pass
+/// `kUnconstrained` for full DTW.
+/// `cutoff`: computation abandons early and returns +inf once every cell
+/// of a row exceeds cutoff^2.
+inline constexpr std::size_t kUnconstrained = static_cast<std::size_t>(-1);
+
+double Dtw(ts::SeriesView a, ts::SeriesView b,
+           std::size_t window = kUnconstrained,
+           double cutoff = std::numeric_limits<double>::infinity());
+
+/// Upper/lower envelope of `s` for a band half-width `window`
+/// (Keogh & Ratanamahatana 2005). upper[i] = max(s[i-w..i+w]).
+struct Envelope {
+  ts::Series upper;
+  ts::Series lower;
+};
+Envelope MakeEnvelope(ts::SeriesView s, std::size_t window);
+
+/// LB_Keogh lower bound of DTW(query, candidate) given the candidate's
+/// precomputed envelope. Requires equal lengths; returns the sqrt of the
+/// accumulated squared out-of-envelope mass.
+double LbKeogh(ts::SeriesView query, const Envelope& candidate_envelope);
+
+}  // namespace rpm::distance
+
+#endif  // RPM_DISTANCE_DTW_H_

@@ -1,0 +1,109 @@
+#include "grammar/hotsax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "distance/euclidean.h"
+#include "ts/znorm.h"
+
+namespace rpm::grammar {
+namespace {
+
+// Distance between two z-normalized windows of `series`.
+double WindowDistance(const std::vector<ts::Series>& znormed,
+                      std::size_t a, std::size_t b, double cutoff) {
+  const double sq = distance::SquaredEuclideanEarlyAbandon(
+      znormed[a], znormed[b], cutoff * cutoff);
+  return std::sqrt(sq);
+}
+
+}  // namespace
+
+std::vector<HotSaxDiscord> FindHotSaxDiscords(ts::SeriesView series,
+                                              const HotSaxOptions& options) {
+  std::vector<HotSaxDiscord> out;
+  const std::size_t n = options.discord_length;
+  if (n == 0 || series.size() < 2 * n) return out;
+  const std::size_t positions = series.size() - n + 1;
+
+  // Precompute z-normalized windows and their SAX words.
+  std::vector<ts::Series> znormed(positions);
+  std::vector<std::string> words(positions);
+  std::unordered_map<std::string, std::vector<std::size_t>> buckets;
+  for (std::size_t p = 0; p < positions; ++p) {
+    znormed[p].assign(series.begin() + static_cast<std::ptrdiff_t>(p),
+                      series.begin() + static_cast<std::ptrdiff_t>(p + n));
+    ts::ZNormalizeInPlace(znormed[p]);
+    words[p] =
+        sax::SaxWord(znormed[p], options.paa_size, options.alphabet);
+    buckets[words[p]].push_back(p);
+  }
+
+  // Outer-loop order: rare words first (most likely discords).
+  std::vector<std::size_t> outer(positions);
+  for (std::size_t p = 0; p < positions; ++p) outer[p] = p;
+  std::sort(outer.begin(), outer.end(), [&](std::size_t a, std::size_t b) {
+    const std::size_t ca = buckets[words[a]].size();
+    const std::size_t cb = buckets[words[b]].size();
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+
+  std::vector<char> claimed(positions, 0);  // overlap mask for multi-discord
+  auto overlaps_claimed = [&](std::size_t p) {
+    const std::size_t lo = p >= n - 1 ? p - (n - 1) : 0;
+    const std::size_t hi = std::min(positions - 1, p + n - 1);
+    for (std::size_t q = lo; q <= hi; ++q) {
+      if (claimed[q]) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t round = 0; round < options.max_discords; ++round) {
+    double best_nn = -1.0;
+    std::size_t best_pos = positions;
+    for (std::size_t p : outer) {
+      if (overlaps_claimed(p)) continue;
+      // Inner loop: same-word neighbors first (likely small distances ->
+      // early abandon), then the rest.
+      double nn = std::numeric_limits<double>::infinity();
+      auto visit = [&](std::size_t q) {
+        if (q == p) return;
+        const std::size_t gap = q > p ? q - p : p - q;
+        if (gap < n) return;  // self-match exclusion (non-overlapping)
+        const double cutoff = std::min(nn, 1e18);
+        const double d = WindowDistance(znormed, p, q, cutoff);
+        nn = std::min(nn, d);
+      };
+      bool abandoned = false;
+      for (std::size_t q : buckets[words[p]]) {
+        visit(q);
+        if (nn <= best_nn) {
+          abandoned = true;  // cannot beat the best-so-far discord
+          break;
+        }
+      }
+      if (!abandoned) {
+        for (std::size_t q = 0; q < positions; ++q) {
+          visit(q);
+          if (nn <= best_nn) {
+            abandoned = true;
+            break;
+          }
+        }
+      }
+      if (!abandoned && std::isfinite(nn) && nn > best_nn) {
+        best_nn = nn;
+        best_pos = p;
+      }
+    }
+    if (best_pos == positions) break;
+    out.push_back(HotSaxDiscord{best_pos, n, best_nn});
+    claimed[best_pos] = 1;
+  }
+  return out;
+}
+
+}  // namespace rpm::grammar

@@ -1,0 +1,47 @@
+// HOT SAX discord discovery (Keogh, Lin & Fu 2005): the exact
+// nearest-neighbor-based discord definition, with the heuristic
+// outer/inner-loop ordering that makes it fast — rare SAX words first in
+// the outer loop, same-word neighbors first in the inner loop, early
+// abandoning everywhere. GrammarViz v2 (this paper's companion system)
+// validated its rule-density discords against HOT SAX; both live here so
+// the comparison is runnable (bench/extensions_bench).
+
+#ifndef RPM_GRAMMAR_HOTSAX_H_
+#define RPM_GRAMMAR_HOTSAX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sax/sax.h"
+#include "ts/series.h"
+
+namespace rpm::grammar {
+
+/// A HOT SAX discord: the subsequence whose distance to its nearest
+/// non-overlapping neighbor is largest.
+struct HotSaxDiscord {
+  std::size_t start = 0;
+  std::size_t length = 0;
+  /// z-normalized Euclidean distance to the nearest non-self match.
+  double nn_distance = 0.0;
+};
+
+struct HotSaxOptions {
+  std::size_t discord_length = 32;
+  std::size_t max_discords = 1;
+  /// SAX parameters of the ordering heuristic (word granularity only
+  /// affects speed, not the result).
+  std::size_t paa_size = 3;
+  int alphabet = 3;
+};
+
+/// Finds up to `max_discords` non-overlapping discords of
+/// `options.discord_length` in `series`. Exact under the discord
+/// definition (brute-force-equivalent result); the SAX ordering only
+/// accelerates. Returns fewer discords when the series is too short.
+std::vector<HotSaxDiscord> FindHotSaxDiscords(ts::SeriesView series,
+                                              const HotSaxOptions& options);
+
+}  // namespace rpm::grammar
+
+#endif  // RPM_GRAMMAR_HOTSAX_H_

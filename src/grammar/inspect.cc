@@ -1,0 +1,116 @@
+#include "grammar/inspect.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rpm::grammar {
+
+std::vector<MotifStats> SummarizeMotifs(
+    const std::vector<MotifCandidate>& motifs) {
+  std::vector<MotifStats> out;
+  out.reserve(motifs.size());
+  for (const auto& m : motifs) {
+    if (m.intervals.empty()) continue;
+    MotifStats s;
+    s.rule_id = m.rule_id;
+    s.occurrences = m.intervals.size();
+    s.min_length = m.intervals.front().length;
+    s.max_length = s.min_length;
+    double total = 0.0;
+    for (const auto& iv : m.intervals) {
+      s.min_length = std::min(s.min_length, iv.length);
+      s.max_length = std::max(s.max_length, iv.length);
+      total += static_cast<double>(iv.length);
+    }
+    s.mean_length = total / static_cast<double>(s.occurrences);
+    s.mass = total;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MotifStats& a, const MotifStats& b) {
+              if (a.mass != b.mass) return a.mass > b.mass;
+              return a.rule_id < b.rule_id;
+            });
+  return out;
+}
+
+std::vector<std::size_t> CoverageDensity(
+    const std::vector<MotifCandidate>& motifs, std::size_t series_length) {
+  // Difference array for O(total occurrences + n) accumulation.
+  std::vector<std::ptrdiff_t> delta(series_length + 1, 0);
+  for (const auto& m : motifs) {
+    for (const auto& iv : m.intervals) {
+      if (iv.start >= series_length) continue;
+      ++delta[iv.start];
+      --delta[std::min(iv.end(), series_length)];
+    }
+  }
+  std::vector<std::size_t> density(series_length, 0);
+  std::ptrdiff_t run = 0;
+  for (std::size_t t = 0; t < series_length; ++t) {
+    run += delta[t];
+    density[t] = static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, run));
+  }
+  return density;
+}
+
+double CoverageFraction(const std::vector<MotifCandidate>& motifs,
+                        std::size_t series_length) {
+  if (series_length == 0) return 0.0;
+  const auto density = CoverageDensity(motifs, series_length);
+  std::size_t covered = 0;
+  for (std::size_t d : density) covered += d > 0 ? 1 : 0;
+  return static_cast<double>(covered) / static_cast<double>(series_length);
+}
+
+std::vector<Discord> FindDiscords(const std::vector<MotifCandidate>& motifs,
+                                  std::size_t series_length,
+                                  std::size_t discord_length,
+                                  std::size_t max_discords) {
+  std::vector<Discord> out;
+  if (discord_length == 0 || series_length < discord_length ||
+      max_discords == 0) {
+    return out;
+  }
+  const auto density = CoverageDensity(motifs, series_length);
+  // Prefix sums give each window's mean density in O(1).
+  std::vector<double> prefix(series_length + 1, 0.0);
+  for (std::size_t t = 0; t < series_length; ++t) {
+    prefix[t + 1] = prefix[t] + static_cast<double>(density[t]);
+  }
+  const std::size_t positions = series_length - discord_length + 1;
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(positions);
+  for (std::size_t pos = 0; pos < positions; ++pos) {
+    const double mean = (prefix[pos + discord_length] - prefix[pos]) /
+                        static_cast<double>(discord_length);
+    scored.emplace_back(mean, pos);
+  }
+  std::sort(scored.begin(), scored.end());
+  for (const auto& [mean, pos] : scored) {
+    bool overlaps = false;
+    for (const auto& d : out) {
+      if (pos < d.start + d.length && d.start < pos + discord_length) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+    out.push_back(Discord{pos, discord_length, mean});
+    if (out.size() >= max_discords) break;
+  }
+  return out;
+}
+
+std::string FormatMotifTable(const std::vector<MotifCandidate>& motifs) {
+  std::ostringstream os;
+  os << "rule    occ   len(min..mean..max)   mass\n";
+  for (const auto& s : SummarizeMotifs(motifs)) {
+    os << 'R' << s.rule_id << '\t' << s.occurrences << '\t' << s.min_length
+       << ".." << static_cast<std::size_t>(s.mean_length) << ".."
+       << s.max_length << '\t' << s.mass << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rpm::grammar

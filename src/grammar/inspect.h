@@ -1,0 +1,68 @@
+// Grammar/motif inspection utilities in the spirit of GrammarViz (the
+// authors' companion tool, used for the paper's Figure 4): rule summary
+// tables, per-point rule-coverage density (GrammarViz's motif/anomaly
+// heat strip), and human-readable rule dumps with their raw-subsequence
+// spans. Used by examples/grammar_inspect and handy for exploratory work
+// on new datasets.
+
+#ifndef RPM_GRAMMAR_INSPECT_H_
+#define RPM_GRAMMAR_INSPECT_H_
+
+#include <string>
+#include <vector>
+
+#include "grammar/motifs.h"
+
+namespace rpm::grammar {
+
+/// Aggregate statistics of one motif candidate (a repeated rule mapped to
+/// the time domain).
+struct MotifStats {
+  int rule_id = 0;
+  std::size_t occurrences = 0;
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  double mean_length = 0.0;
+  /// occurrences * mean_length — a GrammarViz-style "interest" score that
+  /// favours long, frequent motifs.
+  double mass = 0.0;
+};
+
+/// Stats for every motif, sorted by descending mass.
+std::vector<MotifStats> SummarizeMotifs(
+    const std::vector<MotifCandidate>& motifs);
+
+/// Per-point coverage density: density[t] = number of motif occurrences
+/// whose interval contains t. Low-density valleys are candidate
+/// discords/anomalies; plateaus are motif regions.
+std::vector<std::size_t> CoverageDensity(
+    const std::vector<MotifCandidate>& motifs, std::size_t series_length);
+
+/// Fraction of points covered by at least one occurrence.
+double CoverageFraction(const std::vector<MotifCandidate>& motifs,
+                        std::size_t series_length);
+
+/// Multi-line table of motif stats ("rule occ len[min..max] mass").
+std::string FormatMotifTable(const std::vector<MotifCandidate>& motifs);
+
+/// A discord candidate: the region least explained by the grammar.
+struct Discord {
+  std::size_t start = 0;
+  std::size_t length = 0;
+  /// Mean rule density over the region (lower = more anomalous).
+  double mean_density = 0.0;
+};
+
+/// GrammarViz-v2-style discord discovery: slide a window of
+/// `discord_length` over the rule-coverage density curve and return up to
+/// `max_discords` non-overlapping windows with the lowest mean density,
+/// most anomalous first. Intuition: subsequences that never participate
+/// in grammar rules are the rarest patterns in the series.
+std::vector<Discord> FindDiscords(const std::vector<MotifCandidate>& motifs,
+                                  std::size_t series_length,
+                                  std::size_t discord_length,
+                                  std::size_t max_discords = 3);
+
+}  // namespace rpm::grammar
+
+#endif  // RPM_GRAMMAR_INSPECT_H_

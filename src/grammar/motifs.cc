@@ -1,0 +1,66 @@
+#include "grammar/motifs.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rpm::grammar {
+
+std::vector<std::uint32_t> TokensFromRecords(
+    const std::vector<sax::SaxRecord>& records) {
+  std::vector<std::uint32_t> tokens;
+  tokens.reserve(records.size());
+  std::unordered_map<std::string, std::uint32_t> vocab;
+  for (const auto& rec : records) {
+    auto [it, inserted] =
+        vocab.try_emplace(rec.word, static_cast<std::uint32_t>(vocab.size()));
+    tokens.push_back(it->second);
+  }
+  return tokens;
+}
+
+Interval OccurrenceToInterval(const RuleOccurrence& occ,
+                              const std::vector<sax::SaxRecord>& records,
+                              std::size_t window,
+                              std::size_t series_length) {
+  const std::size_t start = records[occ.first_token].offset;
+  const std::size_t end =
+      std::min(series_length, records[occ.last_token].offset + window);
+  return Interval{start, end - start};
+}
+
+namespace {
+
+// True when [start, end) crosses any concatenation boundary.
+bool SpansBoundary(const Interval& iv,
+                   const std::vector<std::size_t>& boundaries) {
+  const auto it = std::upper_bound(boundaries.begin(), boundaries.end(),
+                                   iv.start);
+  return it != boundaries.end() && *it < iv.end();
+}
+
+}  // namespace
+
+std::vector<MotifCandidate> FindMotifCandidates(
+    const std::vector<sax::SaxRecord>& records, std::size_t window,
+    std::size_t series_length, const std::vector<std::size_t>& boundaries,
+    bool filter_junctions, GiAlgorithm algorithm) {
+  std::vector<MotifCandidate> out;
+  if (records.empty()) return out;
+  const std::vector<std::uint32_t> tokens = TokensFromRecords(records);
+  const Grammar grammar = InferGrammarWith(algorithm, tokens);
+  for (const GrammarRule* rule : grammar.RepeatedRules()) {
+    MotifCandidate cand;
+    cand.rule_id = rule->id;
+    for (const RuleOccurrence& occ : rule->occurrences) {
+      Interval iv =
+          OccurrenceToInterval(occ, records, window, series_length);
+      if (iv.length == 0) continue;
+      if (filter_junctions && SpansBoundary(iv, boundaries)) continue;
+      cand.intervals.push_back(iv);
+    }
+    if (cand.intervals.size() >= 2) out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+}  // namespace rpm::grammar

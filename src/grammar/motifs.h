@@ -1,0 +1,63 @@
+// Bridges SAX discretization and grammar induction: builds the token
+// vocabulary, runs Sequitur, and maps each rule occurrence back to a raw
+// subsequence interval of the source series (Section 3.2.2 / Figure 4).
+// Because of numerosity reduction, occurrences of the same rule map to
+// subsequences of different lengths.
+
+#ifndef RPM_GRAMMAR_MOTIFS_H_
+#define RPM_GRAMMAR_MOTIFS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "grammar/repair.h"
+#include "grammar/sequitur.h"
+#include "sax/sax.h"
+#include "ts/series.h"
+
+namespace rpm::grammar {
+
+/// A half-open interval [start, start + length) in the raw time domain.
+struct Interval {
+  std::size_t start = 0;
+  std::size_t length = 0;
+
+  std::size_t end() const { return start + length; }
+  bool operator==(const Interval&) const = default;
+};
+
+/// One repeated grammar rule mapped back to the time domain: the rule id
+/// and the raw-subsequence interval of every occurrence.
+struct MotifCandidate {
+  int rule_id = 0;
+  std::vector<Interval> intervals;
+};
+
+/// Assigns dense token ids to SAX words in order of first appearance.
+std::vector<std::uint32_t> TokensFromRecords(
+    const std::vector<sax::SaxRecord>& records);
+
+/// Maps one rule occurrence (token span) to its raw interval. The interval
+/// runs from the first window's start to the last window's end, clamped to
+/// `series_length`.
+Interval OccurrenceToInterval(const RuleOccurrence& occ,
+                              const std::vector<sax::SaxRecord>& records,
+                              std::size_t window, std::size_t series_length);
+
+/// Runs Sequitur over the record words and returns, for every repeated
+/// rule (>= 2 occurrences), the raw intervals of its occurrences.
+///
+/// `boundaries`: sorted start offsets of the instances concatenated into
+/// the series (excluding 0). Occurrences whose interval spans a boundary
+/// are dropped when `filter_junctions` is true, per the paper's "avoid
+/// concatenation artifacts" rule (Figure 4). A motif is kept only if at
+/// least 2 occurrences survive.
+std::vector<MotifCandidate> FindMotifCandidates(
+    const std::vector<sax::SaxRecord>& records, std::size_t window,
+    std::size_t series_length, const std::vector<std::size_t>& boundaries,
+    bool filter_junctions = true,
+    GiAlgorithm algorithm = GiAlgorithm::kSequitur);
+
+}  // namespace rpm::grammar
+
+#endif  // RPM_GRAMMAR_MOTIFS_H_

@@ -1,0 +1,186 @@
+#include "grammar/repair.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace rpm::grammar {
+namespace {
+
+// Symbol encoding inside the working sequence: values >= 0 are terminals,
+// values < 0 reference rule (-v - 1), matching GrammarRule::rhs.
+using Sym = std::int64_t;
+
+struct PairHash {
+  std::size_t operator()(const std::pair<Sym, Sym>& p) const {
+    const auto a = static_cast<std::uint64_t>(p.first);
+    const auto b = static_cast<std::uint64_t>(p.second);
+    std::uint64_t x = a * 0x9e3779b97f4a7c15ull;
+    x ^= b + 0x9e3779b97f4a7c15ull + (x << 6) + (x >> 2);
+    return static_cast<std::size_t>(x);
+  }
+};
+
+// Doubly-linked representation over a fixed array with tombstones, so
+// digram replacement is O(1) per occurrence.
+struct WorkSequence {
+  std::vector<Sym> value;
+  std::vector<std::ptrdiff_t> prev;
+  std::vector<std::ptrdiff_t> next;
+  std::ptrdiff_t head = -1;
+
+  explicit WorkSequence(std::span<const std::uint32_t> tokens) {
+    const auto n = static_cast<std::ptrdiff_t>(tokens.size());
+    value.resize(tokens.size());
+    prev.resize(tokens.size());
+    next.resize(tokens.size());
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      value[static_cast<std::size_t>(i)] = tokens[static_cast<std::size_t>(i)];
+      prev[static_cast<std::size_t>(i)] = i - 1;
+      next[static_cast<std::size_t>(i)] = (i + 1 < n) ? i + 1 : -1;
+    }
+    head = n > 0 ? 0 : -1;
+  }
+
+  Sym at(std::ptrdiff_t i) const { return value[static_cast<std::size_t>(i)]; }
+};
+
+using PairPositions =
+    std::unordered_map<std::pair<Sym, Sym>, std::vector<std::ptrdiff_t>,
+                       PairHash>;
+
+// Rebuilds the digram-position index from scratch. Called once per round;
+// each round strictly shrinks the live sequence, so total work is
+// O(n * rounds) with rounds bounded by the number of created rules.
+PairPositions BuildIndex(const WorkSequence& seq) {
+  PairPositions index;
+  for (std::ptrdiff_t i = seq.head; i != -1 && seq.next[static_cast<std::size_t>(i)] != -1;
+       i = seq.next[static_cast<std::size_t>(i)]) {
+    const std::ptrdiff_t j = seq.next[static_cast<std::size_t>(i)];
+    index[{seq.at(i), seq.at(j)}].push_back(i);
+  }
+  return index;
+}
+
+}  // namespace
+
+Grammar InferGrammarRePair(std::span<const std::uint32_t> tokens) {
+  if (tokens.empty()) {
+    return Grammar({GrammarRule{0, {}, 0, {}}}, 0);
+  }
+  WorkSequence seq(tokens);
+  std::vector<std::pair<Sym, Sym>> rule_bodies;  // rule r -> replaced pair
+
+  while (true) {
+    const PairPositions index = BuildIndex(seq);
+    // Most frequent digram, counting non-overlapping occurrences.
+    std::pair<Sym, Sym> best_pair{0, 0};
+    std::size_t best_count = 1;
+    for (const auto& [pair, positions] : index) {
+      std::size_t count = positions.size();
+      if (pair.first == pair.second) {
+        // Overlapping runs (aaa) contribute floor(run/2) usable pairs; a
+        // cheap upper-bound correction: count every other occurrence.
+        count = (count + 1) / 2;
+      }
+      if (count > best_count ||
+          (count == best_count && count > 1 && pair < best_pair)) {
+        best_count = count;
+        best_pair = pair;
+      }
+    }
+    if (best_count < 2) break;
+
+    const Sym new_sym = -static_cast<Sym>(rule_bodies.size()) - 2;
+    // Rule ids start at 1 (0 is S): rule k encodes as -(k)-1, so the
+    // first created rule is symbol -2.
+    rule_bodies.push_back(best_pair);
+
+    // Replace left-to-right, skipping overlaps.
+    const auto& positions = index.at(best_pair);
+    std::ptrdiff_t last_end = -1;
+    for (std::ptrdiff_t i : positions) {
+      auto iu = static_cast<std::size_t>(i);
+      if (seq.at(i) != best_pair.first) continue;  // already consumed
+      const std::ptrdiff_t j = seq.next[iu];
+      if (j == -1 || seq.at(j) != best_pair.second) continue;
+      if (i <= last_end) continue;  // overlapping occurrence
+      auto ju = static_cast<std::size_t>(j);
+      // Contract (i, j) -> i carrying the new symbol.
+      seq.value[iu] = new_sym;
+      const std::ptrdiff_t after = seq.next[ju];
+      seq.next[iu] = after;
+      if (after != -1) seq.prev[static_cast<std::size_t>(after)] = i;
+      last_end = j;
+    }
+  }
+
+  // Assemble rules: S is the remaining sequence.
+  std::vector<GrammarRule> rules(rule_bodies.size() + 1);
+  rules[0].id = 0;
+  for (std::ptrdiff_t i = seq.head; i != -1;
+       i = seq.next[static_cast<std::size_t>(i)]) {
+    rules[0].rhs.push_back(seq.at(i));
+  }
+  for (std::size_t r = 0; r < rule_bodies.size(); ++r) {
+    rules[r + 1].id = static_cast<int>(r + 1);
+    rules[r + 1].rhs = {rule_bodies[r].first, rule_bodies[r].second};
+  }
+
+  // Expanded lengths: rule bodies only reference earlier-created rules,
+  // so increasing id order is already bottom-up; S last.
+  std::vector<std::size_t> len(rules.size(), 0);
+  for (std::size_t id = 1; id < rules.size(); ++id) {
+    std::size_t total = 0;
+    for (Sym v : rules[id].rhs) {
+      total += v >= 0 ? 1 : len[static_cast<std::size_t>(-v - 1)];
+    }
+    len[id] = total;
+    rules[id].expanded_length = total;
+  }
+  {
+    std::size_t total = 0;
+    for (Sym v : rules[0].rhs) {
+      total += v >= 0 ? 1 : len[static_cast<std::size_t>(-v - 1)];
+    }
+    len[0] = total;
+    rules[0].expanded_length = total;
+  }
+
+  // Occurrence spans via the same full walk used for Sequitur.
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 0}};
+  std::size_t pos = 0;
+  while (!stack.empty()) {
+    auto& [rid, idx] = stack.back();
+    const auto& rhs = rules[rid].rhs;
+    if (idx >= rhs.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const Sym v = rhs[idx++];
+    if (v >= 0) {
+      ++pos;
+    } else {
+      const auto child = static_cast<std::size_t>(-v - 1);
+      rules[child].occurrences.push_back(
+          RuleOccurrence{pos, pos + len[child] - 1});
+      stack.emplace_back(child, 0);
+    }
+  }
+
+  return Grammar(std::move(rules), tokens.size());
+}
+
+Grammar InferGrammarWith(GiAlgorithm algorithm,
+                         std::span<const std::uint32_t> tokens) {
+  switch (algorithm) {
+    case GiAlgorithm::kRePair:
+      return InferGrammarRePair(tokens);
+    case GiAlgorithm::kSequitur:
+    default:
+      return InferGrammar(tokens);
+  }
+}
+
+}  // namespace rpm::grammar

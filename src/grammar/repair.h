@@ -1,0 +1,33 @@
+// Re-Pair grammar induction (Larsson & Moffat 1999): an *offline*
+// alternative to Sequitur — repeatedly replace the globally most frequent
+// digram with a fresh non-terminal until no digram repeats. The paper
+// notes RPM "also works with other (context-free) GI algorithms"
+// (Section 3.2.2); this backend makes that claim concrete and is ablated
+// in bench/ablation_design.
+//
+// The returned Grammar has the same shape as Sequitur's (rule 0 = S,
+// occurrence spans populated), so the motif-extraction layer is shared.
+
+#ifndef RPM_GRAMMAR_REPAIR_H_
+#define RPM_GRAMMAR_REPAIR_H_
+
+#include <span>
+
+#include "grammar/sequitur.h"
+
+namespace rpm::grammar {
+
+/// Runs Re-Pair over `tokens`. Every non-S rule has a two-symbol
+/// right-hand side (a replaced digram) and at least two occurrences.
+Grammar InferGrammarRePair(std::span<const std::uint32_t> tokens);
+
+/// Which grammar-induction backend to use.
+enum class GiAlgorithm { kSequitur, kRePair };
+
+/// Dispatches on `algorithm`.
+Grammar InferGrammarWith(GiAlgorithm algorithm,
+                         std::span<const std::uint32_t> tokens);
+
+}  // namespace rpm::grammar
+
+#endif  // RPM_GRAMMAR_REPAIR_H_

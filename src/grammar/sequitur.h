@@ -1,0 +1,75 @@
+// Sequitur context-free grammar induction (Nevill-Manning & Witten 1997),
+// the Step-2 substrate of RPM (Section 3.2.2): every digram occurring more
+// than once is reduced to a rule, in time and space linear in the input.
+//
+// Tokens are opaque 32-bit ids; the caller maps SAX words to ids (see
+// grammar/motifs.h). After inference, each rule carries its expanded
+// terminal length and every occurrence's [first,last] token span in the
+// original sequence — the offset bookkeeping the paper relies on to map
+// rules back to raw subsequences of *variable* length.
+
+#ifndef RPM_GRAMMAR_SEQUITUR_H_
+#define RPM_GRAMMAR_SEQUITUR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rpm::grammar {
+
+/// One occurrence of a rule in the input: the inclusive token span it
+/// expands to.
+struct RuleOccurrence {
+  std::size_t first_token = 0;
+  std::size_t last_token = 0;
+
+  bool operator==(const RuleOccurrence&) const = default;
+};
+
+/// A grammar rule. Rule 0 is the top-level rule S covering the whole
+/// input; its occurrence list is empty by convention.
+struct GrammarRule {
+  int id = 0;
+  /// Right-hand side: values >= 0 are terminal token ids; value v < 0
+  /// references rule (-v - 1).
+  std::vector<std::int64_t> rhs;
+  /// Number of terminals this rule expands to.
+  std::size_t expanded_length = 0;
+  /// Every place the rule occurs in the input (directly or via nesting).
+  std::vector<RuleOccurrence> occurrences;
+};
+
+/// An induced grammar.
+class Grammar {
+ public:
+  Grammar() = default;
+  Grammar(std::vector<GrammarRule> rules, std::size_t sequence_length)
+      : rules_(std::move(rules)), sequence_length_(sequence_length) {}
+
+  const std::vector<GrammarRule>& rules() const { return rules_; }
+  std::size_t sequence_length() const { return sequence_length_; }
+
+  /// Rules other than S, i.e. the repeated patterns (id >= 1).
+  std::vector<const GrammarRule*> RepeatedRules() const;
+
+  /// Fully expands rule `id` to its terminal token sequence.
+  std::vector<std::uint32_t> Expand(int id) const;
+
+  /// Human-readable dump ("R1 -> 17 R2 ..."), for debugging/examples.
+  std::string ToString() const;
+
+ private:
+  std::vector<GrammarRule> rules_;
+  std::size_t sequence_length_ = 0;
+};
+
+/// Runs Sequitur over `tokens` and returns the grammar with occurrence
+/// spans populated. Digram uniqueness and rule utility are enforced as in
+/// the original algorithm; the whole inference is O(|tokens|).
+Grammar InferGrammar(std::span<const std::uint32_t> tokens);
+
+}  // namespace rpm::grammar
+
+#endif  // RPM_GRAMMAR_SEQUITUR_H_

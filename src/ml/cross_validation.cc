@@ -1,0 +1,69 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace rpm::ml {
+
+std::vector<int> StratifiedFolds(const std::vector<int>& labels,
+                                 std::size_t k, ts::Rng& rng) {
+  const std::size_t n = labels.size();
+  std::vector<int> folds(n, 0);
+  if (n == 0) return folds;
+  k = std::clamp<std::size_t>(k, 1, n);
+
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < n; ++i) by_class[labels[i]].push_back(i);
+
+  std::size_t next = 0;  // Rotate the starting fold across classes.
+  for (auto& [label, idx] : by_class) {
+    rng.Shuffle(idx);
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      folds[idx[j]] = static_cast<int>((next + j) % k);
+    }
+    next = (next + idx.size()) % k;
+  }
+  return folds;
+}
+
+SplitIndices StratifiedSplit(const std::vector<int>& labels,
+                             double train_fraction, ts::Rng& rng) {
+  SplitIndices out;
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    by_class[labels[i]].push_back(i);
+  }
+  for (auto& [label, idx] : by_class) {
+    rng.Shuffle(idx);
+    std::size_t n_train = static_cast<std::size_t>(
+        std::lround(train_fraction * static_cast<double>(idx.size())));
+    if (idx.size() >= 2) {
+      n_train = std::clamp<std::size_t>(n_train, 1, idx.size() - 1);
+    } else {
+      n_train = idx.size();  // Lone instance goes to train.
+    }
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      (j < n_train ? out.train : out.validation).push_back(idx[j]);
+    }
+  }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.validation.begin(), out.validation.end());
+  return out;
+}
+
+std::pair<ts::Dataset, ts::Dataset> SplitDataset(const ts::Dataset& data,
+                                                 double train_fraction,
+                                                 ts::Rng& rng) {
+  std::vector<int> labels;
+  labels.reserve(data.size());
+  for (const auto& inst : data) labels.push_back(inst.label);
+  const SplitIndices split = StratifiedSplit(labels, train_fraction, rng);
+  ts::Dataset train;
+  ts::Dataset validation;
+  for (std::size_t i : split.train) train.Add(data[i]);
+  for (std::size_t i : split.validation) validation.Add(data[i]);
+  return {std::move(train), std::move(validation)};
+}
+
+}  // namespace rpm::ml

@@ -1,0 +1,40 @@
+// Stratified splitting utilities: train/validation splits for Algorithm 3
+// (5 random splits of the training data) and stratified k-fold assignment
+// for the 5-fold cross-validation of its inner loop.
+
+#ifndef RPM_ML_CROSS_VALIDATION_H_
+#define RPM_ML_CROSS_VALIDATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/feature_dataset.h"
+#include "ts/rng.h"
+#include "ts/series.h"
+
+namespace rpm::ml {
+
+/// Assigns each instance a fold id in [0, k), stratified by label: every
+/// class's instances are spread round-robin over folds after shuffling.
+/// k is clamped to [1, n].
+std::vector<int> StratifiedFolds(const std::vector<int>& labels,
+                                 std::size_t k, ts::Rng& rng);
+
+/// Index split of a labeled time-series dataset into train/validation with
+/// (approximately) `train_fraction` of each class in train; every class
+/// keeps at least one instance on each side when it has >= 2 instances.
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> validation;
+};
+SplitIndices StratifiedSplit(const std::vector<int>& labels,
+                             double train_fraction, ts::Rng& rng);
+
+/// Convenience overloads on datasets.
+std::pair<ts::Dataset, ts::Dataset> SplitDataset(const ts::Dataset& data,
+                                                 double train_fraction,
+                                                 ts::Rng& rng);
+
+}  // namespace rpm::ml
+
+#endif  // RPM_ML_CROSS_VALIDATION_H_

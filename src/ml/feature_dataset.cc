@@ -1,0 +1,38 @@
+#include "ml/feature_dataset.h"
+
+#include <set>
+
+namespace rpm::ml {
+
+FeatureDataset FeatureDataset::SelectColumns(
+    const std::vector<std::size_t>& columns) const {
+  FeatureDataset out;
+  out.y = y;
+  out.x.reserve(x.size());
+  for (const auto& row : x) {
+    std::vector<double> r;
+    r.reserve(columns.size());
+    for (std::size_t c : columns) r.push_back(row[c]);
+    out.x.push_back(std::move(r));
+  }
+  return out;
+}
+
+FeatureDataset FeatureDataset::SelectRows(
+    const std::vector<std::size_t>& rows) const {
+  FeatureDataset out;
+  out.x.reserve(rows.size());
+  out.y.reserve(rows.size());
+  for (std::size_t r : rows) {
+    out.x.push_back(x[r]);
+    out.y.push_back(y[r]);
+  }
+  return out;
+}
+
+std::vector<int> FeatureDataset::Labels() const {
+  std::set<int> labels(y.begin(), y.end());
+  return {labels.begin(), labels.end()};
+}
+
+}  // namespace rpm::ml

@@ -1,0 +1,39 @@
+// Fixed-length feature-vector dataset: the universal representation RPM
+// transforms time series into (Section 3.1 "Time Series Transformation"),
+// consumed by the SVM, CFS and cross-validation utilities.
+
+#ifndef RPM_ML_FEATURE_DATASET_H_
+#define RPM_ML_FEATURE_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rpm::ml {
+
+/// Rows of features plus parallel integer labels.
+struct FeatureDataset {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+
+  std::size_t size() const { return x.size(); }
+  std::size_t num_features() const { return x.empty() ? 0 : x.front().size(); }
+  bool empty() const { return x.empty(); }
+
+  void Add(std::vector<double> row, int label) {
+    x.push_back(std::move(row));
+    y.push_back(label);
+  }
+
+  /// Returns a copy keeping only the feature columns in `columns`.
+  FeatureDataset SelectColumns(const std::vector<std::size_t>& columns) const;
+
+  /// Returns a copy keeping only the rows in `rows`.
+  FeatureDataset SelectRows(const std::vector<std::size_t>& rows) const;
+
+  /// Distinct labels in ascending order.
+  std::vector<int> Labels() const;
+};
+
+}  // namespace rpm::ml
+
+#endif  // RPM_ML_FEATURE_DATASET_H_

@@ -1,0 +1,160 @@
+#include "ml/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace rpm::ml {
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double ma = 0.0;
+  double mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double sab = 0.0;
+  double saa = 0.0;
+  double sbb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa < 1e-24 || sbb < 1e-24) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+double CorrelationRatio(const std::vector<double>& values,
+                        const std::vector<int>& labels) {
+  const std::size_t n = std::min(values.size(), labels.size());
+  if (n == 0) return 0.0;
+  double grand = 0.0;
+  for (std::size_t i = 0; i < n; ++i) grand += values[i];
+  grand /= static_cast<double>(n);
+
+  std::map<int, std::pair<double, std::size_t>> groups;  // sum, count
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& [sum, count] = groups[labels[i]];
+    sum += values[i];
+    ++count;
+  }
+  double between = 0.0;
+  for (const auto& [label, sc] : groups) {
+    const double mean = sc.first / static_cast<double>(sc.second);
+    between += static_cast<double>(sc.second) * (mean - grand) * (mean - grand);
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += (values[i] - grand) * (values[i] - grand);
+  }
+  if (total < 1e-24) return 0.0;
+  return std::sqrt(std::clamp(between / total, 0.0, 1.0));
+}
+
+double CfsMerit(const std::vector<std::size_t>& selected,
+                const std::vector<double>& rcf,
+                const std::vector<double>& rff,
+                std::size_t num_features) {
+  const std::size_t k = selected.size();
+  if (k == 0) return 0.0;
+  double sum_cf = 0.0;
+  for (std::size_t f : selected) sum_cf += rcf[f];
+  double sum_ff = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      sum_ff += rff[selected[i] * num_features + selected[j]];
+    }
+  }
+  const double kd = static_cast<double>(k);
+  const double denom = std::sqrt(kd + 2.0 * sum_ff);
+  if (denom < 1e-24) return 0.0;
+  return sum_cf / denom;
+}
+
+std::vector<std::size_t> CfsSelect(const FeatureDataset& data,
+                                   const CfsOptions& options) {
+  const std::size_t d = data.num_features();
+  if (d == 0 || data.empty()) return {};
+
+  // Columns, then the correlation structures.
+  std::vector<std::vector<double>> cols(d, std::vector<double>(data.size()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t f = 0; f < d; ++f) cols[f][i] = data.x[i][f];
+  }
+  std::vector<double> rcf(d);
+  for (std::size_t f = 0; f < d; ++f) {
+    rcf[f] = CorrelationRatio(cols[f], data.y);
+  }
+  std::vector<double> rff(d * d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) {
+      const double r = std::abs(PearsonCorrelation(cols[i], cols[j]));
+      rff[i * d + j] = r;
+      rff[j * d + i] = r;
+    }
+  }
+
+  // Best-first search (greedy forward with a stale counter, Hall's
+  // formulation restricted to additions, which is the common variant).
+  std::vector<std::size_t> best_set;
+  double best_merit = 0.0;
+  std::vector<std::size_t> current;
+  std::set<std::size_t> in_current;
+  std::size_t stale = 0;
+  while (stale < options.max_stale) {
+    double round_best = -1.0;
+    std::size_t round_feature = d;
+    for (std::size_t f = 0; f < d; ++f) {
+      if (in_current.count(f) > 0) continue;
+      current.push_back(f);
+      const double merit = CfsMerit(current, rcf, rff, d);
+      current.pop_back();
+      if (merit > round_best) {
+        round_best = merit;
+        round_feature = f;
+      }
+    }
+    if (round_feature == d) break;  // All features already selected.
+    current.push_back(round_feature);
+    in_current.insert(round_feature);
+    if (round_best > best_merit + 1e-12) {
+      best_merit = round_best;
+      best_set = current;
+      stale = 0;
+    } else {
+      ++stale;
+    }
+    if (options.max_features > 0 && current.size() >= options.max_features &&
+        !best_set.empty()) {
+      break;
+    }
+    if (current.size() == d) break;
+  }
+
+  if (best_set.empty()) {
+    // Degenerate data: fall back to the single best-correlated feature.
+    const std::size_t best_f = static_cast<std::size_t>(
+        std::max_element(rcf.begin(), rcf.end()) - rcf.begin());
+    best_set = {best_f};
+  }
+  if (options.max_features > 0 && best_set.size() > options.max_features) {
+    // Keep the highest-correlation members.
+    std::sort(best_set.begin(), best_set.end(),
+              [&](std::size_t a, std::size_t b) { return rcf[a] > rcf[b]; });
+    best_set.resize(options.max_features);
+  }
+  std::sort(best_set.begin(), best_set.end());
+  return best_set;
+}
+
+}  // namespace rpm::ml

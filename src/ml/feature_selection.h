@@ -1,0 +1,53 @@
+// Correlation-based Feature Selection (Hall 1999), the FSalg of
+// Algorithm 2 line 22: picks a subset whose features correlate strongly
+// with the class and weakly with each other, by best-first search over the
+// CFS merit  k·r_cf / sqrt(k + k(k-1)·r_ff).
+//
+// Features here are continuous (closest-match distances); we use the
+// correlation ratio (eta) for feature-class association — which reduces to
+// |point-biserial| for two classes — and absolute Pearson correlation for
+// feature-feature redundancy.
+
+#ifndef RPM_ML_FEATURE_SELECTION_H_
+#define RPM_ML_FEATURE_SELECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/feature_dataset.h"
+
+namespace rpm::ml {
+
+/// Pearson correlation of two columns; 0 when either is constant.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Correlation ratio eta in [0,1]: sqrt(between-class variance / total
+/// variance) of `values` grouped by `labels`; 0 when variance vanishes.
+double CorrelationRatio(const std::vector<double>& values,
+                        const std::vector<int>& labels);
+
+/// CFS merit of the subset `selected` given precomputed feature-class
+/// correlations `rcf` and the feature-feature matrix `rff` (row-major,
+/// n x n). Empty subsets have merit 0.
+double CfsMerit(const std::vector<std::size_t>& selected,
+                const std::vector<double>& rcf,
+                const std::vector<double>& rff, std::size_t num_features);
+
+/// Options for the best-first search.
+struct CfsOptions {
+  /// Search stops after this many consecutive non-improving expansions.
+  std::size_t max_stale = 5;
+  /// Never select more than this many features (0 = unlimited).
+  std::size_t max_features = 0;
+};
+
+/// Runs CFS over `data`; returns selected column indices in ascending
+/// order. Always returns at least one feature for non-degenerate input
+/// (the single best-correlated one).
+std::vector<std::size_t> CfsSelect(const FeatureDataset& data,
+                                   const CfsOptions& options = {});
+
+}  // namespace rpm::ml
+
+#endif  // RPM_ML_FEATURE_SELECTION_H_

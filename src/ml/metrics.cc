@@ -1,0 +1,81 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rpm::ml {
+
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& truth) {
+  const std::size_t n = std::min(predicted.size(), truth.size());
+  if (n == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (predicted[i] == truth[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double ErrorRate(const std::vector<int>& predicted,
+                 const std::vector<int>& truth) {
+  return 1.0 - Accuracy(predicted, truth);
+}
+
+std::map<std::pair<int, int>, std::size_t> ConfusionMatrix(
+    const std::vector<int>& predicted, const std::vector<int>& truth) {
+  std::map<std::pair<int, int>, std::size_t> cm;
+  const std::size_t n = std::min(predicted.size(), truth.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ++cm[{truth[i], predicted[i]}];
+  }
+  return cm;
+}
+
+std::map<int, ClassScore> PerClassScores(const std::vector<int>& predicted,
+                                         const std::vector<int>& truth) {
+  std::set<int> labels(truth.begin(), truth.end());
+  labels.insert(predicted.begin(), predicted.end());
+  const std::size_t n = std::min(predicted.size(), truth.size());
+
+  std::map<int, ClassScore> out;
+  for (int label : labels) {
+    std::size_t tp = 0;
+    std::size_t fp = 0;
+    std::size_t fn = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool p = predicted[i] == label;
+      const bool t = truth[i] == label;
+      if (p && t) {
+        ++tp;
+      } else if (p) {
+        ++fp;
+      } else if (t) {
+        ++fn;
+      }
+    }
+    ClassScore score;
+    if (tp + fp > 0) {
+      score.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+    }
+    if (tp + fn > 0) {
+      score.recall = static_cast<double>(tp) / static_cast<double>(tp + fn);
+    }
+    if (score.precision + score.recall > 0.0) {
+      score.f1 = 2.0 * score.precision * score.recall /
+                 (score.precision + score.recall);
+    }
+    out[label] = score;
+  }
+  return out;
+}
+
+double MacroF1(const std::vector<int>& predicted,
+               const std::vector<int>& truth) {
+  const auto scores = PerClassScores(predicted, truth);
+  if (scores.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& [label, s] : scores) acc += s.f1;
+  return acc / static_cast<double>(scores.size());
+}
+
+}  // namespace rpm::ml

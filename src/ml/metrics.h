@@ -1,0 +1,44 @@
+// Classification metrics: accuracy/error, confusion matrix, per-class
+// precision/recall/F-measure (Algorithm 3 optimizes per-class F-measure),
+// and macro aggregates.
+
+#ifndef RPM_ML_METRICS_H_
+#define RPM_ML_METRICS_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace rpm::ml {
+
+/// Fraction of agreeing positions; 0 for empty input.
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& truth);
+
+/// 1 - Accuracy.
+double ErrorRate(const std::vector<int>& predicted,
+                 const std::vector<int>& truth);
+
+/// (truth, predicted) -> count.
+std::map<std::pair<int, int>, std::size_t> ConfusionMatrix(
+    const std::vector<int>& predicted, const std::vector<int>& truth);
+
+/// Per-class precision, recall and F1.
+struct ClassScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// F-measure per class label appearing in `truth` or `predicted`.
+/// A class never predicted and never present scores 0.
+std::map<int, ClassScore> PerClassScores(const std::vector<int>& predicted,
+                                         const std::vector<int>& truth);
+
+/// Unweighted mean of per-class F1.
+double MacroF1(const std::vector<int>& predicted,
+               const std::vector<int>& truth);
+
+}  // namespace rpm::ml
+
+#endif  // RPM_ML_METRICS_H_

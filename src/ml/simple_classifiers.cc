@@ -1,0 +1,195 @@
+#include "ml/simple_classifiers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <map>
+#include <numbers>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace rpm::ml {
+
+void KnnFeatureClassifier::Train(const FeatureDataset& data) {
+  data_ = data;
+}
+
+int KnnFeatureClassifier::Predict(std::span<const double> features) const {
+  if (data_.empty()) {
+    throw std::logic_error("KnnFeatureClassifier::Predict before Train");
+  }
+  std::vector<std::pair<double, int>> dist;  // (distance^2, label)
+  dist.reserve(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    double acc = 0.0;
+    const auto& row = data_.x[i];
+    const std::size_t d = std::min(row.size(), features.size());
+    for (std::size_t f = 0; f < d; ++f) {
+      const double diff = row[f] - features[f];
+      acc += diff * diff;
+    }
+    dist.emplace_back(acc, data_.y[i]);
+  }
+  const std::size_t k = std::min(std::max<std::size_t>(1, k_), dist.size());
+  std::partial_sort(dist.begin(),
+                    dist.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist.end());
+  std::map<int, std::size_t> votes;
+  for (std::size_t i = 0; i < k; ++i) ++votes[dist[i].second];
+  int best = dist[0].second;  // Nearest neighbour breaks ties.
+  for (const auto& [label, count] : votes) {
+    if (count > votes[best]) best = label;
+  }
+  return best;
+}
+
+void GaussianNaiveBayes::Train(const FeatureDataset& data) {
+  classes_.clear();
+  if (data.empty() || data.num_features() == 0) return;
+  const std::size_t d = data.num_features();
+
+  // Variance smoothing proportional to the largest feature variance,
+  // scikit-learn style (var_smoothing = 1e-9 * max variance).
+  std::vector<double> grand_mean(d, 0.0);
+  for (const auto& row : data.x) {
+    for (std::size_t f = 0; f < d; ++f) grand_mean[f] += row[f];
+  }
+  for (double& m : grand_mean) m /= static_cast<double>(data.size());
+  double max_var = 0.0;
+  for (std::size_t f = 0; f < d; ++f) {
+    double v = 0.0;
+    for (const auto& row : data.x) {
+      v += (row[f] - grand_mean[f]) * (row[f] - grand_mean[f]);
+    }
+    max_var = std::max(max_var, v / static_cast<double>(data.size()));
+  }
+  const double smoothing = std::max(1e-9 * max_var, 1e-12);
+
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    by_class[data.y[i]].push_back(i);
+  }
+  for (const auto& [label, rows] : by_class) {
+    ClassModel m;
+    m.label = label;
+    m.log_prior = std::log(static_cast<double>(rows.size()) /
+                           static_cast<double>(data.size()));
+    m.mean.assign(d, 0.0);
+    m.variance.assign(d, 0.0);
+    for (std::size_t i : rows) {
+      for (std::size_t f = 0; f < d; ++f) m.mean[f] += data.x[i][f];
+    }
+    for (double& v : m.mean) v /= static_cast<double>(rows.size());
+    for (std::size_t i : rows) {
+      for (std::size_t f = 0; f < d; ++f) {
+        const double diff = data.x[i][f] - m.mean[f];
+        m.variance[f] += diff * diff;
+      }
+    }
+    for (double& v : m.variance) {
+      v = v / static_cast<double>(rows.size()) + smoothing;
+    }
+    classes_.push_back(std::move(m));
+  }
+}
+
+int GaussianNaiveBayes::Predict(std::span<const double> features) const {
+  if (classes_.empty()) {
+    throw std::logic_error("GaussianNaiveBayes::Predict before Train");
+  }
+  int best = classes_.front().label;
+  double best_ll = -std::numeric_limits<double>::infinity();
+  for (const auto& m : classes_) {
+    double ll = m.log_prior;
+    const std::size_t d = std::min(m.mean.size(), features.size());
+    for (std::size_t f = 0; f < d; ++f) {
+      const double diff = features[f] - m.mean[f];
+      ll += -0.5 * std::log(2.0 * std::numbers::pi * m.variance[f]) -
+            0.5 * diff * diff / m.variance[f];
+    }
+    if (ll > best_ll) {
+      best_ll = ll;
+      best = m.label;
+    }
+  }
+  return best;
+}
+
+void KnnFeatureClassifier::Save(std::ostream& out) const {
+  out.precision(17);
+  out << "knn " << k_ << ' ' << data_.size() << ' ' << data_.num_features()
+      << '\n';
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out << data_.y[i];
+    for (double v : data_.x[i]) out << ' ' << v;
+    out << '\n';
+  }
+}
+
+void KnnFeatureClassifier::Load(std::istream& in) {
+  std::string tag;
+  std::size_t n = 0;
+  std::size_t d = 0;
+  if (!(in >> tag >> k_ >> n >> d) || tag != "knn") {
+    throw std::runtime_error("KnnFeatureClassifier::Load: bad header");
+  }
+  data_ = FeatureDataset{};
+  for (std::size_t i = 0; i < n; ++i) {
+    int label = 0;
+    std::vector<double> row(d);
+    in >> label;
+    for (double& v : row) in >> v;
+    data_.Add(std::move(row), label);
+  }
+  if (!in) {
+    throw std::runtime_error("KnnFeatureClassifier::Load: truncated");
+  }
+}
+
+void GaussianNaiveBayes::Save(std::ostream& out) const {
+  out.precision(17);
+  out << "gnb " << classes_.size() << ' '
+      << (classes_.empty() ? 0 : classes_.front().mean.size()) << '\n';
+  for (const auto& m : classes_) {
+    out << m.label << ' ' << m.log_prior;
+    for (double v : m.mean) out << ' ' << v;
+    for (double v : m.variance) out << ' ' << v;
+    out << '\n';
+  }
+}
+
+void GaussianNaiveBayes::Load(std::istream& in) {
+  std::string tag;
+  std::size_t n = 0;
+  std::size_t d = 0;
+  if (!(in >> tag >> n >> d) || tag != "gnb") {
+    throw std::runtime_error("GaussianNaiveBayes::Load: bad header");
+  }
+  classes_.assign(n, ClassModel{});
+  for (auto& m : classes_) {
+    in >> m.label >> m.log_prior;
+    m.mean.resize(d);
+    m.variance.resize(d);
+    for (double& v : m.mean) in >> v;
+    for (double& v : m.variance) in >> v;
+  }
+  if (!in) throw std::runtime_error("GaussianNaiveBayes::Load: truncated");
+}
+
+std::unique_ptr<FeatureClassifier> MakeFeatureClassifier(
+    FeatureClassifierKind kind, const SvmOptions& svm_options,
+    std::size_t knn_k) {
+  switch (kind) {
+    case FeatureClassifierKind::kKnn:
+      return std::make_unique<KnnFeatureClassifier>(knn_k);
+    case FeatureClassifierKind::kNaiveBayes:
+      return std::make_unique<GaussianNaiveBayes>();
+    case FeatureClassifierKind::kSvm:
+    default:
+      return std::make_unique<SvmFeatureClassifier>(svm_options);
+  }
+}
+
+}  // namespace rpm::ml

@@ -1,0 +1,112 @@
+#include "ml/wilcoxon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rpm::ml {
+namespace {
+
+// Exact two-sided p-value by enumerating the signed-rank sum distribution
+// via dynamic programming over rank inclusion. Valid only without ties
+// among |differences|; with ties it is still a close approximation and we
+// use it for small n regardless (standard practice).
+double ExactPValue(double w, const std::vector<double>& ranks) {
+  // Distribution of W+ over all 2^n sign assignments. Ranks are average
+  // ranks (may be half-integers); scale by 2 to index integers.
+  std::size_t total = 0;
+  std::vector<std::size_t> scaled(ranks.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    scaled[i] = static_cast<std::size_t>(std::llround(2.0 * ranks[i]));
+    total += scaled[i];
+  }
+  std::vector<double> dp(total + 1, 0.0);
+  dp[0] = 1.0;
+  for (std::size_t r : scaled) {
+    for (std::size_t s = total + 1; s-- > r;) {
+      dp[s] += dp[s - r];
+    }
+  }
+  const double denom = std::pow(2.0, static_cast<double>(ranks.size()));
+  // P(W+ <= w) with w scaled; two-sided = 2 * min(P(W+<=w), P(W+>=w)).
+  const auto w2 = static_cast<std::size_t>(std::llround(2.0 * w));
+  double lower = 0.0;
+  for (std::size_t s = 0; s <= std::min(w2, total); ++s) lower += dp[s];
+  double upper = 0.0;
+  for (std::size_t s = std::min(w2, total); s <= total; ++s) upper += dp[s];
+  const double p = 2.0 * std::min(lower, upper) / denom;
+  return std::min(1.0, p);
+}
+
+double NormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+}  // namespace
+
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("WilcoxonSignedRank: length mismatch");
+  }
+  // Non-zero differences with |d| and sign.
+  std::vector<std::pair<double, int>> diffs;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (std::abs(d) > 1e-15) {
+      diffs.emplace_back(std::abs(d), d > 0 ? 1 : -1);
+    }
+  }
+  WilcoxonResult res;
+  res.n_nonzero = diffs.size();
+  if (diffs.empty()) return res;
+
+  std::sort(diffs.begin(), diffs.end());
+  // Average ranks across ties.
+  const std::size_t n = diffs.size();
+  std::vector<double> rank(n, 0.0);
+  double tie_correction = 0.0;
+  for (std::size_t i = 0; i < n;) {
+    std::size_t j = i;
+    while (j < n && diffs[j].first == diffs[i].first) ++j;
+    const double avg =
+        (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) rank[k] = avg;
+    const double t = static_cast<double>(j - i);
+    tie_correction += t * t * t - t;
+    i = j;
+  }
+
+  double w_plus = 0.0;
+  double w_minus = 0.0;
+  std::vector<double> all_ranks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    all_ranks[i] = rank[i];
+    if (diffs[i].second > 0) {
+      w_plus += rank[i];
+    } else {
+      w_minus += rank[i];
+    }
+  }
+  res.statistic = std::min(w_plus, w_minus);
+
+  if (n <= 25) {
+    res.p_value = ExactPValue(res.statistic, all_ranks);
+    return res;
+  }
+  const double nd = static_cast<double>(n);
+  const double mean = nd * (nd + 1.0) / 4.0;
+  const double var =
+      nd * (nd + 1.0) * (2.0 * nd + 1.0) / 24.0 - tie_correction / 48.0;
+  if (var <= 0.0) {
+    res.p_value = 1.0;
+    return res;
+  }
+  // Continuity correction toward the mean.
+  const double z = (res.statistic - mean + 0.5) / std::sqrt(var);
+  res.p_value = std::min(1.0, 2.0 * NormalCdf(z));
+  return res;
+}
+
+}  // namespace rpm::ml

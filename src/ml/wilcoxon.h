@@ -1,0 +1,29 @@
+// Two-sided Wilcoxon signed-rank test, used by the evaluation (Table 1 /
+// Figure 7) to compare per-dataset error rates of two classifiers. Exact
+// null distribution for n <= 25 non-zero differences; normal approximation
+// with tie correction and continuity correction above.
+
+#ifndef RPM_ML_WILCOXON_H_
+#define RPM_ML_WILCOXON_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rpm::ml {
+
+/// Test result.
+struct WilcoxonResult {
+  double statistic = 0.0;    ///< W = min(W+, W-)
+  double p_value = 1.0;      ///< two-sided
+  std::size_t n_nonzero = 0; ///< pairs with non-zero difference
+};
+
+/// Paired two-sided test on `a` vs `b` (equal length). Zero differences
+/// are dropped (Wilcoxon's original procedure); ties among |differences|
+/// receive average ranks. Returns p = 1 when fewer than 1 non-zero pair.
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+}  // namespace rpm::ml
+
+#endif  // RPM_ML_WILCOXON_H_

@@ -1,0 +1,45 @@
+#include "opt/grid.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rpm::opt {
+
+GridResult GridSearchMin(
+    const std::function<double(std::span<const int>)>& f,
+    const std::vector<IntRange>& ranges) {
+  if (ranges.empty()) {
+    throw std::invalid_argument("GridSearchMin: no ranges");
+  }
+  for (const auto& r : ranges) {
+    if (r.count() == 0) {
+      throw std::invalid_argument("GridSearchMin: empty range");
+    }
+  }
+  GridResult result;
+  result.best_value = std::numeric_limits<double>::infinity();
+
+  std::vector<int> point(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) point[i] = ranges[i].lo;
+
+  while (true) {
+    const double v = f(point);
+    ++result.evaluations;
+    if (v < result.best_value) {
+      result.best_value = v;
+      result.best_point = point;
+    }
+    // Odometer increment.
+    std::size_t dim = 0;
+    while (dim < ranges.size()) {
+      point[dim] += ranges[dim].step;
+      if (point[dim] <= ranges[dim].hi) break;
+      point[dim] = ranges[dim].lo;
+      ++dim;
+    }
+    if (dim == ranges.size()) break;
+  }
+  return result;
+}
+
+}  // namespace rpm::opt

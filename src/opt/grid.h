@@ -1,0 +1,42 @@
+// Exhaustive integer grid search, the brute-force alternative to DIRECT
+// for SAX parameter selection (Section 4.1, Algorithm 3).
+
+#ifndef RPM_OPT_GRID_H_
+#define RPM_OPT_GRID_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace rpm::opt {
+
+/// Inclusive integer range with stride.
+struct IntRange {
+  int lo = 0;
+  int hi = 0;
+  int step = 1;
+
+  std::size_t count() const {
+    if (hi < lo || step <= 0) return 0;
+    return static_cast<std::size_t>((hi - lo) / step) + 1;
+  }
+};
+
+/// Minimization result over the grid.
+struct GridResult {
+  std::vector<int> best_point;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Evaluates `f` at every point of the Cartesian product of `ranges` and
+/// returns the minimizer. `f` may return +inf to reject a combination
+/// (the paper's candidate-pool-empty pruning). Throws on empty ranges.
+GridResult GridSearchMin(
+    const std::function<double(std::span<const int>)>& f,
+    const std::vector<IntRange>& ranges);
+
+}  // namespace rpm::opt
+
+#endif  // RPM_OPT_GRID_H_

@@ -1,0 +1,177 @@
+#include "sax/sax.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "ts/znorm.h"
+
+namespace rpm::sax {
+namespace {
+
+// Acklam's rational approximation to the inverse normal CDF; relative
+// error < 1.15e-9, far below what symbol binning needs.
+double InverseNormalCdf(double p) {
+  static constexpr std::array<double, 6> a = {
+      -3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+      1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr std::array<double, 5> b = {
+      -5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+      6.680131188771972e+01, -1.328068155288572e+01};
+  static constexpr std::array<double, 6> c = {
+      -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+      -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00};
+  static constexpr std::array<double, 4> d = {
+      7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+      3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("InverseNormalCdf: p must be in (0,1)");
+  }
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+const std::vector<double>& GaussianBreakpoints(int alphabet) {
+  if (alphabet < kMinAlphabet || alphabet > kMaxAlphabet) {
+    throw std::invalid_argument("SAX alphabet size must be in [2, 26], got " +
+                                std::to_string(alphabet));
+  }
+  static std::map<int, std::vector<double>> cache;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(alphabet);
+  if (it != cache.end()) return it->second;
+  std::vector<double> bps(static_cast<std::size_t>(alphabet) - 1);
+  for (int i = 1; i < alphabet; ++i) {
+    bps[static_cast<std::size_t>(i) - 1] =
+        InverseNormalCdf(static_cast<double>(i) / alphabet);
+  }
+  return cache.emplace(alphabet, std::move(bps)).first->second;
+}
+
+ts::Series Paa(ts::SeriesView values, std::size_t segments) {
+  ts::Series out(segments, 0.0);
+  const std::size_t n = values.size();
+  if (n == 0 || segments == 0) return out;
+  if (segments >= n) {
+    // Upsample: each output point takes the covering input point.
+    for (std::size_t i = 0; i < segments; ++i) {
+      out[i] = values[i * n / segments];
+    }
+    return out;
+  }
+  // Fractional boundaries: input point j contributes to output segment(s)
+  // proportionally to overlap, so sums are exact for any n/segments.
+  std::vector<double> weight(segments, 0.0);
+  const double seg_width = static_cast<double>(n) / segments;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lo = static_cast<double>(j);
+    const double hi = lo + 1.0;
+    auto first = static_cast<std::size_t>(lo / seg_width);
+    first = std::min(first, segments - 1);
+    for (std::size_t s = first; s < segments; ++s) {
+      const double seg_lo = s * seg_width;
+      const double seg_hi = seg_lo + seg_width;
+      const double overlap =
+          std::min(hi, seg_hi) - std::max(lo, seg_lo);
+      if (overlap <= 0.0) break;
+      out[s] += values[j] * overlap;
+      weight[s] += overlap;
+    }
+  }
+  for (std::size_t s = 0; s < segments; ++s) {
+    if (weight[s] > 0.0) out[s] /= weight[s];
+  }
+  return out;
+}
+
+char Symbol(double value, int alphabet) {
+  const auto& bps = GaussianBreakpoints(alphabet);
+  const auto it = std::upper_bound(bps.begin(), bps.end(), value);
+  return static_cast<char>('a' + (it - bps.begin()));
+}
+
+std::string SaxWord(ts::SeriesView znormed, std::size_t paa_size,
+                    int alphabet) {
+  const ts::Series paa = Paa(znormed, paa_size);
+  std::string word(paa_size, 'a');
+  for (std::size_t i = 0; i < paa_size; ++i) {
+    word[i] = Symbol(paa[i], alphabet);
+  }
+  return word;
+}
+
+std::vector<SaxRecord> DiscretizeSlidingWindow(ts::SeriesView series,
+                                               const SaxOptions& options) {
+  std::vector<SaxRecord> out;
+  if (options.window == 0 || series.size() < options.window) return out;
+  const std::size_t count = series.size() - options.window + 1;
+  out.reserve(count);
+  ts::Series buf;
+  for (std::size_t pos = 0; pos < count; ++pos) {
+    ts::SeriesView window = series.subspan(pos, options.window);
+    std::string word;
+    if (options.znormalize) {
+      buf.assign(window.begin(), window.end());
+      ts::ZNormalizeInPlace(buf);
+      word = SaxWord(buf, options.paa_size, options.alphabet);
+    } else {
+      word = SaxWord(window, options.paa_size, options.alphabet);
+    }
+    if (options.numerosity_reduction && !out.empty() &&
+        out.back().word == word) {
+      continue;  // Record only the first of a run of identical words.
+    }
+    out.push_back(SaxRecord{std::move(word), pos});
+  }
+  return out;
+}
+
+double MinDist(const std::string& a, const std::string& b, int alphabet,
+               std::size_t n) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("MinDist: words must have equal length");
+  }
+  if (a.empty()) return 0.0;
+  const auto& bps = GaussianBreakpoints(alphabet);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const int ia = a[i] - 'a';
+    const int ib = b[i] - 'a';
+    const int lo = std::min(ia, ib);
+    const int hi = std::max(ia, ib);
+    if (hi - lo <= 1) continue;  // Adjacent or equal symbols: cell dist 0.
+    const double d = bps[static_cast<std::size_t>(hi) - 1] -
+                     bps[static_cast<std::size_t>(lo)];
+    acc += d * d;
+  }
+  const double w = static_cast<double>(a.size());
+  return std::sqrt(static_cast<double>(n) / w) * std::sqrt(acc);
+}
+
+}  // namespace rpm::sax

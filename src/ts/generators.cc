@@ -1,0 +1,658 @@
+#include "ts/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numbers>
+
+#include "ts/rng.h"
+#include "ts/znorm.h"
+
+namespace rpm::ts {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Builds a split by drawing `train_per_class` + `test_per_class` instances
+// per label from `draw(label, rng)` and z-normalizing each instance.
+DatasetSplit BuildSplit(const std::string& name,
+                        const std::vector<int>& labels,
+                        std::size_t train_per_class,
+                        std::size_t test_per_class, std::uint64_t seed,
+                        const std::function<Series(int, Rng&)>& draw) {
+  DatasetSplit split;
+  split.name = name;
+  Rng rng(seed);
+  for (int label : labels) {
+    for (std::size_t i = 0; i < train_per_class; ++i) {
+      Series s = draw(label, rng);
+      ZNormalizeInPlace(s);
+      split.train.Add(label, std::move(s));
+    }
+  }
+  for (int label : labels) {
+    for (std::size_t i = 0; i < test_per_class; ++i) {
+      Series s = draw(label, rng);
+      ZNormalizeInPlace(s);
+      split.test.Add(label, std::move(s));
+    }
+  }
+  return split;
+}
+
+// Adds a Gaussian bump of the given center/width/amplitude to `s`.
+void AddGaussianBump(Series& s, double center, double width, double amp) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double d = (static_cast<double>(i) - center) / width;
+    s[i] += amp * std::exp(-0.5 * d * d);
+  }
+}
+
+// Smooths `s` with a centered moving average of half-width `hw`.
+Series Smooth(const Series& s, std::size_t hw) {
+  if (hw == 0 || s.empty()) return s;
+  Series out(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::size_t lo = i >= hw ? i - hw : 0;
+    const std::size_t hi = std::min(s.size() - 1, i + hw);
+    double acc = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) acc += s[j];
+    out[i] = acc / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+DatasetSplit MakeCbf(std::size_t train_per_class, std::size_t test_per_class,
+                     std::size_t length, std::uint64_t seed) {
+  auto draw = [length](int label, Rng& rng) {
+    Series s(length);
+    const double m = static_cast<double>(length);
+    // Saito's recipe scaled to the requested length (original a in [16,32],
+    // b-a in [32,96] for length 128).
+    const double a = rng.Uniform(m * 0.125, m * 0.25);
+    const double b = a + rng.Uniform(m * 0.25, m * 0.75);
+    const double eta = rng.Gaussian(0.0, 1.0);
+    for (std::size_t t = 0; t < length; ++t) {
+      const double x = static_cast<double>(t);
+      const double chi = (x >= a && x <= b) ? 1.0 : 0.0;
+      double shape = 0.0;
+      switch (label) {
+        case 1:  // Cylinder: plateau.
+          shape = (6.0 + eta) * chi;
+          break;
+        case 2:  // Bell: increasing ramp then drop.
+          shape = (6.0 + eta) * chi * (x - a) / (b - a);
+          break;
+        default:  // Funnel: sudden rise then decreasing ramp.
+          shape = (6.0 + eta) * chi * (b - x) / (b - a);
+          break;
+      }
+      s[t] = shape + rng.Gaussian(0.0, 1.0);
+    }
+    return s;
+  };
+  return BuildSplit("CBF", {1, 2, 3}, train_per_class, test_per_class, seed,
+                    draw);
+}
+
+DatasetSplit MakeTwoPatterns(std::size_t train_per_class,
+                             std::size_t test_per_class, std::size_t length,
+                             std::uint64_t seed) {
+  // Each instance embeds two step events; the class is the ordered pair of
+  // event types: 1=(UD,UD) 2=(UD,DU) 3=(DU,UD) 4=(DU,DU).
+  auto draw = [length](int label, Rng& rng) {
+    Series s(length);
+    for (auto& v : s) v = rng.Gaussian(0.0, 0.35);
+    const bool first_ud = (label == 1 || label == 2);
+    const bool second_ud = (label == 1 || label == 3);
+    const std::size_t ev_len = std::max<std::size_t>(8, length / 8);
+    const auto max1 = static_cast<std::int64_t>(length / 2 - ev_len - 1);
+    const auto pos1 = static_cast<std::size_t>(rng.UniformInt(0, max1));
+    const auto lo2 = static_cast<std::int64_t>(length / 2);
+    const auto hi2 = static_cast<std::int64_t>(length - ev_len - 1);
+    const auto pos2 = static_cast<std::size_t>(rng.UniformInt(lo2, hi2));
+    auto stamp = [&](std::size_t pos, bool up_down) {
+      const std::size_t half = ev_len / 2;
+      for (std::size_t i = 0; i < ev_len; ++i) {
+        const double level = (i < half) == up_down ? 5.0 : -5.0;
+        s[pos + i] += level;
+      }
+    };
+    stamp(pos1, first_ud);
+    stamp(pos2, second_ud);
+    return s;
+  };
+  return BuildSplit("TwoPatterns", {1, 2, 3, 4}, train_per_class,
+                    test_per_class, seed, draw);
+}
+
+DatasetSplit MakeSyntheticControl(std::size_t train_per_class,
+                                  std::size_t test_per_class,
+                                  std::size_t length, std::uint64_t seed) {
+  auto draw = [length](int label, Rng& rng) {
+    Series s(length);
+    const double m = static_cast<double>(length);
+    const double shift_point = rng.Uniform(m / 3.0, 2.0 * m / 3.0);
+    const double amp = rng.Uniform(10.0, 15.0);
+    const double period = rng.Uniform(10.0, 15.0);
+    const double grad = rng.Uniform(0.2, 0.5);
+    const double shift = rng.Uniform(7.5, 20.0);
+    for (std::size_t t = 0; t < length; ++t) {
+      const double x = static_cast<double>(t);
+      double v = 30.0 + rng.Gaussian(0.0, 2.0);
+      switch (label) {
+        case 1:  // Normal.
+          break;
+        case 2:  // Cyclic.
+          v += amp * std::sin(2.0 * kPi * x / period);
+          break;
+        case 3:  // Increasing trend.
+          v += grad * x;
+          break;
+        case 4:  // Decreasing trend.
+          v -= grad * x;
+          break;
+        case 5:  // Upward shift.
+          v += (x >= shift_point) ? shift : 0.0;
+          break;
+        default:  // Downward shift.
+          v -= (x >= shift_point) ? shift : 0.0;
+          break;
+      }
+      s[t] = v;
+    }
+    return s;
+  };
+  return BuildSplit("SyntheticControl", {1, 2, 3, 4, 5, 6}, train_per_class,
+                    test_per_class, seed, draw);
+}
+
+DatasetSplit MakeGunPoint(std::size_t train_per_class,
+                          std::size_t test_per_class, std::size_t length,
+                          std::uint64_t seed) {
+  auto draw = [length](int label, Rng& rng) {
+    Series s(length, 0.0);
+    const double m = static_cast<double>(length);
+    const double rise_start = m * rng.Uniform(0.15, 0.25);
+    const double rise_end = rise_start + m * rng.Uniform(0.08, 0.14);
+    const double fall_start = m * rng.Uniform(0.65, 0.75);
+    const double fall_end = fall_start + m * rng.Uniform(0.08, 0.14);
+    const double plateau = rng.Uniform(1.8, 2.2);
+    for (std::size_t t = 0; t < length; ++t) {
+      const double x = static_cast<double>(t);
+      double v;
+      if (x < rise_start) {
+        v = 0.0;
+      } else if (x < rise_end) {
+        v = plateau * (x - rise_start) / (rise_end - rise_start);
+      } else if (x < fall_start) {
+        v = plateau;
+      } else if (x < fall_end) {
+        v = plateau * (fall_end - x) / (fall_end - fall_start);
+      } else {
+        v = 0.0;
+      }
+      s[t] = v;
+    }
+    if (label == 1) {
+      // Gun class: holster-lift overshoot before the rise and dip after
+      // the return — the discriminative local event.
+      AddGaussianBump(s, rise_start - m * 0.05, m * 0.02,
+                      rng.Uniform(0.5, 0.8));
+      AddGaussianBump(s, fall_end + m * 0.05, m * 0.02,
+                      -rng.Uniform(0.35, 0.6));
+    }
+    for (auto& v : s) v += rng.Gaussian(0.0, 0.05);
+    return Smooth(s, 1);
+  };
+  return BuildSplit("GunPoint", {1, 2}, train_per_class, test_per_class,
+                    seed, draw);
+}
+
+DatasetSplit MakeCoffee(std::size_t train_per_class,
+                        std::size_t test_per_class, std::size_t length,
+                        std::uint64_t seed) {
+  auto draw = [length](int label, Rng& rng) {
+    Series s(length, 0.0);
+    const double m = static_cast<double>(length);
+    // Common constituent bands (carbohydrates, lipids, ...).
+    const double common_centers[] = {0.12, 0.30, 0.52, 0.80, 0.92};
+    const double common_amps[] = {1.0, 1.6, 1.2, 0.9, 0.7};
+    for (int b = 0; b < 5; ++b) {
+      AddGaussianBump(s, common_centers[b] * m, m * 0.035,
+                      common_amps[b] * rng.Uniform(0.9, 1.1));
+    }
+    // Discriminative caffeine / chlorogenic-acid stand-in bands: Robusta
+    // (label 1) carries visibly stronger amplitudes than Arabica (label 2).
+    const double caffeine = (label == 1) ? 1.5 : 0.7;
+    const double chlorogenic = (label == 1) ? 1.2 : 0.5;
+    AddGaussianBump(s, 0.42 * m, m * 0.02, caffeine * rng.Uniform(0.9, 1.1));
+    AddGaussianBump(s, 0.66 * m, m * 0.025,
+                    chlorogenic * rng.Uniform(0.9, 1.1));
+    for (auto& v : s) v += rng.Gaussian(0.0, 0.02);
+    return s;
+  };
+  return BuildSplit("Coffee", {1, 2}, train_per_class, test_per_class, seed,
+                    draw);
+}
+
+DatasetSplit MakeEcg(std::size_t train_per_class, std::size_t test_per_class,
+                     std::size_t length, std::uint64_t seed) {
+  auto draw = [length](int label, Rng& rng) {
+    Series s(length, 0.0);
+    const double m = static_cast<double>(length);
+    const double jitter = rng.Uniform(-0.03, 0.03) * m;
+    // P wave, QRS complex (Q dip, R spike, S dip), T wave.
+    AddGaussianBump(s, 0.22 * m + jitter, m * 0.035, 0.25);
+    AddGaussianBump(s, 0.38 * m + jitter, m * 0.012, -0.35);
+    AddGaussianBump(s, 0.42 * m + jitter, m * 0.010, 3.0);
+    AddGaussianBump(s, 0.46 * m + jitter, m * 0.012, -0.8);
+    const double t_amp = (label == 1) ? 0.8 : 0.35;
+    const double st_level = (label == 1) ? 0.0 : 0.25;
+    AddGaussianBump(s, 0.68 * m + jitter, m * 0.05, t_amp);
+    // ST-segment elevation for class 2.
+    for (std::size_t t = 0; t < length; ++t) {
+      const double x = static_cast<double>(t);
+      if (x > 0.48 * m + jitter && x < 0.62 * m + jitter) s[t] += st_level;
+    }
+    for (auto& v : s) v += rng.Gaussian(0.0, 0.05);
+    return s;
+  };
+  return BuildSplit("ECGFiveDays", {1, 2}, train_per_class, test_per_class,
+                    seed, draw);
+}
+
+DatasetSplit MakeTrace(std::size_t train_per_class,
+                       std::size_t test_per_class, std::size_t length,
+                       std::uint64_t seed) {
+  // 4 classes from {step, none} x {burst, none}:
+  // 1 = step only, 2 = burst only, 3 = both, 4 = neither.
+  auto draw = [length](int label, Rng& rng) {
+    Series s(length);
+    for (auto& v : s) v = rng.Gaussian(0.0, 0.1);
+    const double m = static_cast<double>(length);
+    const bool has_step = (label == 1 || label == 3);
+    const bool has_burst = (label == 2 || label == 3);
+    if (has_step) {
+      const double at = m * rng.Uniform(0.3, 0.6);
+      const double width = m * 0.04;
+      for (std::size_t t = 0; t < length; ++t) {
+        const double x = static_cast<double>(t);
+        s[t] += 2.0 / (1.0 + std::exp(-(x - at) / width));
+      }
+    }
+    if (has_burst) {
+      const double at = m * rng.Uniform(0.15, 0.7);
+      const double span = m * 0.15;
+      for (std::size_t t = 0; t < length; ++t) {
+        const double x = static_cast<double>(t);
+        if (x >= at && x < at + span) {
+          s[t] += 0.8 * std::sin(2.0 * kPi * (x - at) / (span / 4.0));
+        }
+      }
+    }
+    return s;
+  };
+  return BuildSplit("Trace", {1, 2, 3, 4}, train_per_class, test_per_class,
+                    seed, draw);
+}
+
+DatasetSplit MakeShapeOutlines(std::size_t train_per_class,
+                               std::size_t test_per_class,
+                               std::size_t length, std::uint64_t seed) {
+  // Radial scan of a noisy regular k-gon; class c uses k = c + 2 vertices
+  // (triangle, square, pentagon, hexagon). The radius profile of a regular
+  // polygon as a function of angle is r(theta) = cos(pi/k) /
+  // cos((theta mod 2pi/k) - pi/k).
+  auto draw = [length](int label, Rng& rng) {
+    const int k = label + 2;
+    const double sector = 2.0 * kPi / k;
+    const double scale = rng.Uniform(0.9, 1.1);
+    Series s(length);
+    for (std::size_t t = 0; t < length; ++t) {
+      const double theta = 2.0 * kPi * static_cast<double>(t) /
+                           static_cast<double>(length);
+      const double local = std::fmod(theta, sector) - sector / 2.0;
+      const double r = std::cos(kPi / k) / std::cos(local);
+      s[t] = scale * r + rng.Gaussian(0.0, 0.01);
+    }
+    return Smooth(s, 1);
+  };
+  return BuildSplit("ShapeOutlines", {1, 2, 3, 4}, train_per_class,
+                    test_per_class, seed, draw);
+}
+
+DatasetSplit MakeItalyPower(std::size_t train_per_class,
+                            std::size_t test_per_class, std::size_t length,
+                            std::uint64_t seed) {
+  auto draw = [length](int label, Rng& rng) {
+    Series s(length, 0.0);
+    const double m = static_cast<double>(length);
+    // Winter (1): pronounced morning + evening peaks; summer (2): flatter
+    // midday-shifted profile.
+    if (label == 1) {
+      AddGaussianBump(s, 0.33 * m, m * 0.07, rng.Uniform(1.6, 2.0));
+      AddGaussianBump(s, 0.80 * m, m * 0.08, rng.Uniform(1.8, 2.2));
+    } else {
+      AddGaussianBump(s, 0.45 * m, m * 0.14, rng.Uniform(1.1, 1.4));
+      AddGaussianBump(s, 0.70 * m, m * 0.10, rng.Uniform(0.8, 1.1));
+    }
+    for (auto& v : s) v += rng.Gaussian(0.0, 0.12);
+    return s;
+  };
+  return BuildSplit("ItalyPower", {1, 2}, train_per_class, test_per_class,
+                    seed, draw);
+}
+
+DatasetSplit MakeWafer(std::size_t train_per_class,
+                       std::size_t test_per_class, std::size_t length,
+                       std::uint64_t seed) {
+  auto draw = [length](int label, Rng& rng) {
+    Series s(length, 0.0);
+    const double m = static_cast<double>(length);
+    // Process trace: ramp up, plateau with process wiggle, ramp down.
+    const double up = m * rng.Uniform(0.1, 0.15);
+    const double down = m * rng.Uniform(0.82, 0.9);
+    for (std::size_t t = 0; t < length; ++t) {
+      const double x = static_cast<double>(t);
+      double v;
+      if (x < up) {
+        v = 2.0 * x / up;
+      } else if (x < down) {
+        v = 2.0 + 0.15 * std::sin(2.0 * kPi * (x - up) / (m * 0.2));
+      } else {
+        v = 2.0 * (m - x) / (m - down);
+      }
+      s[t] = v + rng.Gaussian(0.0, 0.06);
+    }
+    if (label == 2) {
+      // Fault: a localized excursion somewhere in the plateau.
+      const double at = rng.Uniform(up + m * 0.05, down - m * 0.05);
+      const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+      AddGaussianBump(s, at, m * 0.02, sign * rng.Uniform(1.0, 1.6));
+    }
+    return s;
+  };
+  return BuildSplit("Wafer", {1, 2}, train_per_class, test_per_class, seed,
+                    draw);
+}
+
+namespace {
+
+// One ABP strip; alarm_kind: -1 = normal, 0 = hypotension ramp,
+// 1 = flatline artifact, 2 = pulse-pressure narrowing.
+Series DrawAbpStrip(std::size_t length, int alarm_kind, Rng& rng) {
+  Series s(length, 0.0);
+  const double beat_len = rng.Uniform(28.0, 34.0);
+  const double base_sys = rng.Uniform(1.8, 2.2);  // systolic amplitude
+  const double base_dia = rng.Uniform(0.4, 0.6);  // diastolic level
+  const double m = static_cast<double>(length);
+  const double flat_start = rng.Uniform(0.35, 0.55) * m;
+  const double flat_len = rng.Uniform(0.15, 0.3) * m;
+  for (std::size_t t = 0; t < length; ++t) {
+    const double x = static_cast<double>(t);
+    const double phase = std::fmod(x, beat_len) / beat_len;
+    double sys = base_sys;
+    double dia = base_dia;
+    switch (alarm_kind) {
+      case 0:  // Hypotension: amplitude decays along the strip.
+        sys *= std::max(0.25, 1.0 - 0.8 * x / m);
+        break;
+      case 1:  // Flatline artifact: a damped segment.
+        if (x >= flat_start && x < flat_start + flat_len) {
+          sys *= 0.05;
+          dia *= 0.3;
+        }
+        break;
+      case 2:  // Pulse-pressure narrowing: diastolic rises.
+        dia = base_dia + 0.5 * sys * std::min(1.0, 2.0 * x / m);
+        break;
+      default:  // Normal strip.
+        break;
+    }
+    // Beat morphology: fast systolic upstroke, exponential decay,
+    // dicrotic notch bump.
+    double v = dia;
+    if (phase < 0.15) {
+      v += sys * (phase / 0.15);
+    } else {
+      v += sys * std::exp(-(phase - 0.15) * 4.0);
+      const double notch = (phase - 0.45) / 0.05;
+      v += 0.15 * sys * std::exp(-0.5 * notch * notch);
+    }
+    s[t] = v + rng.Gaussian(0.0, 0.02);
+  }
+  return s;
+}
+
+}  // namespace
+
+DatasetSplit MakeAbpAlarm(std::size_t train_per_class,
+                          std::size_t test_per_class, std::size_t length,
+                          std::uint64_t seed) {
+  auto draw = [length](int label, Rng& rng) {
+    const int alarm_kind =
+        label == 2 ? static_cast<int>(rng.UniformInt(0, 2)) : -1;
+    return DrawAbpStrip(length, alarm_kind, rng);
+  };
+  return BuildSplit("AbpAlarm", {1, 2}, train_per_class, test_per_class,
+                    seed, draw);
+}
+
+DatasetSplit MakeAbpAlarmTypes(std::size_t train_per_class,
+                               std::size_t test_per_class,
+                               std::size_t length, std::uint64_t seed) {
+  auto draw = [length](int label, Rng& rng) {
+    return DrawAbpStrip(length, label - 2, rng);  // 1 -> -1 (normal)
+  };
+  return BuildSplit("AbpAlarmTypes", {1, 2, 3, 4}, train_per_class,
+                    test_per_class, seed, draw);
+}
+
+DatasetSplit MakeSymbols(std::size_t train_per_class,
+                         std::size_t test_per_class, std::size_t length,
+                         std::uint64_t seed) {
+  // Per-class smooth prototypes, fixed by the seed, drawn with amplitude
+  // jitter, small time warping and additive noise.
+  constexpr int kClasses = 3;
+  Rng proto_rng(seed ^ 0xABCDEF);
+  std::vector<Series> prototypes;
+  for (int c = 0; c < kClasses; ++c) {
+    Series p(length);
+    double v = 0.0;
+    for (auto& x : p) {
+      v += proto_rng.Gaussian();
+      x = v;
+    }
+    p = Smooth(Smooth(p, length / 16), length / 16);
+    prototypes.push_back(std::move(p));
+  }
+  auto draw = [length, prototypes](int label, Rng& rng) {
+    const Series& proto = prototypes[static_cast<std::size_t>(label - 1)];
+    const double amp = rng.Uniform(0.8, 1.2);
+    const double warp = rng.Uniform(-0.03, 0.03);
+    Series s(length);
+    for (std::size_t t = 0; t < length; ++t) {
+      // Mild linear time warp: read the prototype at a stretched index.
+      const double src = std::clamp(
+          static_cast<double>(t) * (1.0 + warp), 0.0,
+          static_cast<double>(length - 1));
+      const auto lo = static_cast<std::size_t>(src);
+      const std::size_t hi = std::min(lo + 1, length - 1);
+      const double frac = src - static_cast<double>(lo);
+      s[t] = amp * (proto[lo] * (1.0 - frac) + proto[hi] * frac) +
+             rng.Gaussian(0.0, 0.05);
+    }
+    return s;
+  };
+  return BuildSplit("Symbols", {1, 2, 3}, train_per_class, test_per_class,
+                    seed, draw);
+}
+
+DatasetSplit MakeFaceFour(std::size_t train_per_class,
+                          std::size_t test_per_class, std::size_t length,
+                          std::uint64_t seed) {
+  // Base head outline (radial profile) plus class-specific feature bumps.
+  auto draw = [length](int label, Rng& rng) {
+    Series s(length, 0.0);
+    const double m = static_cast<double>(length);
+    for (std::size_t t = 0; t < length; ++t) {
+      s[t] = 1.0 + 0.15 * std::sin(2.0 * kPi * static_cast<double>(t) / m);
+    }
+    // Feature constellation per class: positions/signs of three bumps.
+    const double layouts[4][3] = {{0.15, 0.45, 0.75},
+                                  {0.2, 0.5, 0.8},
+                                  {0.1, 0.4, 0.65},
+                                  {0.25, 0.55, 0.85}};
+    const double signs[4][3] = {{1, -1, 1},
+                                {-1, 1, 1},
+                                {1, 1, -1},
+                                {-1, -1, 1}};
+    const auto c = static_cast<std::size_t>(label - 1);
+    for (int b = 0; b < 3; ++b) {
+      AddGaussianBump(s, layouts[c][b] * m, m * 0.03,
+                      signs[c][b] * rng.Uniform(0.35, 0.5));
+    }
+    for (auto& v : s) v += rng.Gaussian(0.0, 0.04);
+    return s;
+  };
+  return BuildSplit("FaceFour", {1, 2, 3, 4}, train_per_class,
+                    test_per_class, seed, draw);
+}
+
+DatasetSplit MakeLightning(std::size_t train_per_class,
+                           std::size_t test_per_class, std::size_t length,
+                           std::uint64_t seed) {
+  // Class 1: one long-decay burst; class 2: a train of short bursts.
+  auto draw = [length](int label, Rng& rng) {
+    Series s(length);
+    for (auto& v : s) v = rng.Gaussian(0.0, 0.1);
+    const double m = static_cast<double>(length);
+    if (label == 1) {
+      const double at = rng.Uniform(0.1, 0.4) * m;
+      const double decay = rng.Uniform(0.08, 0.15) * m;
+      for (std::size_t t = 0; t < length; ++t) {
+        const double x = static_cast<double>(t);
+        if (x >= at) s[t] += 3.0 * std::exp(-(x - at) / decay);
+      }
+    } else {
+      const int bursts = static_cast<int>(rng.UniformInt(3, 5));
+      for (int b = 0; b < bursts; ++b) {
+        const double at = rng.Uniform(0.1, 0.85) * m;
+        const double decay = rng.Uniform(0.01, 0.03) * m;
+        for (std::size_t t = 0; t < length; ++t) {
+          const double x = static_cast<double>(t);
+          if (x >= at) s[t] += 2.2 * std::exp(-(x - at) / decay);
+        }
+      }
+    }
+    return s;
+  };
+  return BuildSplit("Lightning", {1, 2}, train_per_class, test_per_class,
+                    seed, draw);
+}
+
+DatasetSplit MakeMoteStrain(std::size_t train_per_class,
+                            std::size_t test_per_class, std::size_t length,
+                            std::uint64_t seed) {
+  // Slow drift + class-specific step pattern, heavy sensor noise.
+  auto draw = [length](int label, Rng& rng) {
+    Series s(length);
+    const double m = static_cast<double>(length);
+    const double drift = rng.Uniform(-0.5, 0.5);
+    const double step_at = rng.Uniform(0.3, 0.7) * m;
+    const double step_w = m * 0.02;
+    for (std::size_t t = 0; t < length; ++t) {
+      const double x = static_cast<double>(t);
+      double v = drift * x / m + rng.Gaussian(0.0, 0.25);
+      const double sigmoid = 1.0 / (1.0 + std::exp(-(x - step_at) / step_w));
+      if (label == 1) {
+        v += 1.5 * sigmoid;  // single upward shift
+      } else {
+        // Up then back down (pulse-like strain event).
+        const double back_at = std::min(m - 1.0, step_at + 0.15 * m);
+        const double back =
+            1.0 / (1.0 + std::exp(-(x - back_at) / step_w));
+        v += 1.5 * (sigmoid - back);
+      }
+      s[t] = v;
+    }
+    return s;
+  };
+  return BuildSplit("MoteStrain", {1, 2}, train_per_class, test_per_class,
+                    seed, draw);
+}
+
+DatasetSplit MakeCricket(std::size_t train_per_class,
+                         std::size_t test_per_class, std::size_t length,
+                         std::uint64_t seed) {
+  // Umpire gesture: both classes share a "raise" envelope; the signature
+  // event is a double bump whose asymmetry is mirrored between classes
+  // (left- vs right-hand movement, the Figure 1 framing).
+  auto draw = [length](int label, Rng& rng) {
+    Series s(length, 0.0);
+    const double m = static_cast<double>(length);
+    const double onset = rng.Uniform(0.25, 0.5) * m;
+    // Shared raise/lower envelope.
+    AddGaussianBump(s, onset, m * 0.12, 1.0);
+    // Mirrored double-bump signature: leading spike then trailing dip for
+    // class 1, the reverse for class 2.
+    const double sign = (label == 1) ? 1.0 : -1.0;
+    AddGaussianBump(s, onset - m * 0.06, m * 0.02,
+                    sign * rng.Uniform(1.2, 1.6));
+    AddGaussianBump(s, onset + m * 0.06, m * 0.02,
+                    -sign * rng.Uniform(1.2, 1.6));
+    for (auto& v : s) v += rng.Gaussian(0.0, 0.12);
+    return s;
+  };
+  return BuildSplit("Cricket", {1, 2}, train_per_class, test_per_class,
+                    seed, draw);
+}
+
+namespace {
+
+std::size_t Scaled(std::size_t base, double scale) {
+  return std::max<std::size_t>(2, static_cast<std::size_t>(
+                                      std::lround(base * scale)));
+}
+
+}  // namespace
+
+std::vector<DatasetSplit> BenchmarkSuite(const SuiteOptions& options) {
+  const double k = options.size_scale;
+  const std::uint64_t s = options.seed;
+  std::vector<DatasetSplit> suite;
+  suite.push_back(MakeCbf(Scaled(10, k), Scaled(30, k), 128, s + 1));
+  suite.push_back(MakeTwoPatterns(Scaled(8, k), Scaled(25, k), 128, s + 2));
+  suite.push_back(
+      MakeSyntheticControl(Scaled(10, k), Scaled(20, k), 60, s + 3));
+  suite.push_back(MakeGunPoint(Scaled(12, k), Scaled(40, k), 150, s + 4));
+  suite.push_back(MakeCoffee(Scaled(14, k), Scaled(14, k), 200, s + 5));
+  suite.push_back(MakeEcg(Scaled(12, k), Scaled(40, k), 136, s + 6));
+  suite.push_back(MakeTrace(Scaled(12, k), Scaled(25, k), 200, s + 7));
+  suite.push_back(MakeShapeOutlines(Scaled(10, k), Scaled(25, k), 128, s + 8));
+  suite.push_back(MakeItalyPower(Scaled(16, k), Scaled(50, k), 24, s + 9));
+  suite.push_back(MakeWafer(Scaled(12, k), Scaled(40, k), 120, s + 10));
+  suite.push_back(MakeSymbols(Scaled(10, k), Scaled(30, k), 128, s + 16));
+  suite.push_back(MakeFaceFour(Scaled(9, k), Scaled(22, k), 140, s + 17));
+  suite.push_back(MakeLightning(Scaled(12, k), Scaled(30, k), 160, s + 18));
+  suite.push_back(MakeMoteStrain(Scaled(12, k), Scaled(40, k), 96, s + 19));
+  return suite;
+}
+
+std::vector<DatasetSplit> RotationSuite(const SuiteOptions& options) {
+  const double k = options.size_scale;
+  const std::uint64_t s = options.seed;
+  std::vector<DatasetSplit> suite;
+  suite.push_back(MakeCoffee(Scaled(14, k), Scaled(14, k), 200, s + 11));
+  suite.push_back(MakeGunPoint(Scaled(12, k), Scaled(40, k), 150, s + 12));
+  suite.push_back(MakeShapeOutlines(Scaled(10, k), Scaled(25, k), 128, s + 13));
+  suite.push_back(MakeTrace(Scaled(12, k), Scaled(25, k), 200, s + 14));
+  suite.push_back(
+      MakeSyntheticControl(Scaled(10, k), Scaled(20, k), 60, s + 15));
+  return suite;
+}
+
+}  // namespace rpm::ts

@@ -1,0 +1,50 @@
+// Minimal deterministic data-parallel helper. Work items are independent
+// and write to distinct output slots, so results are identical for any
+// thread count — parallelism only changes wall-clock time.
+
+#ifndef RPM_TS_PARALLEL_H_
+#define RPM_TS_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace rpm::ts {
+
+/// Invokes fn(i) for every i in [0, n), using up to `num_threads` worker
+/// threads (<= 1 runs inline). Exceptions from fn terminate the process
+/// (workers don't marshal them); keep fn noexcept in practice.
+inline void ParallelFor(std::size_t n, std::size_t num_threads,
+                        const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  num_threads = std::min(num_threads, n);
+  if (num_threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < n;
+           i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+/// Hardware concurrency with a sane floor.
+inline std::size_t DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace rpm::ts
+
+#endif  // RPM_TS_PARALLEL_H_

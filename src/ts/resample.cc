@@ -1,0 +1,31 @@
+#include "ts/resample.h"
+
+#include <cmath>
+
+namespace rpm::ts {
+
+Series ResampleLinear(SeriesView values, std::size_t target_length) {
+  Series out(target_length, 0.0);
+  if (target_length == 0) return out;
+  if (values.empty()) return out;
+  if (values.size() == 1) {
+    for (auto& v : out) v = values[0];
+    return out;
+  }
+  if (target_length == 1) {
+    out[0] = values[0];
+    return out;
+  }
+  const double scale = static_cast<double>(values.size() - 1) /
+                       static_cast<double>(target_length - 1);
+  for (std::size_t i = 0; i < target_length; ++i) {
+    const double x = static_cast<double>(i) * scale;
+    const auto lo = static_cast<std::size_t>(std::floor(x));
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = x - static_cast<double>(lo);
+    out[i] = values[lo] * (1.0 - frac) + values[hi] * frac;
+  }
+  return out;
+}
+
+}  // namespace rpm::ts

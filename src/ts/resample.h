@@ -1,0 +1,20 @@
+// Linear-interpolation resampling. Grammar-rule occurrences map back to raw
+// subsequences of *different* lengths (Section 3.2.2, Fig. 4); before
+// clustering and centroid computation they are brought to a common length.
+
+#ifndef RPM_TS_RESAMPLE_H_
+#define RPM_TS_RESAMPLE_H_
+
+#include <cstddef>
+
+#include "ts/series.h"
+
+namespace rpm::ts {
+
+/// Resamples `values` to `target_length` points by linear interpolation.
+/// A single-point input is replicated; an empty input yields zeros.
+Series ResampleLinear(SeriesView values, std::size_t target_length);
+
+}  // namespace rpm::ts
+
+#endif  // RPM_TS_RESAMPLE_H_

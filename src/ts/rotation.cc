@@ -1,0 +1,34 @@
+#include "ts/rotation.h"
+
+namespace rpm::ts {
+
+Series RotateAt(SeriesView values, std::size_t cut) {
+  Series out;
+  out.reserve(values.size());
+  if (values.empty()) return out;
+  cut %= values.size();
+  out.insert(out.end(), values.begin() + static_cast<std::ptrdiff_t>(cut),
+             values.end());
+  out.insert(out.end(), values.begin(),
+             values.begin() + static_cast<std::ptrdiff_t>(cut));
+  return out;
+}
+
+Series RotateAtMidpoint(SeriesView values) {
+  return RotateAt(values, values.size() / 2);
+}
+
+Dataset RandomlyRotate(const Dataset& data, Rng& rng) {
+  Dataset out;
+  for (const auto& inst : data) {
+    const std::size_t cut = inst.values.empty()
+                                ? 0
+                                : static_cast<std::size_t>(rng.UniformInt(
+                                      0, static_cast<std::int64_t>(
+                                             inst.values.size() - 1)));
+    out.Add(inst.label, RotateAt(inst.values, cut));
+  }
+  return out;
+}
+
+}  // namespace rpm::ts

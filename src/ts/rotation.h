@@ -1,0 +1,31 @@
+// Circular rotation (shift) of time series, used by the Section 6.1
+// rotation-invariance case study: a series is cut at a point and the two
+// halves are swapped, emulating radial shape scans started elsewhere on
+// the contour.
+
+#ifndef RPM_TS_ROTATION_H_
+#define RPM_TS_ROTATION_H_
+
+#include <cstddef>
+
+#include "ts/rng.h"
+#include "ts/series.h"
+
+namespace rpm::ts {
+
+/// Returns `values` rotated at `cut`: [cut..end) followed by [0..cut).
+/// `cut` is taken modulo the series length.
+Series RotateAt(SeriesView values, std::size_t cut);
+
+/// Rotates a series at its midpoint (the RPM rotation-invariant
+/// classification trick from Section 6.1 builds this second view).
+Series RotateAtMidpoint(SeriesView values);
+
+/// Returns a copy of `data` with every instance rotated at an independent
+/// uniformly random cut point. Training data is left untouched by the
+/// paper's protocol; apply this to the test split only.
+Dataset RandomlyRotate(const Dataset& data, Rng& rng);
+
+}  // namespace rpm::ts
+
+#endif  // RPM_TS_ROTATION_H_

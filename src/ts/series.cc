@@ -1,0 +1,55 @@
+#include "ts/series.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rpm::ts {
+
+std::vector<int> Dataset::ClassLabels() const {
+  std::set<int> labels;
+  for (const auto& inst : instances_) labels.insert(inst.label);
+  return {labels.begin(), labels.end()};
+}
+
+std::vector<std::size_t> Dataset::IndicesOfClass(int label) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].label == label) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<LabeledSeries> Dataset::InstancesOfClass(int label) const {
+  std::vector<LabeledSeries> out;
+  for (const auto& inst : instances_) {
+    if (inst.label == label) out.push_back(inst);
+  }
+  return out;
+}
+
+std::size_t Dataset::CountOfClass(int label) const {
+  return static_cast<std::size_t>(
+      std::count_if(instances_.begin(), instances_.end(),
+                    [label](const LabeledSeries& s) { return s.label == label; }));
+}
+
+std::map<int, std::size_t> Dataset::ClassHistogram() const {
+  std::map<int, std::size_t> hist;
+  for (const auto& inst : instances_) ++hist[inst.label];
+  return hist;
+}
+
+std::size_t Dataset::MaxLength() const {
+  std::size_t m = 0;
+  for (const auto& inst : instances_) m = std::max(m, inst.values.size());
+  return m;
+}
+
+std::size_t Dataset::MinLength() const {
+  if (instances_.empty()) return 0;
+  std::size_t m = instances_.front().values.size();
+  for (const auto& inst : instances_) m = std::min(m, inst.values.size());
+  return m;
+}
+
+}  // namespace rpm::ts

@@ -1,0 +1,99 @@
+// Core time-series value types shared by every module in this repository.
+//
+// A time series is stored as a plain `std::vector<double>`; labeled
+// instances and datasets add the minimal classification metadata the paper
+// needs (integer class labels, per-class views). The paper's notation
+// (Section 2.1): a time series T = t_1..t_m, a subsequence S = t_p..t_{p+n-1}.
+
+#ifndef RPM_TS_SERIES_H_
+#define RPM_TS_SERIES_H_
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rpm::ts {
+
+/// A univariate real-valued time series ordered by time.
+using Series = std::vector<double>;
+
+/// Read-only view over a contiguous slice of a series.
+using SeriesView = std::span<const double>;
+
+/// A time series together with its integer class label.
+struct LabeledSeries {
+  int label = 0;
+  Series values;
+
+  std::size_t length() const { return values.size(); }
+};
+
+/// An ordered collection of labeled time series (one UCR split).
+///
+/// Instances keep their insertion order; helper accessors provide the
+/// per-class groupings RPM trains on (Algorithm 1 iterates classes).
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<LabeledSeries> instances)
+      : instances_(std::move(instances)) {}
+
+  /// Appends one labeled instance.
+  void Add(int label, Series values) {
+    instances_.push_back(LabeledSeries{label, std::move(values)});
+  }
+  void Add(LabeledSeries instance) { instances_.push_back(std::move(instance)); }
+
+  std::size_t size() const { return instances_.size(); }
+  bool empty() const { return instances_.empty(); }
+
+  const LabeledSeries& operator[](std::size_t i) const { return instances_[i]; }
+  LabeledSeries& operator[](std::size_t i) { return instances_[i]; }
+
+  auto begin() const { return instances_.begin(); }
+  auto end() const { return instances_.end(); }
+  auto begin() { return instances_.begin(); }
+  auto end() { return instances_.end(); }
+
+  /// Distinct class labels in ascending order.
+  std::vector<int> ClassLabels() const;
+
+  /// Number of distinct class labels.
+  std::size_t NumClasses() const { return ClassLabels().size(); }
+
+  /// Indices (into this dataset) of all instances carrying `label`.
+  std::vector<std::size_t> IndicesOfClass(int label) const;
+
+  /// Copies of all instances carrying `label`, preserving order.
+  std::vector<LabeledSeries> InstancesOfClass(int label) const;
+
+  /// Number of instances carrying `label`.
+  std::size_t CountOfClass(int label) const;
+
+  /// Label -> count histogram.
+  std::map<int, std::size_t> ClassHistogram() const;
+
+  /// Length of the longest instance (0 when empty).
+  std::size_t MaxLength() const;
+
+  /// Length of the shortest instance (0 when empty).
+  std::size_t MinLength() const;
+
+  const std::vector<LabeledSeries>& instances() const { return instances_; }
+
+ private:
+  std::vector<LabeledSeries> instances_;
+};
+
+/// A named train/test dataset pair, mirroring one UCR archive entry.
+struct DatasetSplit {
+  std::string name;
+  Dataset train;
+  Dataset test;
+};
+
+}  // namespace rpm::ts
+
+#endif  // RPM_TS_SERIES_H_

@@ -1,0 +1,40 @@
+// Reader/writer for the UCR time-series archive text format:
+// one instance per line, the first field is the class label, remaining
+// fields are the observations; fields are separated by commas or
+// whitespace. Real UCR files drop into this reproduction unchanged.
+
+#ifndef RPM_TS_UCR_IO_H_
+#define RPM_TS_UCR_IO_H_
+
+#include <stdexcept>
+#include <string>
+
+#include "ts/series.h"
+
+namespace rpm::ts {
+
+/// Error raised on malformed UCR input.
+class UcrFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses UCR-format text (label + values per line). Blank lines are
+/// skipped. Labels may be written as floats (e.g. "1.0000000e+00") as in
+/// several archive files; they are rounded to the nearest integer.
+/// Throws UcrFormatError on non-numeric fields or label-only lines.
+Dataset ParseUcr(const std::string& text);
+
+/// Loads a UCR-format file from disk. Throws UcrFormatError if the file
+/// cannot be opened or parsed.
+Dataset LoadUcrFile(const std::string& path);
+
+/// Serializes `data` in UCR format (comma-separated, label first).
+std::string FormatUcr(const Dataset& data);
+
+/// Writes `data` to `path` in UCR format. Throws UcrFormatError on IO error.
+void SaveUcrFile(const Dataset& data, const std::string& path);
+
+}  // namespace rpm::ts
+
+#endif  // RPM_TS_UCR_IO_H_

@@ -1,0 +1,43 @@
+#include "ts/znorm.h"
+
+#include <cmath>
+
+namespace rpm::ts {
+
+double Mean(SeriesView values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(SeriesView values) {
+  if (values.empty()) return 0.0;
+  const double mu = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mu) * (v - mu);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+Series ZNormalize(SeriesView values) {
+  Series out(values.begin(), values.end());
+  ZNormalizeInPlace(out);
+  return out;
+}
+
+void ZNormalizeInPlace(Series& values) {
+  if (values.empty()) return;
+  const double mu = Mean(values);
+  const double sigma = StdDev(values);
+  if (sigma < kFlatThreshold) {
+    for (double& v : values) v -= mu;
+    return;
+  }
+  for (double& v : values) v = (v - mu) / sigma;
+}
+
+void ZNormalizeDataset(Dataset& data) {
+  for (auto& inst : data) ZNormalizeInPlace(inst.values);
+}
+
+}  // namespace rpm::ts

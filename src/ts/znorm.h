@@ -1,0 +1,34 @@
+// Z-normalization utilities (Section 3.2.1: SAX operates on z-normalized
+// subsequences). A subsequence whose standard deviation falls below
+// `kFlatThreshold` is treated as flat and only mean-centered, following the
+// standard SAX practice of avoiding noise amplification on constant segments.
+
+#ifndef RPM_TS_ZNORM_H_
+#define RPM_TS_ZNORM_H_
+
+#include "ts/series.h"
+
+namespace rpm::ts {
+
+/// Standard deviation below which a window is considered flat.
+inline constexpr double kFlatThreshold = 1e-8;
+
+/// Arithmetic mean of `values`; 0.0 for an empty span.
+double Mean(SeriesView values);
+
+/// Population standard deviation of `values`; 0.0 for an empty span.
+double StdDev(SeriesView values);
+
+/// Returns a z-normalized copy: (x - mean) / stddev.
+/// Flat inputs (stddev < kFlatThreshold) are mean-centered only.
+Series ZNormalize(SeriesView values);
+
+/// In-place z-normalization with the same flat-input rule.
+void ZNormalizeInPlace(Series& values);
+
+/// Z-normalizes every instance of `data` in place.
+void ZNormalizeDataset(Dataset& data);
+
+}  // namespace rpm::ts
+
+#endif  // RPM_TS_ZNORM_H_

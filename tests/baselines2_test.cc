@@ -1,0 +1,111 @@
+// Tests for the second wave of baselines/extensions: the Ye & Keogh
+// shapelet tree, SAX-VSM's DIRECT parameter search, and the four added
+// dataset generator families.
+
+#include <gtest/gtest.h>
+
+#include "baselines/sax_vsm.h"
+#include "baselines/shapelet_tree.h"
+#include "ts/generators.h"
+#include "ts/rng.h"
+
+namespace rpm::baselines {
+namespace {
+
+const ts::DatasetSplit& Easy() {
+  static const ts::DatasetSplit split = ts::MakeGunPoint(10, 20, 100, 66);
+  return split;
+}
+
+TEST(ShapeletTreeTest, TrainsAndBeatsChance) {
+  ShapeletTree clf;
+  clf.Train(Easy().train);
+  EXPECT_GE(clf.num_shapelet_nodes(), 1u);
+  EXPECT_LE(clf.Evaluate(Easy().test), 0.25);
+}
+
+TEST(ShapeletTreeTest, PureDataYieldsLeaf) {
+  ts::Dataset train;
+  ts::Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    ts::Series s(60);
+    for (auto& v : s) v = rng.Gaussian();
+    train.Add(2, std::move(s));
+  }
+  ShapeletTree clf;
+  clf.Train(train);
+  EXPECT_EQ(clf.num_shapelet_nodes(), 0u);
+  EXPECT_EQ(clf.Classify(ts::Series(60, 0.0)), 2);
+}
+
+TEST(ShapeletTreeTest, MulticlassCbf) {
+  const ts::DatasetSplit split = ts::MakeCbf(8, 12, 128, 67);
+  ShapeletTree clf;
+  clf.Train(split.train);
+  EXPECT_LT(clf.Evaluate(split.test), 0.45);  // chance = 2/3
+}
+
+TEST(ShapeletTreeTest, ThrowsAppropriately) {
+  ShapeletTree clf;
+  EXPECT_THROW(clf.Classify(ts::Series(10, 0.0)), std::logic_error);
+  EXPECT_THROW(clf.Train(ts::Dataset{}), std::invalid_argument);
+}
+
+TEST(SaxVsmDirect, DirectSearchWorks) {
+  SaxVsmOptions opt;
+  opt.optimize = true;
+  opt.use_direct = true;
+  opt.direct_max_evaluations = 10;
+  SaxVsm clf(opt);
+  clf.Train(Easy().train);
+  EXPECT_GE(clf.chosen_sax().window, 6u);
+  EXPECT_LE(clf.Evaluate(Easy().test), 0.35);
+}
+
+TEST(NewGenerators, SymbolsThreeClassesAndPrototypesStable) {
+  const ts::DatasetSplit a = ts::MakeSymbols(4, 4, 128, 5);
+  EXPECT_EQ(a.train.NumClasses(), 3u);
+  const ts::DatasetSplit b = ts::MakeSymbols(4, 4, 128, 5);
+  EXPECT_EQ(a.train[0].values, b.train[0].values);
+}
+
+TEST(NewGenerators, FaceFourFourClasses) {
+  EXPECT_EQ(ts::MakeFaceFour(3, 3, 140, 6).train.NumClasses(), 4u);
+}
+
+TEST(NewGenerators, LightningAndMoteStrainBinary) {
+  EXPECT_EQ(ts::MakeLightning(3, 3, 160, 7).train.NumClasses(), 2u);
+  EXPECT_EQ(ts::MakeMoteStrain(3, 3, 96, 8).train.NumClasses(), 2u);
+}
+
+// The new families must be learnable: NN-ED or the shapelet tree beats
+// chance comfortably on each.
+class NewFamilyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NewFamilyTest, ShapeletTreeBeatsChance) {
+  ts::DatasetSplit split;
+  switch (GetParam()) {
+    case 0:
+      split = ts::MakeSymbols(8, 12, 128, 70);
+      break;
+    case 1:
+      split = ts::MakeFaceFour(8, 10, 140, 71);
+      break;
+    case 2:
+      split = ts::MakeLightning(8, 12, 160, 72);
+      break;
+    default:
+      split = ts::MakeMoteStrain(8, 12, 96, 73);
+      break;
+  }
+  ShapeletTree clf;
+  clf.Train(split.train);
+  const double chance =
+      1.0 - 1.0 / static_cast<double>(split.train.NumClasses());
+  EXPECT_LT(clf.Evaluate(split.test), 0.6 * chance) << split.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, NewFamilyTest, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace rpm::baselines

@@ -1,0 +1,238 @@
+// Tests for the five comparison classifiers: each must train, classify,
+// and beat chance clearly on an easy synthetic problem; method-specific
+// behaviours (window selection, tf*idf weighting, tree structure,
+// shapelet learning) are exercised individually.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/fast_shapelets.h"
+#include "baselines/learning_shapelets.h"
+#include "baselines/nn_dtw.h"
+#include "baselines/nn_euclidean.h"
+#include "baselines/rpm_adapter.h"
+#include "baselines/sax_vsm.h"
+#include "ts/generators.h"
+#include "ts/rng.h"
+
+namespace rpm::baselines {
+namespace {
+
+const ts::DatasetSplit& EasySplit() {
+  static const ts::DatasetSplit split = ts::MakeGunPoint(10, 20, 100, 21);
+  return split;
+}
+
+TEST(NnEuclideanTest, PerfectOnTrain) {
+  NnEuclidean clf;
+  clf.Train(EasySplit().train);
+  EXPECT_DOUBLE_EQ(clf.Evaluate(EasySplit().train), 0.0);
+}
+
+TEST(NnEuclideanTest, BeatsChanceOnTest) {
+  NnEuclidean clf;
+  clf.Train(EasySplit().train);
+  EXPECT_LE(clf.Evaluate(EasySplit().test), 0.25);
+}
+
+TEST(NnEuclideanTest, HandlesLengthMismatchByResampling) {
+  ts::Dataset train;
+  train.Add(1, {0.0, 1.0, 0.0, -1.0});
+  train.Add(2, {1.0, 1.0, 1.0, 1.0});
+  NnEuclidean clf;
+  clf.Train(train);
+  EXPECT_EQ(clf.Classify(ts::Series{0.0, 0.5, 1.0, 0.5, 0.0, -0.5, -1.0}),
+            1);
+}
+
+TEST(NnEuclideanTest, ThrowsBeforeTrain) {
+  NnEuclidean clf;
+  EXPECT_THROW(clf.Classify(ts::Series{1.0}), std::logic_error);
+}
+
+TEST(NnDtwTest, SelectsAWindowAndClassifies) {
+  NnDtwBestWindow clf;
+  clf.Train(EasySplit().train);
+  EXPECT_LE(clf.best_window(), EasySplit().train.MaxLength() / 4);
+  EXPECT_LE(clf.Evaluate(EasySplit().test), 0.25);
+}
+
+TEST(NnDtwTest, WarpingBeatsEuclideanOnShiftedData) {
+  // Shift every test instance by a few points: DTW should tolerate it
+  // far better than ED.
+  ts::Rng rng(4);
+  ts::Dataset train;
+  ts::Dataset test;
+  for (int i = 0; i < 12; ++i) {
+    ts::Series s(80);
+    const int label = i % 2 + 1;
+    for (std::size_t j = 0; j < s.size(); ++j) {
+      const double x = static_cast<double>(j);
+      s[j] = (label == 1 ? std::sin(0.3 * x) : std::sin(0.3 * x + 1.5)) +
+             rng.Gaussian(0.0, 0.05);
+    }
+    train.Add(label, s);
+    // Shifted copy into test.
+    ts::Series shifted(80);
+    const std::size_t off = 4;
+    for (std::size_t j = 0; j < s.size(); ++j) {
+      shifted[j] = s[(j + off) % s.size()];
+    }
+    test.Add(label, shifted);
+  }
+  NnDtwBestWindow dtw;
+  dtw.Train(train);
+  NnEuclidean ed;
+  ed.Train(train);
+  EXPECT_LE(dtw.Evaluate(test), ed.Evaluate(test) + 1e-12);
+}
+
+TEST(SaxVsmTest, TrainsAndBeatsChance) {
+  SaxVsmOptions opt;
+  opt.optimize = false;
+  opt.sax.window = 25;
+  opt.sax.paa_size = 5;
+  opt.sax.alphabet = 4;
+  SaxVsm clf(opt);
+  clf.Train(EasySplit().train);
+  EXPECT_LE(clf.Evaluate(EasySplit().test), 0.35);
+}
+
+TEST(SaxVsmTest, OptimizerPicksSomething) {
+  SaxVsm clf;  // optimize = true
+  clf.Train(EasySplit().train);
+  EXPECT_GE(clf.chosen_sax().window, 6u);
+  EXPECT_LE(clf.Evaluate(EasySplit().test), 0.35);
+}
+
+TEST(SaxVsmTest, ThrowsOnEmptyTrainAndBeforeTrain) {
+  SaxVsm clf;
+  EXPECT_THROW(clf.Train(ts::Dataset{}), std::invalid_argument);
+  EXPECT_THROW(clf.Classify(ts::Series(10, 0.0)), std::logic_error);
+}
+
+TEST(FastShapeletsTest, BuildsTreeAndClassifies) {
+  FastShapelets clf;
+  clf.Train(EasySplit().train);
+  EXPECT_GE(clf.num_shapelet_nodes(), 1u);
+  EXPECT_FALSE(clf.root_shapelet().empty());
+  EXPECT_LE(clf.Evaluate(EasySplit().test), 0.3);
+}
+
+TEST(FastShapeletsTest, PureNodeIsLeaf) {
+  // One-class data: no split possible, tree is a single leaf.
+  ts::Dataset train;
+  ts::Rng rng(5);
+  for (int i = 0; i < 6; ++i) {
+    ts::Series s(50);
+    for (auto& v : s) v = rng.Gaussian();
+    train.Add(4, std::move(s));
+  }
+  FastShapelets clf;
+  clf.Train(train);
+  EXPECT_EQ(clf.num_shapelet_nodes(), 0u);
+  EXPECT_EQ(clf.Classify(ts::Series(50, 0.0)), 4);
+}
+
+TEST(FastShapeletsTest, DeterministicGivenSeed) {
+  FastShapeletsOptions opt;
+  opt.seed = 77;
+  FastShapelets a(opt);
+  FastShapelets b(opt);
+  a.Train(EasySplit().train);
+  b.Train(EasySplit().train);
+  EXPECT_EQ(a.ClassifyAll(EasySplit().test), b.ClassifyAll(EasySplit().test));
+}
+
+TEST(LearningShapeletsTest, LearnsGunPoint) {
+  LearningShapeletsOptions opt;
+  opt.max_epochs = 150;
+  LearningShapelets clf(opt);
+  clf.Train(EasySplit().train);
+  EXPECT_FALSE(clf.shapelets().empty());
+  EXPECT_LE(clf.Evaluate(EasySplit().test), 0.3);
+}
+
+TEST(LearningShapeletsTest, ShapeletsActuallyMove) {
+  // Gradient updates must change the shapelets away from their init.
+  LearningShapeletsOptions opt;
+  opt.max_epochs = 30;
+  opt.seed = 3;
+  LearningShapelets trained(opt);
+  trained.Train(EasySplit().train);
+  opt.max_epochs = 0;
+  LearningShapelets untrained(opt);
+  untrained.Train(EasySplit().train);
+  ASSERT_EQ(trained.shapelets().size(), untrained.shapelets().size());
+  double total_change = 0.0;
+  for (std::size_t k = 0; k < trained.shapelets().size(); ++k) {
+    for (std::size_t l = 0; l < trained.shapelets()[k].size(); ++l) {
+      total_change += std::abs(trained.shapelets()[k][l] -
+                               untrained.shapelets()[k][l]);
+    }
+  }
+  EXPECT_GT(total_change, 1e-6);
+}
+
+TEST(RpmAdapterTest, WorksThroughCommonInterface) {
+  core::RpmOptions opt;
+  opt.search = core::ParameterSearch::kFixed;
+  opt.fixed_sax.window = 25;
+  opt.fixed_sax.paa_size = 5;
+  opt.fixed_sax.alphabet = 4;
+  RpmAdapter clf(opt);
+  EXPECT_EQ(clf.Name(), "RPM");
+  clf.Train(EasySplit().train);
+  EXPECT_LE(clf.Evaluate(EasySplit().test), 0.3);
+}
+
+// All six methods must beat chance on CBF through the common interface.
+class AllMethodsTest : public ::testing::TestWithParam<int> {
+ protected:
+  static std::unique_ptr<Classifier> Make(int id) {
+    switch (id) {
+      case 0:
+        return std::make_unique<NnEuclidean>();
+      case 1:
+        return std::make_unique<NnDtwBestWindow>();
+      case 2: {
+        SaxVsmOptions opt;
+        opt.optimize = false;
+        opt.sax.window = 32;
+        opt.sax.paa_size = 4;
+        opt.sax.alphabet = 4;
+        return std::make_unique<SaxVsm>(opt);
+      }
+      case 3:
+        return std::make_unique<FastShapelets>();
+      case 4: {
+        LearningShapeletsOptions opt;
+        opt.max_epochs = 120;
+        return std::make_unique<LearningShapelets>(opt);
+      }
+      default: {
+        core::RpmOptions opt;
+        opt.search = core::ParameterSearch::kFixed;
+        opt.fixed_sax.window = 32;
+        opt.fixed_sax.paa_size = 4;
+        opt.fixed_sax.alphabet = 4;
+        return std::make_unique<RpmAdapter>(opt);
+      }
+    }
+  }
+};
+
+TEST_P(AllMethodsTest, BeatsChanceOnCbf) {
+  const ts::DatasetSplit split = ts::MakeCbf(8, 15, 128, 33);
+  auto clf = Make(GetParam());
+  clf->Train(split.train);
+  // 3 balanced classes -> chance error is 2/3.
+  EXPECT_LT(clf->Evaluate(split.test), 0.45) << clf->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(SixMethods, AllMethodsTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace rpm::baselines

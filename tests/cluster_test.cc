@@ -1,0 +1,122 @@
+// Tests for complete-linkage clustering, the iterative 30 %-rule split,
+// and prototype extraction.
+
+#include <gtest/gtest.h>
+
+#include "cluster/hierarchical.h"
+#include "ts/rng.h"
+
+namespace rpm::cluster {
+namespace {
+
+std::vector<ts::Series> TwoBlobs(std::size_t per_blob, double separation,
+                                 std::uint64_t seed) {
+  ts::Rng rng(seed);
+  std::vector<ts::Series> items;
+  for (std::size_t i = 0; i < per_blob; ++i) {
+    items.push_back({rng.Gaussian(0.0, 0.1), rng.Gaussian(0.0, 0.1)});
+  }
+  for (std::size_t i = 0; i < per_blob; ++i) {
+    items.push_back(
+        {rng.Gaussian(separation, 0.1), rng.Gaussian(separation, 0.1)});
+  }
+  return items;
+}
+
+TEST(PairwiseMatrix, SymmetricZeroDiagonal) {
+  const std::vector<ts::Series> items = {{0.0, 0.0}, {3.0, 4.0}, {6.0, 8.0}};
+  const auto d = PairwiseDistanceMatrix(items);
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 0], 0.0);
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 1], 5.0);
+  EXPECT_DOUBLE_EQ(d[1 * 3 + 0], 5.0);
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 2], 10.0);
+}
+
+TEST(CompleteLinkage, SeparatesTwoBlobs) {
+  const auto items = TwoBlobs(6, 10.0, 3);
+  const std::vector<int> cut = CompleteLinkageCut(items, 2);
+  // First six share one id, last six the other.
+  for (std::size_t i = 1; i < 6; ++i) EXPECT_EQ(cut[i], cut[0]);
+  for (std::size_t i = 7; i < 12; ++i) EXPECT_EQ(cut[i], cut[6]);
+  EXPECT_NE(cut[0], cut[6]);
+}
+
+TEST(CompleteLinkage, KClampedAndDegenerate) {
+  const std::vector<ts::Series> items = {{1.0}, {2.0}};
+  EXPECT_EQ(CompleteLinkageCut(items, 10).size(), 2u);
+  EXPECT_EQ(CompleteLinkageCut({}, 2).size(), 0u);
+  const std::vector<int> one = CompleteLinkageCut(items, 1);
+  EXPECT_EQ(one[0], one[1]);
+}
+
+TEST(IterativeSplit, SplitsBalancedGroups) {
+  const auto items = TwoBlobs(8, 10.0, 4);
+  const auto groups = IterativeSplit(items);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].size(), 8u);
+  EXPECT_EQ(groups[1].size(), 8u);
+}
+
+TEST(IterativeSplit, KeepsUnbalancedGroupsWhole) {
+  // 11 points in one tight blob + 1 outlier: a 2-split would be 11/1,
+  // under the 30 % rule the group stays whole.
+  ts::Rng rng(5);
+  std::vector<ts::Series> items;
+  for (int i = 0; i < 11; ++i) {
+    items.push_back({rng.Gaussian(0.0, 0.05), rng.Gaussian(0.0, 0.05)});
+  }
+  items.push_back({50.0, 50.0});
+  const auto groups = IterativeSplit(items);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 12u);
+}
+
+TEST(IterativeSplit, RecursesIntoFourBlobs) {
+  ts::Rng rng(6);
+  std::vector<ts::Series> items;
+  const double centers[4][2] = {{0, 0}, {8, 0}, {16, 0}, {24, 0}};
+  for (const auto& c : centers) {
+    for (int i = 0; i < 5; ++i) {
+      items.push_back(
+          {c[0] + rng.Gaussian(0.0, 0.1), c[1] + rng.Gaussian(0.0, 0.1)});
+    }
+  }
+  SplitOptions opt;
+  opt.min_size_to_split = 6;  // blobs of 5 are terminal
+  const auto groups = IterativeSplit(items, opt);
+  EXPECT_EQ(groups.size(), 4u);
+  // The union of groups must be the full index set.
+  std::vector<bool> seen(items.size(), false);
+  for (const auto& g : groups) {
+    for (std::size_t i : g) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(IterativeSplit, SmallGroupsNeverSplit) {
+  const std::vector<ts::Series> items = {{0.0}, {100.0}, {200.0}};
+  SplitOptions opt;
+  opt.min_size_to_split = 4;
+  const auto groups = IterativeSplit(items, opt);
+  ASSERT_EQ(groups.size(), 1u);
+}
+
+TEST(Prototypes, CentroidIsPointwiseMean) {
+  const std::vector<ts::Series> members = {{1.0, 2.0}, {3.0, 6.0}};
+  const ts::Series c = Centroid(members);
+  EXPECT_EQ(c, (ts::Series{2.0, 4.0}));
+  EXPECT_TRUE(Centroid({}).empty());
+}
+
+TEST(Prototypes, MedoidMinimizesTotalDistance) {
+  const std::vector<ts::Series> members = {
+      {0.0}, {1.0}, {1.1}, {1.2}, {10.0}};
+  EXPECT_EQ(MedoidIndex(members), 2u);
+  EXPECT_EQ(MedoidIndex({{5.0}}), 0u);
+}
+
+}  // namespace
+}  // namespace rpm::cluster

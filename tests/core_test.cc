@@ -1,0 +1,325 @@
+// Tests for the RPM core pipeline: concatenation, Algorithm 1 candidate
+// mining, Algorithm 2 pruning + selection, the feature transform, and the
+// end-to-end classifier with fixed SAX parameters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rpm.h"
+#include "ts/generators.h"
+#include "ts/rng.h"
+#include "ts/rotation.h"
+#include "ts/znorm.h"
+
+namespace rpm::core {
+namespace {
+
+// A two-class planted-motif dataset: class 1 carries a sine burst, class 2
+// a square pulse, at random offsets in noise.
+ts::Dataset PlantedMotifs(std::size_t per_class, std::size_t length,
+                          std::uint64_t seed) {
+  ts::Rng rng(seed);
+  ts::Dataset d;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    for (int label : {1, 2}) {
+      ts::Series s(length);
+      for (auto& v : s) v = rng.Gaussian(0.0, 0.25);
+      const auto at = static_cast<std::size_t>(
+          rng.UniformInt(5, static_cast<std::int64_t>(length) - 45));
+      for (std::size_t j = 0; j < 40; ++j) {
+        if (label == 1) {
+          s[at + j] +=
+              2.5 * std::sin(2.0 * M_PI * static_cast<double>(j) / 20.0);
+        } else {
+          s[at + j] += (j < 20) ? 2.5 : -2.5;
+        }
+      }
+      ts::ZNormalizeInPlace(s);
+      d.Add(label, std::move(s));
+    }
+  }
+  return d;
+}
+
+sax::SaxOptions TestSax() {
+  sax::SaxOptions s;
+  s.window = 30;
+  s.paa_size = 5;
+  s.alphabet = 4;
+  return s;
+}
+
+RpmOptions FastOptions() {
+  RpmOptions o;
+  o.search = ParameterSearch::kFixed;
+  o.fixed_sax = TestSax();
+  o.gamma = 0.2;
+  return o;
+}
+
+TEST(Concatenate, BoundariesAndInstanceMap) {
+  ts::Dataset d;
+  d.Add(1, {1.0, 2.0, 3.0});
+  d.Add(2, {9.0});
+  d.Add(1, {4.0, 5.0});
+  d.Add(1, {6.0});
+  const ConcatenatedClass c = ConcatenateClass(d, 1);
+  EXPECT_EQ(c.values, (ts::Series{1.0, 2.0, 3.0, 4.0, 5.0, 6.0}));
+  EXPECT_EQ(c.boundaries, (std::vector<std::size_t>{3, 5}));
+  EXPECT_EQ(c.num_instances, 3u);
+  EXPECT_EQ(c.InstanceAt(0), 0u);
+  EXPECT_EQ(c.InstanceAt(2), 0u);
+  EXPECT_EQ(c.InstanceAt(3), 1u);
+  EXPECT_EQ(c.InstanceAt(5), 2u);
+}
+
+TEST(Candidates, FindsFrequentClassMotifs) {
+  const ts::Dataset train = PlantedMotifs(8, 150, 1);
+  const RpmOptions opt = FastOptions();
+  const auto c1 = FindClassCandidates(train, 1, TestSax(), opt);
+  const auto c2 = FindClassCandidates(train, 2, TestSax(), opt);
+  EXPECT_FALSE(c1.empty());
+  EXPECT_FALSE(c2.empty());
+  for (const auto& c : c1) {
+    EXPECT_EQ(c.class_label, 1);
+    EXPECT_GE(c.frequency, 2u);
+    EXPECT_GE(c.values.size(), 2u);
+    EXPECT_NEAR(ts::Mean(c.values), 0.0, 1e-6);
+  }
+}
+
+TEST(Candidates, GammaControlsPoolSize) {
+  const ts::Dataset train = PlantedMotifs(8, 150, 2);
+  RpmOptions strict = FastOptions();
+  strict.gamma = 0.9;
+  RpmOptions loose = FastOptions();
+  loose.gamma = 0.1;
+  const auto few = FindClassCandidates(train, 1, TestSax(), strict);
+  const auto many = FindClassCandidates(train, 1, TestSax(), loose);
+  EXPECT_LE(few.size(), many.size());
+}
+
+TEST(Candidates, WindowLargerThanSeriesYieldsEmpty) {
+  ts::Dataset d;
+  d.Add(1, ts::Series(10, 0.0));
+  sax::SaxOptions s = TestSax();
+  s.window = 50;
+  EXPECT_TRUE(FindClassCandidates(d, 1, s, FastOptions()).empty());
+}
+
+TEST(Candidates, MedoidPrototypeIsAMember) {
+  const ts::Dataset train = PlantedMotifs(8, 150, 3);
+  RpmOptions opt = FastOptions();
+  opt.prototype = ClusterPrototype::kMedoid;
+  const auto cands = FindClassCandidates(train, 1, TestSax(), opt);
+  ASSERT_FALSE(cands.empty());
+  // Medoid values are z-normalized actual members, so stddev == 1.
+  for (const auto& c : cands) {
+    EXPECT_NEAR(ts::StdDev(c.values), 1.0, 1e-6);
+  }
+}
+
+TEST(Distinct, CandidateDistanceSymmetricIshAndZeroOnSelf) {
+  PatternCandidate a;
+  a.values = {0.0, 1.0, 0.0, -1.0};
+  ts::ZNormalizeInPlace(a.values);
+  EXPECT_NEAR(CandidateDistance(a, a), 0.0, 1e-12);
+  PatternCandidate b;
+  b.values = ts::Series{0.0, 1.0, 0.0, -1.0, 0.0, 1.0};
+  ts::ZNormalizeInPlace(b.values);
+  EXPECT_DOUBLE_EQ(CandidateDistance(a, b), CandidateDistance(b, a));
+}
+
+TEST(Distinct, ThresholdPercentileMonotone) {
+  std::vector<PatternCandidate> cands(1);
+  cands[0].values = ts::Series(4, 0.0);
+  cands[0].within_cluster_distances = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const double t30 = ComputeSimilarityThreshold(cands, 30.0);
+  const double t70 = ComputeSimilarityThreshold(cands, 70.0);
+  EXPECT_LT(t30, t70);
+  EXPECT_DOUBLE_EQ(ComputeSimilarityThreshold({}, 30.0), 0.0);
+}
+
+TEST(Distinct, RemoveSimilarKeepsMoreFrequent) {
+  PatternCandidate a;
+  a.values = {0.0, 1.0, 2.0, 3.0};
+  ts::ZNormalizeInPlace(a.values);
+  a.frequency = 3;
+  PatternCandidate b = a;  // identical values
+  b.frequency = 10;
+  PatternCandidate c;
+  c.values = {3.0, -2.0, 5.0, -4.0};
+  ts::ZNormalizeInPlace(c.values);
+  c.frequency = 1;
+  const auto kept = RemoveSimilarCandidates({a, b, c}, 0.5);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].frequency, 10u);  // b replaced a
+}
+
+TEST(Distinct, EndToEndSelectsDiscriminativePatterns) {
+  const ts::Dataset train = PlantedMotifs(8, 150, 4);
+  const RpmOptions opt = FastOptions();
+  std::map<int, sax::SaxOptions> sax = {{1, TestSax()}, {2, TestSax()}};
+  const auto candidates = FindAllCandidates(train, sax, opt);
+  ASSERT_FALSE(candidates.empty());
+  const auto patterns = FindDistinctPatterns(train, candidates, opt);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_LE(patterns.size(), candidates.size());
+}
+
+TEST(Transform, FeatureRowShapeAndSeparability) {
+  const ts::Dataset train = PlantedMotifs(8, 150, 5);
+  const RpmOptions opt = FastOptions();
+  std::map<int, sax::SaxOptions> sax = {{1, TestSax()}, {2, TestSax()}};
+  const auto patterns =
+      FindDistinctPatterns(train, FindAllCandidates(train, sax, opt), opt);
+  ASSERT_FALSE(patterns.empty());
+  const ml::FeatureDataset f = TransformDataset(patterns, train, false);
+  EXPECT_EQ(f.size(), train.size());
+  EXPECT_EQ(f.num_features(), patterns.size());
+  for (const auto& row : f.x) {
+    for (double v : row) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.0);
+    }
+  }
+}
+
+TEST(Transform, PatternLongerThanSeriesHandled) {
+  std::vector<RepresentativePattern> patterns(1);
+  patterns[0].values = ts::Series(20, 0.0);
+  for (std::size_t i = 0; i < 20; ++i) {
+    patterns[0].values[i] = std::sin(0.3 * static_cast<double>(i));
+  }
+  ts::ZNormalizeInPlace(patterns[0].values);
+  const ts::Series series = {1.0, 2.0, 1.0, 0.0, 1.0};
+  const auto row = TransformSeries(patterns, series, false);
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_TRUE(std::isfinite(row[0]));
+}
+
+TEST(Transform, RotationInvariantNeverWorse) {
+  // The rotation-invariant distance is a min over two alternatives, so it
+  // can only be <= the plain distance.
+  const ts::Dataset train = PlantedMotifs(4, 150, 6);
+  std::vector<RepresentativePattern> patterns(1);
+  patterns[0].values = ts::Series(
+      train[0].values.begin(), train[0].values.begin() + 30);
+  ts::ZNormalizeInPlace(patterns[0].values);
+  for (const auto& inst : train) {
+    const double plain = PatternDistance(patterns[0].values, inst.values);
+    const double rot =
+        PatternDistanceRotationInvariant(patterns[0].values, inst.values);
+    EXPECT_LE(rot, plain + 1e-12);
+  }
+}
+
+TEST(Classifier, TrainAndClassifyPlantedMotifs) {
+  const ts::Dataset train = PlantedMotifs(10, 150, 7);
+  const ts::Dataset test = PlantedMotifs(15, 150, 8);
+  RpmClassifier clf(FastOptions());
+  clf.Train(train);
+  ASSERT_TRUE(clf.trained());
+  EXPECT_FALSE(clf.patterns().empty());
+  const double error = clf.Evaluate(test);
+  EXPECT_LE(error, 0.15) << "error " << error;
+}
+
+TEST(Classifier, ThrowsBeforeTrainAndOnEmptyTrain) {
+  RpmClassifier clf(FastOptions());
+  EXPECT_THROW(clf.Classify(ts::Series(10, 0.0)), std::logic_error);
+  EXPECT_THROW(clf.Train(ts::Dataset{}), std::invalid_argument);
+}
+
+TEST(Classifier, DegenerateDataFallsBackToMajority) {
+  // Pure white noise, single class: no patterns survive but Train must
+  // still produce a usable (constant) classifier.
+  ts::Rng rng(9);
+  ts::Dataset train;
+  for (int i = 0; i < 4; ++i) {
+    ts::Series s(40);
+    for (auto& v : s) v = rng.Gaussian();
+    train.Add(3, std::move(s));
+  }
+  RpmOptions opt = FastOptions();
+  opt.fixed_sax.window = 20;
+  RpmClassifier clf(opt);
+  clf.Train(train);
+  EXPECT_EQ(clf.Classify(ts::Series(40, 0.5)), 3);
+}
+
+TEST(Classifier, PerClassSaxRecorded) {
+  const ts::Dataset train = PlantedMotifs(8, 150, 10);
+  RpmClassifier clf(FastOptions());
+  clf.Train(train);
+  EXPECT_EQ(clf.sax_by_class().size(), 2u);
+  EXPECT_EQ(clf.sax_by_class().at(1).window, 30u);
+}
+
+TEST(ParameterSelection, DefaultRangeScalesWithLength) {
+  ts::Dataset d;
+  d.Add(1, ts::Series(200, 0.0));
+  const SaxParamRange r = DefaultRange(d);
+  EXPECT_EQ(r.window_lo, 25);
+  EXPECT_EQ(r.window_hi, 120);
+  EXPECT_GE(r.paa_lo, 2);
+  EXPECT_LE(r.alphabet_hi, 9);
+}
+
+TEST(ParameterSelection, FixedSearchReturnsFixedSax) {
+  const ts::Dataset train = PlantedMotifs(4, 150, 11);
+  RpmOptions opt = FastOptions();
+  const auto result = SelectSaxParameters(train, opt);
+  EXPECT_EQ(result.combos_evaluated, 0u);
+  for (const auto& [label, sax] : result.sax_by_class) {
+    EXPECT_EQ(sax.window, opt.fixed_sax.window);
+  }
+}
+
+TEST(ParameterSelection, DirectSearchPicksWorkingParams) {
+  const ts::Dataset train = PlantedMotifs(8, 150, 12);
+  RpmOptions opt = FastOptions();
+  opt.search = ParameterSearch::kDirect;
+  opt.direct_max_evaluations = 8;
+  opt.param_splits = 2;
+  opt.param_folds = 2;
+  const auto result = SelectSaxParameters(train, opt);
+  EXPECT_GE(result.combos_evaluated, 1u);
+  EXPECT_EQ(result.sax_by_class.size(), 2u);
+  const SaxParamRange range = DefaultRange(train);
+  for (const auto& [label, sax] : result.sax_by_class) {
+    EXPECT_GE(static_cast<int>(sax.window), range.window_lo);
+    EXPECT_LE(static_cast<int>(sax.window), range.window_hi);
+  }
+}
+
+TEST(ParameterSelection, EvaluateComboScoresClasses) {
+  const ts::Dataset train = PlantedMotifs(8, 150, 13);
+  RpmOptions opt = FastOptions();
+  opt.param_splits = 2;
+  opt.param_folds = 2;
+  const auto f = EvaluateSaxCombo(train, TestSax(), opt);
+  ASSERT_EQ(f.size(), 2u);
+  for (const auto& [label, score] : f) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(Ablation, JunctionFilteringReducesOrKeepsCandidates) {
+  const ts::Dataset train = PlantedMotifs(8, 150, 14);
+  RpmOptions with = FastOptions();
+  RpmOptions without = FastOptions();
+  without.filter_junctions = false;
+  const auto a = FindClassCandidates(train, 1, TestSax(), with);
+  const auto b = FindClassCandidates(train, 1, TestSax(), without);
+  std::size_t freq_with = 0;
+  std::size_t freq_without = 0;
+  for (const auto& c : a) freq_with += c.frequency;
+  for (const auto& c : b) freq_without += c.frequency;
+  EXPECT_LE(freq_with, freq_without);
+}
+
+}  // namespace
+}  // namespace rpm::core

@@ -1,0 +1,172 @@
+// Tests for HOT SAX discord discovery (exactness against brute force,
+// planted anomalies, degenerate inputs) and the Bag-of-Patterns
+// classifier.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "baselines/bag_of_patterns.h"
+#include "baselines/sax_vsm.h"
+#include "distance/euclidean.h"
+#include "grammar/hotsax.h"
+#include "ts/generators.h"
+#include "ts/rng.h"
+#include "ts/znorm.h"
+
+namespace rpm {
+namespace {
+
+// Brute-force discord: O(p^2) nearest-non-overlapping-neighbor maximizer.
+grammar::HotSaxDiscord BruteForceDiscord(ts::SeriesView series,
+                                         std::size_t n) {
+  const std::size_t positions = series.size() - n + 1;
+  std::vector<ts::Series> z(positions);
+  for (std::size_t p = 0; p < positions; ++p) {
+    z[p].assign(series.begin() + static_cast<std::ptrdiff_t>(p),
+                series.begin() + static_cast<std::ptrdiff_t>(p + n));
+    ts::ZNormalizeInPlace(z[p]);
+  }
+  grammar::HotSaxDiscord best;
+  best.length = n;
+  best.nn_distance = -1.0;
+  for (std::size_t p = 0; p < positions; ++p) {
+    double nn = std::numeric_limits<double>::infinity();
+    for (std::size_t q = 0; q < positions; ++q) {
+      const std::size_t gap = q > p ? q - p : p - q;
+      if (gap < n) continue;
+      nn = std::min(nn, distance::Euclidean(z[p], z[q]));
+    }
+    if (std::isfinite(nn) && nn > best.nn_distance) {
+      best.nn_distance = nn;
+      best.start = p;
+    }
+  }
+  return best;
+}
+
+TEST(HotSax, MatchesBruteForceOnRandomSeries) {
+  ts::Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    ts::Series s(150);
+    double v = 0.0;
+    for (auto& x : s) {
+      v += rng.Gaussian();
+      x = v;
+    }
+    grammar::HotSaxOptions opt;
+    opt.discord_length = 20;
+    const auto found = grammar::FindHotSaxDiscords(s, opt);
+    const auto ref = BruteForceDiscord(s, 20);
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_NEAR(found[0].nn_distance, ref.nn_distance, 1e-9);
+    EXPECT_EQ(found[0].start, ref.start);
+  }
+}
+
+TEST(HotSax, FindsPlantedAnomalyInPeriodicSeries) {
+  ts::Rng rng(2);
+  ts::Series s(400);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 40.0) +
+           rng.Gaussian(0.0, 0.02);
+  }
+  for (std::size_t i = 200; i < 240; ++i) {
+    s[i] += 1.5 * std::sin(2.0 * M_PI * static_cast<double>(i) / 7.0);
+  }
+  grammar::HotSaxOptions opt;
+  opt.discord_length = 40;
+  const auto found = grammar::FindHotSaxDiscords(s, opt);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_GE(found[0].start + found[0].length, 200u);
+  EXPECT_LE(found[0].start, 240u);
+}
+
+TEST(HotSax, MultipleDiscordsNonOverlapping) {
+  ts::Rng rng(3);
+  ts::Series s(300);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 30.0) +
+           rng.Gaussian(0.0, 0.02);
+  }
+  grammar::HotSaxOptions opt;
+  opt.discord_length = 30;
+  opt.max_discords = 3;
+  const auto found = grammar::FindHotSaxDiscords(s, opt);
+  ASSERT_EQ(found.size(), 3u);
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    for (std::size_t j = i + 1; j < found.size(); ++j) {
+      const std::size_t gap = found[j].start > found[i].start
+                                  ? found[j].start - found[i].start
+                                  : found[i].start - found[j].start;
+      EXPECT_GE(gap, opt.discord_length);
+    }
+  }
+  // Best first.
+  for (std::size_t i = 1; i < found.size(); ++i) {
+    EXPECT_GE(found[i - 1].nn_distance, found[i].nn_distance - 1e-12);
+  }
+}
+
+TEST(HotSax, DegenerateInputs) {
+  grammar::HotSaxOptions opt;
+  opt.discord_length = 50;
+  EXPECT_TRUE(
+      grammar::FindHotSaxDiscords(ts::Series(60, 0.0), opt).empty());
+  opt.discord_length = 0;
+  EXPECT_TRUE(
+      grammar::FindHotSaxDiscords(ts::Series(60, 0.0), opt).empty());
+}
+
+// ---------------- Bag-of-Patterns ----------------
+
+TEST(BagOfPatternsTest, BeatsChanceOnGunPoint) {
+  const ts::DatasetSplit split = ts::MakeGunPoint(10, 20, 100, 40);
+  baselines::BagOfPatternsOptions opt;
+  opt.sax.window = 25;
+  opt.sax.paa_size = 5;
+  opt.sax.alphabet = 4;
+  baselines::BagOfPatterns clf(opt);
+  clf.Train(split.train);
+  EXPECT_LE(clf.Evaluate(split.test), 0.3);
+}
+
+TEST(BagOfPatternsTest, EuclideanVariantWorksToo) {
+  const ts::DatasetSplit split = ts::MakeCbf(8, 10, 128, 41);
+  baselines::BagOfPatternsOptions opt;
+  opt.sax.window = 32;
+  opt.sax.paa_size = 4;
+  opt.sax.alphabet = 4;
+  opt.cosine = false;
+  baselines::BagOfPatterns clf(opt);
+  clf.Train(split.train);
+  EXPECT_LE(clf.Evaluate(split.test), 0.45);
+}
+
+TEST(BagOfPatternsTest, ThrowsAppropriately) {
+  baselines::BagOfPatterns clf;
+  EXPECT_THROW(clf.Classify(ts::Series(10, 0.0)), std::logic_error);
+  EXPECT_THROW(clf.Train(ts::Dataset{}), std::invalid_argument);
+}
+
+TEST(BagOfPatternsTest, SaxVsmUsuallyAtLeastAsGood) {
+  // The tf*idf weighting is the SAX-VSM contribution over BOP; on a
+  // multi-class problem it should not be worse.
+  const ts::DatasetSplit split = ts::MakeCbf(10, 20, 128, 42);
+  baselines::BagOfPatternsOptions bop_opt;
+  bop_opt.sax.window = 32;
+  bop_opt.sax.paa_size = 4;
+  bop_opt.sax.alphabet = 4;
+  baselines::BagOfPatterns bop(bop_opt);
+  bop.Train(split.train);
+  baselines::SaxVsmOptions vsm_opt;
+  vsm_opt.optimize = false;
+  vsm_opt.sax = bop_opt.sax;
+  baselines::SaxVsm vsm(vsm_opt);
+  vsm.Train(split.train);
+  EXPECT_LE(vsm.Evaluate(split.test), bop.Evaluate(split.test) + 0.1);
+}
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,161 @@
+// Tests for the distance kernels: Euclidean variants, the best-match
+// subsequence scan, DTW with bands, and the LB_Keogh lower bound
+// (including the property LB_Keogh <= DTW on random data).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distance/dtw.h"
+#include "distance/euclidean.h"
+#include "ts/rng.h"
+#include "ts/znorm.h"
+
+namespace rpm::distance {
+namespace {
+
+TEST(Euclidean, BasicValues) {
+  const ts::Series a = {0.0, 0.0};
+  const ts::Series b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Euclidean(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(NormalizedEuclidean(a, b), 5.0 / std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(Euclidean(a, a), 0.0);
+}
+
+TEST(Euclidean, EarlyAbandonMatchesFullWhenUnderCutoff) {
+  const ts::Series a = {1.0, 2.0, 3.0};
+  const ts::Series b = {2.0, 0.0, 3.5};
+  const double full = SquaredEuclidean(a, b);
+  EXPECT_DOUBLE_EQ(SquaredEuclideanEarlyAbandon(a, b, full + 1.0), full);
+}
+
+TEST(Euclidean, EarlyAbandonReturnsAtLeastCutoff) {
+  const ts::Series a = {0.0, 0.0, 0.0, 0.0};
+  const ts::Series b = {10.0, 10.0, 10.0, 10.0};
+  EXPECT_GE(SquaredEuclideanEarlyAbandon(a, b, 50.0), 50.0);
+}
+
+TEST(BestMatch, FindsPlantedPattern) {
+  // Haystack: noise with an exact (scaled+shifted) copy of the pattern at
+  // position 20; z-normalized matching must find it with distance ~0.
+  ts::Rng rng(3);
+  ts::Series pattern = {0.0, 1.0, 2.0, 3.0, 2.0, 1.0, 0.0, -1.0};
+  ts::ZNormalizeInPlace(pattern);
+  ts::Series hay(60);
+  for (auto& v : hay) v = rng.Gaussian(0.0, 0.3);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    hay[20 + i] = 5.0 + 2.0 * pattern[i];  // scaled + shifted copy
+  }
+  const BestMatch m = FindBestMatch(pattern, hay);
+  ASSERT_TRUE(m.found());
+  EXPECT_EQ(m.position, 20u);
+  EXPECT_NEAR(m.distance, 0.0, 1e-9);
+}
+
+TEST(BestMatch, UnfoundWhenPatternLonger) {
+  const ts::Series pattern(10, 1.0);
+  const ts::Series hay(5, 1.0);
+  const BestMatch m = FindBestMatch(pattern, hay);
+  EXPECT_FALSE(m.found());
+  EXPECT_TRUE(std::isinf(m.distance));
+  EXPECT_TRUE(std::isinf(BestMatchDistance(pattern, hay)));
+}
+
+TEST(BestMatch, EmptyPatternUnfound) {
+  EXPECT_FALSE(FindBestMatch(ts::Series{}, ts::Series{1.0, 2.0}).found());
+}
+
+TEST(BestMatch, HandlesFlatWindows) {
+  ts::Series pattern = {1.0, -1.0, 1.0};
+  ts::ZNormalizeInPlace(pattern);
+  const ts::Series hay = {5.0, 5.0, 5.0, 5.0, 1.0, -1.0, 1.0};
+  const BestMatch m = FindBestMatch(pattern, hay);
+  ASSERT_TRUE(m.found());
+  EXPECT_EQ(m.position, 4u);
+}
+
+TEST(Dtw, EqualsEuclideanForIdenticalSeries) {
+  const ts::Series a = {1.0, 2.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Dtw(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(Dtw(a, a, 0), 0.0);
+}
+
+TEST(Dtw, WarpsShiftedSeries) {
+  // A one-step shifted copy should be much closer under DTW than ED.
+  ts::Series a(30);
+  ts::Series b(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    a[i] = std::sin(0.4 * static_cast<double>(i));
+    b[i] = std::sin(0.4 * (static_cast<double>(i) - 2.0));
+  }
+  const double ed = Euclidean(a, b);
+  const double dtw = Dtw(a, b, 4);
+  EXPECT_LT(dtw, 0.5 * ed);
+}
+
+TEST(Dtw, ZeroWindowEqualsEuclidean) {
+  const ts::Series a = {1.0, 5.0, 2.0, 8.0};
+  const ts::Series b = {2.0, 3.0, 4.0, 5.0};
+  EXPECT_NEAR(Dtw(a, b, 0), Euclidean(a, b), 1e-12);
+}
+
+TEST(Dtw, WiderWindowNeverIncreasesDistance) {
+  ts::Rng rng(7);
+  ts::Series a(40);
+  ts::Series b(40);
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian();
+  double prev = Dtw(a, b, 0);
+  for (std::size_t w : {1u, 2u, 4u, 8u, 16u, 40u}) {
+    const double d = Dtw(a, b, w);
+    EXPECT_LE(d, prev + 1e-9);
+    prev = d;
+  }
+}
+
+TEST(Dtw, CutoffAbandonsReturnsInfinity) {
+  const ts::Series a = {0.0, 0.0, 0.0};
+  const ts::Series b = {100.0, 100.0, 100.0};
+  EXPECT_TRUE(std::isinf(Dtw(a, b, kUnconstrained, 1.0)));
+}
+
+TEST(Dtw, DifferentLengths) {
+  const ts::Series a = {1.0, 2.0, 3.0};
+  const ts::Series b = {1.0, 1.5, 2.0, 2.5, 3.0};
+  EXPECT_TRUE(std::isfinite(Dtw(a, b)));
+  EXPECT_TRUE(std::isfinite(Dtw(a, b, 1)));  // window widened to len diff
+}
+
+TEST(Envelope, BoundsTheSeries) {
+  const ts::Series s = {1.0, 3.0, 2.0, 5.0, 4.0};
+  const Envelope env = MakeEnvelope(s, 1);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_LE(env.lower[i], s[i]);
+    EXPECT_GE(env.upper[i], s[i]);
+  }
+  EXPECT_DOUBLE_EQ(env.upper[1], 3.0);
+  EXPECT_DOUBLE_EQ(env.upper[2], 5.0);
+  EXPECT_DOUBLE_EQ(env.lower[3], 2.0);
+}
+
+// Property: LB_Keogh lower-bounds banded DTW for random series.
+class LbKeoghProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LbKeoghProperty, LowerBoundsDtw) {
+  ts::Rng rng(GetParam());
+  const std::size_t n = 32;
+  const std::size_t w = 4;
+  ts::Series a(n);
+  ts::Series b(n);
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian();
+  const Envelope env = MakeEnvelope(b, w);
+  EXPECT_LE(LbKeogh(a, env), Dtw(a, b, w) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, LbKeoghProperty,
+                         ::testing::Range<std::size_t>(1, 21));
+
+}  // namespace
+}  // namespace rpm::distance

@@ -1,0 +1,145 @@
+// Tests for the synthetic UCR-style dataset generators: shape, size,
+// determinism, normalization, and (parameterized across the whole suite)
+// the invariants every generator must satisfy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ts/generators.h"
+#include "ts/znorm.h"
+
+namespace rpm::ts {
+namespace {
+
+TEST(Generators, CbfShapesAndLabels) {
+  const DatasetSplit split = MakeCbf(5, 7, 128, 1);
+  EXPECT_EQ(split.name, "CBF");
+  EXPECT_EQ(split.train.size(), 15u);  // 3 classes x 5
+  EXPECT_EQ(split.test.size(), 21u);
+  EXPECT_EQ(split.train.ClassLabels(), (std::vector<int>{1, 2, 3}));
+  for (const auto& inst : split.train) {
+    EXPECT_EQ(inst.values.size(), 128u);
+  }
+}
+
+TEST(Generators, DeterministicGivenSeed) {
+  const DatasetSplit a = MakeGunPoint(4, 4, 100, 77);
+  const DatasetSplit b = MakeGunPoint(4, 4, 100, 77);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].values, b.train[i].values);
+  }
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  const DatasetSplit a = MakeCoffee(3, 3, 120, 1);
+  const DatasetSplit b = MakeCoffee(3, 3, 120, 2);
+  EXPECT_NE(a.train[0].values, b.train[0].values);
+}
+
+TEST(Generators, SyntheticControlHasSixClasses) {
+  const DatasetSplit split = MakeSyntheticControl(2, 2, 60, 5);
+  EXPECT_EQ(split.train.NumClasses(), 6u);
+  EXPECT_EQ(split.train.size(), 12u);
+}
+
+TEST(Generators, TwoPatternsHasFourClasses) {
+  const DatasetSplit split = MakeTwoPatterns(2, 2, 128, 5);
+  EXPECT_EQ(split.train.NumClasses(), 4u);
+}
+
+TEST(Generators, TraceHasFourClasses) {
+  EXPECT_EQ(MakeTrace(2, 2, 100, 5).train.NumClasses(), 4u);
+}
+
+TEST(Generators, ShapeOutlinesArePeriodicLike) {
+  // A polygon radial scan starts and ends at the same contour point, so
+  // first and last samples should be close after normalization.
+  // Z-normalization stretches the raw radius range (~[0.5, 1]) by ~5x, so
+  // the tolerance is generous; the scan must still end near where it
+  // started rather than at the opposite extreme.
+  const DatasetSplit split = MakeShapeOutlines(2, 2, 128, 9);
+  for (const auto& inst : split.train) {
+    EXPECT_LT(std::abs(inst.values.front() - inst.values.back()), 1.5);
+  }
+}
+
+TEST(Generators, AbpAlarmHasTwoClasses) {
+  const DatasetSplit split = MakeAbpAlarm(4, 4, 200, 3);
+  EXPECT_EQ(split.train.ClassLabels(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(split.train.MinLength(), 200u);
+}
+
+TEST(Generators, BenchmarkSuiteComposition) {
+  SuiteOptions options;
+  options.size_scale = 0.5;
+  const auto suite = BenchmarkSuite(options);
+  EXPECT_EQ(suite.size(), 14u);
+  for (const auto& split : suite) {
+    EXPECT_FALSE(split.name.empty());
+    EXPECT_FALSE(split.train.empty());
+    EXPECT_FALSE(split.test.empty());
+    EXPECT_GE(split.train.CountOfClass(split.train.ClassLabels().front()),
+              2u);
+  }
+}
+
+TEST(Generators, RotationSuiteComposition) {
+  const auto suite = RotationSuite({0.5, 1});
+  EXPECT_EQ(suite.size(), 5u);
+}
+
+// ---- Parameterized invariants over the full suite. ----
+
+class SuiteInvariantTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static const std::vector<DatasetSplit>& Suite() {
+    static const std::vector<DatasetSplit> suite =
+        BenchmarkSuite({0.5, 20160315});
+    return suite;
+  }
+};
+
+TEST_P(SuiteInvariantTest, InstancesAreZNormalized) {
+  const DatasetSplit& split = Suite()[GetParam()];
+  for (const auto& inst : split.train) {
+    EXPECT_NEAR(Mean(inst.values), 0.0, 1e-9) << split.name;
+    const double sd = StdDev(inst.values);
+    // Flat instances are only centered; none of the generators emit them,
+    // so stddev must be 1.
+    EXPECT_NEAR(sd, 1.0, 1e-9) << split.name;
+  }
+}
+
+TEST_P(SuiteInvariantTest, TrainAndTestShareClassesAndLengths) {
+  const DatasetSplit& split = Suite()[GetParam()];
+  EXPECT_EQ(split.train.ClassLabels(), split.test.ClassLabels())
+      << split.name;
+  EXPECT_EQ(split.train.MinLength(), split.train.MaxLength()) << split.name;
+  EXPECT_EQ(split.train.MinLength(), split.test.MinLength()) << split.name;
+}
+
+TEST_P(SuiteInvariantTest, ClassesAreBalancedInTrain) {
+  const DatasetSplit& split = Suite()[GetParam()];
+  const auto hist = split.train.ClassHistogram();
+  const std::size_t first = hist.begin()->second;
+  for (const auto& [label, count] : hist) {
+    EXPECT_EQ(count, first) << split.name;
+  }
+}
+
+TEST_P(SuiteInvariantTest, ValuesAreFinite) {
+  const DatasetSplit& split = Suite()[GetParam()];
+  for (const auto& inst : split.train) {
+    for (double v : inst.values) {
+      EXPECT_TRUE(std::isfinite(v)) << split.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, SuiteInvariantTest,
+                         ::testing::Range<std::size_t>(0, 14));
+
+}  // namespace
+}  // namespace rpm::ts

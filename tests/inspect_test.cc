@@ -1,0 +1,184 @@
+// Tests for the GrammarViz-style inspection utilities and the classifier
+// training report.
+
+#include <gtest/gtest.h>
+
+#include "core/rpm.h"
+#include "grammar/inspect.h"
+#include "ts/generators.h"
+#include "ts/rng.h"
+
+namespace rpm::grammar {
+namespace {
+
+std::vector<MotifCandidate> TwoMotifs() {
+  MotifCandidate a;
+  a.rule_id = 1;
+  a.intervals = {{0, 10}, {20, 12}, {40, 8}};
+  MotifCandidate b;
+  b.rule_id = 2;
+  b.intervals = {{5, 4}, {50, 4}};
+  return {a, b};
+}
+
+TEST(Inspect, SummaryStatsAndOrdering) {
+  const auto stats = SummarizeMotifs(TwoMotifs());
+  ASSERT_EQ(stats.size(), 2u);
+  // Rule 1 has mass 30, rule 2 mass 8: rule 1 first.
+  EXPECT_EQ(stats[0].rule_id, 1);
+  EXPECT_EQ(stats[0].occurrences, 3u);
+  EXPECT_EQ(stats[0].min_length, 8u);
+  EXPECT_EQ(stats[0].max_length, 12u);
+  EXPECT_DOUBLE_EQ(stats[0].mean_length, 10.0);
+  EXPECT_DOUBLE_EQ(stats[0].mass, 30.0);
+  EXPECT_EQ(stats[1].rule_id, 2);
+}
+
+TEST(Inspect, CoverageDensityCountsOverlaps) {
+  const auto density = CoverageDensity(TwoMotifs(), 60);
+  ASSERT_EQ(density.size(), 60u);
+  EXPECT_EQ(density[0], 1u);   // only rule 1's first interval
+  EXPECT_EQ(density[5], 2u);   // rule 1 [0,10) + rule 2 [5,9)
+  EXPECT_EQ(density[15], 0u);  // gap
+  EXPECT_EQ(density[21], 1u);
+  EXPECT_EQ(density[47], 1u);  // rule 1 [40,48)
+  EXPECT_EQ(density[48], 0u);
+  EXPECT_EQ(density[50], 1u);
+}
+
+TEST(Inspect, CoverageFraction) {
+  // Covered: [0,10) u [5,9) u [20,32) u [40,48) u [50,54) = 10+12+8+4 = 34.
+  EXPECT_NEAR(CoverageFraction(TwoMotifs(), 60), 34.0 / 60.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CoverageFraction({}, 60), 0.0);
+  EXPECT_DOUBLE_EQ(CoverageFraction(TwoMotifs(), 0), 0.0);
+}
+
+TEST(Inspect, IntervalsClampedToLength) {
+  MotifCandidate m;
+  m.rule_id = 3;
+  m.intervals = {{55, 20}, {100, 5}};  // both overflow length 60
+  const auto density = CoverageDensity({m}, 60);
+  EXPECT_EQ(density[59], 1u);
+  EXPECT_EQ(density[54], 0u);
+}
+
+TEST(Inspect, DiscordsPickLowestDensityRegions) {
+  // Motifs cover [0,30) and [40,60) densely; [30,40) is the gap.
+  MotifCandidate m;
+  m.rule_id = 1;
+  m.intervals = {{0, 30}, {40, 20}};
+  const auto discords = FindDiscords({m}, 60, 10, 2);
+  ASSERT_GE(discords.size(), 1u);
+  EXPECT_EQ(discords[0].start, 30u);
+  EXPECT_DOUBLE_EQ(discords[0].mean_density, 0.0);
+}
+
+TEST(Inspect, DiscordsAreNonOverlapping) {
+  const auto discords = FindDiscords(TwoMotifs(), 60, 8, 3);
+  for (std::size_t i = 0; i < discords.size(); ++i) {
+    for (std::size_t j = i + 1; j < discords.size(); ++j) {
+      const auto& a = discords[i];
+      const auto& b = discords[j];
+      EXPECT_TRUE(a.start + a.length <= b.start ||
+                  b.start + b.length <= a.start);
+    }
+  }
+  // Sorted by ascending density (most anomalous first).
+  for (std::size_t i = 1; i < discords.size(); ++i) {
+    EXPECT_LE(discords[i - 1].mean_density, discords[i].mean_density);
+  }
+}
+
+TEST(Inspect, DiscordDegenerateInputs) {
+  EXPECT_TRUE(FindDiscords({}, 10, 20, 3).empty());  // window > series
+  EXPECT_TRUE(FindDiscords({}, 10, 0, 3).empty());
+  EXPECT_TRUE(FindDiscords({}, 10, 5, 0).empty());
+  // No motifs at all: everything has density 0; still returns windows.
+  EXPECT_EQ(FindDiscords({}, 20, 5, 2).size(), 2u);
+}
+
+TEST(Inspect, PlantedAnomalyFoundInPeriodicSeries) {
+  // Periodic series with one corrupted cycle: the discord should land on
+  // the corruption.
+  ts::Rng rng(5);
+  ts::Series s(360);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 30.0) +
+           rng.Gaussian(0.0, 0.03);
+  }
+  for (std::size_t i = 180; i < 210; ++i) {
+    s[i] = rng.Gaussian(0.0, 1.0);  // destroy one cycle
+  }
+  sax::SaxOptions opt;
+  opt.window = 30;
+  opt.paa_size = 4;
+  opt.alphabet = 4;
+  const auto records = sax::DiscretizeSlidingWindow(s, opt);
+  const auto motifs =
+      FindMotifCandidates(records, opt.window, s.size(), {}, true);
+  const auto discords = FindDiscords(motifs, s.size(), 30, 1);
+  ASSERT_EQ(discords.size(), 1u);
+  // The anomalous cycle sits at [180, 210); allow window-sized slack.
+  EXPECT_GE(discords[0].start + discords[0].length, 165u);
+  EXPECT_LE(discords[0].start, 225u);
+}
+
+TEST(Inspect, FormatTableMentionsRules) {
+  const std::string table = FormatMotifTable(TwoMotifs());
+  EXPECT_NE(table.find("R1"), std::string::npos);
+  EXPECT_NE(table.find("R2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpm::grammar
+
+namespace rpm::core {
+namespace {
+
+TEST(TrainingReportTest, PopulatedByTrain) {
+  const ts::DatasetSplit split = ts::MakeGunPoint(10, 5, 100, 123);
+  RpmOptions opt;
+  opt.search = ParameterSearch::kFixed;
+  opt.fixed_sax.window = 25;
+  opt.fixed_sax.paa_size = 5;
+  opt.fixed_sax.alphabet = 4;
+  RpmClassifier clf(opt);
+  clf.Train(split.train);
+  const TrainingReport& r = clf.report();
+  EXPECT_GT(r.candidates_total, 0u);
+  EXPECT_EQ(r.patterns_selected, clf.patterns().size());
+  EXPECT_EQ(r.combos_evaluated, 0u);  // fixed search evaluates nothing
+  EXPECT_GE(r.candidate_mining_seconds, 0.0);
+  EXPECT_GT(r.total_seconds(), 0.0);
+  EXPECT_EQ(r.candidates_per_class.size(), 2u);
+}
+
+TEST(TrainingReportTest, CombosCountedUnderDirect) {
+  const ts::DatasetSplit split = ts::MakeGunPoint(8, 4, 100, 124);
+  RpmOptions opt;
+  opt.search = ParameterSearch::kDirect;
+  opt.direct_max_evaluations = 6;
+  opt.param_splits = 2;
+  opt.param_folds = 2;
+  RpmClassifier clf(opt);
+  clf.Train(split.train);
+  EXPECT_GE(clf.report().combos_evaluated, 1u);
+  EXPECT_GT(clf.report().parameter_selection_seconds, 0.0);
+}
+
+TEST(TrainingReportTest, ResetBetweenTrainCalls) {
+  const ts::DatasetSplit split = ts::MakeGunPoint(8, 4, 100, 125);
+  RpmOptions opt;
+  opt.search = ParameterSearch::kFixed;
+  opt.fixed_sax.window = 25;
+  opt.fixed_sax.paa_size = 5;
+  opt.fixed_sax.alphabet = 4;
+  RpmClassifier clf(opt);
+  clf.Train(split.train);
+  const std::size_t first = clf.report().candidates_total;
+  clf.Train(split.train);
+  EXPECT_EQ(clf.report().candidates_total, first);
+}
+
+}  // namespace
+}  // namespace rpm::core

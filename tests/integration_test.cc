@@ -1,0 +1,160 @@
+// Cross-module integration tests: the full RPM pipeline on generated
+// datasets, parameter search end-to-end, rotation-invariant
+// classification (the Section 6.1 protocol), the medical-alarm case study
+// shape, and UCR file round-trips feeding the classifier.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baselines/nn_euclidean.h"
+#include "core/rpm.h"
+#include "ts/generators.h"
+#include "ts/rng.h"
+#include "ts/rotation.h"
+#include "ts/ucr_io.h"
+
+namespace rpm {
+namespace {
+
+core::RpmOptions FixedOptions(std::size_t window) {
+  core::RpmOptions opt;
+  opt.search = core::ParameterSearch::kFixed;
+  opt.fixed_sax.window = window;
+  opt.fixed_sax.paa_size = 5;
+  opt.fixed_sax.alphabet = 4;
+  return opt;
+}
+
+TEST(Integration, RpmOnCbf) {
+  const ts::DatasetSplit split = ts::MakeCbf(10, 20, 128, 1001);
+  core::RpmClassifier clf(FixedOptions(32));
+  clf.Train(split.train);
+  EXPECT_LT(clf.Evaluate(split.test), 0.35);
+  EXPECT_FALSE(clf.patterns().empty());
+}
+
+TEST(Integration, RpmOnCoffeeSpectra) {
+  const ts::DatasetSplit split = ts::MakeCoffee(12, 12, 200, 1002);
+  core::RpmClassifier clf(FixedOptions(40));
+  clf.Train(split.train);
+  EXPECT_LT(clf.Evaluate(split.test), 0.2);
+}
+
+TEST(Integration, RpmWithDirectSearchOnGunPoint) {
+  const ts::DatasetSplit split = ts::MakeGunPoint(10, 15, 100, 1003);
+  core::RpmOptions opt;
+  opt.search = core::ParameterSearch::kDirect;
+  opt.direct_max_evaluations = 10;
+  opt.param_splits = 2;
+  opt.param_folds = 2;
+  core::RpmClassifier clf(opt);
+  clf.Train(split.train);
+  EXPECT_GE(clf.combos_evaluated(), 1u);
+  EXPECT_LT(clf.Evaluate(split.test), 0.35);
+}
+
+TEST(Integration, RpmWithGridSearchOnItalyPower) {
+  const ts::DatasetSplit split = ts::MakeItalyPower(12, 20, 24, 1004);
+  core::RpmOptions opt;
+  opt.search = core::ParameterSearch::kGrid;
+  opt.grid_window_step = 4;
+  opt.param_splits = 2;
+  opt.param_folds = 2;
+  core::RpmClassifier clf(opt);
+  clf.Train(split.train);
+  EXPECT_GE(clf.combos_evaluated(), 4u);
+  EXPECT_LT(clf.Evaluate(split.test), 0.4);
+}
+
+TEST(Integration, RotationInvarianceProtocol) {
+  // Train on unmodified data; rotate the test set; RPM with the
+  // rotation-invariant transform must stay clearly better than NN-ED,
+  // whose error collapses to chance (Section 6.1 / Table 4).
+  const ts::DatasetSplit split = ts::MakeGunPoint(12, 25, 100, 1005);
+  ts::Rng rng(7);
+  const ts::Dataset rotated_test = ts::RandomlyRotate(split.test, rng);
+
+  core::RpmOptions opt = FixedOptions(25);
+  opt.rotation_invariant = true;
+  core::RpmClassifier rpm(opt);
+  rpm.Train(split.train);
+  const double rpm_error = rpm.Evaluate(rotated_test);
+
+  baselines::NnEuclidean ed;
+  ed.Train(split.train);
+  const double ed_error = ed.Evaluate(rotated_test);
+
+  EXPECT_LT(rpm_error, ed_error);
+  EXPECT_LT(rpm_error, 0.35);
+}
+
+TEST(Integration, MedicalAlarmCaseStudy) {
+  const ts::DatasetSplit split = ts::MakeAbpAlarm(12, 20, 240, 1006);
+  // The window must span >1 beat (~30 points): per-window z-normalization
+  // hides amplitude decay inside a single beat. And because the alarm
+  // class mixes three morphologies, each subtype motif covers only ~1/3
+  // of the class — gamma must sit below that fraction.
+  core::RpmOptions opt = FixedOptions(60);
+  opt.gamma = 0.1;
+  core::RpmClassifier clf(opt);
+  clf.Train(split.train);
+  EXPECT_LT(clf.Evaluate(split.test), 0.3);
+}
+
+TEST(Integration, UcrRoundTripFeedsClassifier) {
+  const ts::DatasetSplit split = ts::MakeEcg(10, 15, 136, 1007);
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string train_path = (dir / "rpm_it_train.csv").string();
+  const std::string test_path = (dir / "rpm_it_test.csv").string();
+  ts::SaveUcrFile(split.train, train_path);
+  ts::SaveUcrFile(split.test, test_path);
+  const ts::Dataset train = ts::LoadUcrFile(train_path);
+  const ts::Dataset test = ts::LoadUcrFile(test_path);
+  std::remove(train_path.c_str());
+  std::remove(test_path.c_str());
+
+  core::RpmClassifier clf(FixedOptions(34));
+  clf.Train(train);
+  EXPECT_LT(clf.Evaluate(test), 0.3);
+}
+
+TEST(Integration, PatternsAreClassSpecific) {
+  // The paper's headline property: each class gets its own patterns.
+  const ts::DatasetSplit split = ts::MakeCbf(10, 5, 128, 1008);
+  core::RpmClassifier clf(FixedOptions(32));
+  clf.Train(split.train);
+  std::set<int> classes_with_patterns;
+  for (const auto& p : clf.patterns()) {
+    classes_with_patterns.insert(p.class_label);
+  }
+  EXPECT_GE(classes_with_patterns.size(), 2u);
+}
+
+TEST(Integration, NumerosityReductionAblation) {
+  // Without numerosity reduction the discretized sequence is much longer
+  // and rules map to near-fixed-length patterns; the pipeline must still
+  // work end to end (DESIGN.md ablation #1).
+  const ts::DatasetSplit split = ts::MakeCbf(8, 10, 128, 1009);
+  core::RpmOptions opt = FixedOptions(32);
+  opt.numerosity_reduction = false;
+  core::RpmClassifier clf(opt);
+  clf.Train(split.train);
+  EXPECT_LT(clf.Evaluate(split.test), 0.5);
+}
+
+TEST(Integration, TauPercentileSweepStaysReasonable) {
+  // Table 3 / Figure 9: accuracy should not collapse across tau choices.
+  const ts::DatasetSplit split = ts::MakeGunPoint(10, 15, 100, 1010);
+  for (double tau : {10.0, 30.0, 50.0, 70.0, 90.0}) {
+    core::RpmOptions opt = FixedOptions(25);
+    opt.tau_percentile = tau;
+    core::RpmClassifier clf(opt);
+    clf.Train(split.train);
+    EXPECT_LT(clf.Evaluate(split.test), 0.45) << "tau=" << tau;
+  }
+}
+
+}  // namespace
+}  // namespace rpm

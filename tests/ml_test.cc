@@ -1,0 +1,315 @@
+// Tests for the ML substrate: SVM (SMO), CFS feature selection, metrics,
+// stratified splitting, and the Wilcoxon signed-rank test.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/cross_validation.h"
+#include "ml/feature_dataset.h"
+#include "ml/feature_selection.h"
+#include "ml/metrics.h"
+#include "ml/svm.h"
+#include "ml/wilcoxon.h"
+#include "ts/rng.h"
+
+namespace rpm::ml {
+namespace {
+
+// ---------------- FeatureDataset ----------------
+
+TEST(FeatureDatasetTest, SelectColumnsAndRows) {
+  FeatureDataset d;
+  d.Add({1.0, 2.0, 3.0}, 1);
+  d.Add({4.0, 5.0, 6.0}, 2);
+  const FeatureDataset cols = d.SelectColumns({2, 0});
+  EXPECT_EQ(cols.x[0], (std::vector<double>{3.0, 1.0}));
+  EXPECT_EQ(cols.y, d.y);
+  const FeatureDataset rows = d.SelectRows({1});
+  EXPECT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.y[0], 2);
+  EXPECT_EQ(d.Labels(), (std::vector<int>{1, 2}));
+}
+
+// ---------------- SVM ----------------
+
+FeatureDataset LinearlySeparable2D(std::size_t per_class,
+                                   std::uint64_t seed) {
+  ts::Rng rng(seed);
+  FeatureDataset d;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.Add({rng.Gaussian(-2.0, 0.4), rng.Gaussian(-2.0, 0.4)}, 1);
+    d.Add({rng.Gaussian(2.0, 0.4), rng.Gaussian(2.0, 0.4)}, 2);
+  }
+  return d;
+}
+
+TEST(Svm, LinearSeparableBinary) {
+  const FeatureDataset d = LinearlySeparable2D(20, 1);
+  SvmClassifier svm;
+  svm.Train(d);
+  ASSERT_TRUE(svm.trained());
+  const std::vector<int> pred = svm.PredictAll(d);
+  EXPECT_GE(Accuracy(pred, d.y), 0.95);
+  EXPECT_EQ(svm.Predict(std::vector<double>{-2.0, -2.0}), 1);
+  EXPECT_EQ(svm.Predict(std::vector<double>{2.0, 2.0}), 2);
+}
+
+TEST(Svm, ThreeClassOneVsOne) {
+  ts::Rng rng(2);
+  FeatureDataset d;
+  const double centers[3][2] = {{-3, 0}, {3, 0}, {0, 4}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 15; ++i) {
+      d.Add({centers[c][0] + rng.Gaussian(0, 0.3),
+             centers[c][1] + rng.Gaussian(0, 0.3)},
+            c + 10);
+    }
+  }
+  SvmClassifier svm;
+  svm.Train(d);
+  EXPECT_GE(Accuracy(svm.PredictAll(d), d.y), 0.95);
+}
+
+TEST(Svm, RbfSolvesXor) {
+  ts::Rng rng(3);
+  FeatureDataset d;
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    const double y = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    d.Add({x + rng.Gaussian(0, 0.1), y + rng.Gaussian(0, 0.1)},
+          x * y > 0 ? 1 : 2);
+  }
+  SvmOptions opt;
+  opt.kernel = KernelKind::kRbf;
+  opt.c = 10.0;
+  opt.max_iterations = 5000;
+  SvmClassifier svm(opt);
+  svm.Train(d);
+  EXPECT_GE(Accuracy(svm.PredictAll(d), d.y), 0.9);
+}
+
+TEST(Svm, PolynomialKernelSolvesXor) {
+  ts::Rng rng(4);
+  FeatureDataset d;
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    const double y = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    d.Add({x + rng.Gaussian(0, 0.1), y + rng.Gaussian(0, 0.1)},
+          x * y > 0 ? 1 : 2);
+  }
+  SvmOptions opt;
+  opt.kernel = KernelKind::kPolynomial;
+  opt.poly_degree = 2;
+  opt.c = 10.0;
+  opt.max_iterations = 5000;
+  SvmClassifier svm(opt);
+  svm.Train(d);
+  EXPECT_GE(Accuracy(svm.PredictAll(d), d.y), 0.9);
+}
+
+TEST(Svm, SingleClassFallsBackToConstant) {
+  FeatureDataset d;
+  d.Add({1.0}, 7);
+  d.Add({2.0}, 7);
+  SvmClassifier svm;
+  svm.Train(d);
+  EXPECT_EQ(svm.Predict(std::vector<double>{99.0}), 7);
+}
+
+// ---------------- Feature selection ----------------
+
+TEST(Correlations, PearsonKnownValues) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+  const std::vector<double> c = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, c), 0.0);
+}
+
+TEST(Correlations, CorrelationRatioSeparatedGroups) {
+  // Perfect separation -> eta = 1; identical distributions -> near 0.
+  const std::vector<double> values = {0, 0.1, 0.2, 10, 10.1, 10.2};
+  const std::vector<int> labels = {1, 1, 1, 2, 2, 2};
+  EXPECT_GT(CorrelationRatio(values, labels), 0.99);
+  const std::vector<double> same = {1, 2, 3, 1, 2, 3};
+  EXPECT_LT(CorrelationRatio(same, labels), 0.01);
+}
+
+TEST(Cfs, PicksInformativeDropsRedundantAndNoise) {
+  ts::Rng rng(4);
+  FeatureDataset d;
+  for (int i = 0; i < 60; ++i) {
+    const int label = rng.Bernoulli(0.5) ? 1 : 2;
+    const double signal = (label == 1 ? -1.0 : 1.0) + rng.Gaussian(0, 0.2);
+    const double redundant = signal + rng.Gaussian(0, 0.05);
+    const double noise = rng.Gaussian(0, 1.0);
+    d.Add({signal, redundant, noise}, label);
+  }
+  const auto selected = CfsSelect(d);
+  ASSERT_FALSE(selected.empty());
+  // The informative feature must be in; pure noise must be out.
+  EXPECT_TRUE(std::find(selected.begin(), selected.end(), 0u) !=
+                  selected.end() ||
+              std::find(selected.begin(), selected.end(), 1u) !=
+                  selected.end());
+  EXPECT_EQ(std::find(selected.begin(), selected.end(), 2u), selected.end());
+  // Redundancy: not both copies of the same signal.
+  EXPECT_LE(selected.size(), 2u);
+}
+
+TEST(Cfs, MaxFeaturesHonored) {
+  ts::Rng rng(5);
+  FeatureDataset d;
+  for (int i = 0; i < 40; ++i) {
+    const int label = i % 2 + 1;
+    std::vector<double> row;
+    for (int f = 0; f < 6; ++f) {
+      row.push_back((label == 1 ? -1.0 : 1.0) * (f + 1) * 0.3 +
+                    rng.Gaussian(0, 0.5));
+    }
+    d.Add(row, label);
+  }
+  CfsOptions opt;
+  opt.max_features = 2;
+  EXPECT_LE(CfsSelect(d, opt).size(), 2u);
+}
+
+TEST(Cfs, DegenerateInputs) {
+  FeatureDataset empty;
+  EXPECT_TRUE(CfsSelect(empty).empty());
+  FeatureDataset constant;
+  constant.Add({1.0}, 1);
+  constant.Add({1.0}, 2);
+  EXPECT_EQ(CfsSelect(constant).size(), 1u);  // fallback single feature
+}
+
+// ---------------- Metrics ----------------
+
+TEST(Metrics, AccuracyAndError) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 2, 4}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ErrorRate({1, 2, 3}, {1, 2, 4}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(Metrics, ConfusionMatrixCounts) {
+  const auto cm = ConfusionMatrix({1, 1, 2, 2}, {1, 2, 2, 2});
+  EXPECT_EQ(cm.at({1, 1}), 1u);
+  EXPECT_EQ(cm.at({2, 1}), 1u);
+  EXPECT_EQ(cm.at({2, 2}), 2u);
+}
+
+TEST(Metrics, PerClassF1KnownCase) {
+  // truth: 1 1 2 2 ; pred: 1 2 2 2
+  const auto scores = PerClassScores({1, 2, 2, 2}, {1, 1, 2, 2});
+  EXPECT_DOUBLE_EQ(scores.at(1).precision, 1.0);
+  EXPECT_DOUBLE_EQ(scores.at(1).recall, 0.5);
+  EXPECT_NEAR(scores.at(1).f1, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(scores.at(2).precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(scores.at(2).recall, 1.0);
+  const double macro = MacroF1({1, 2, 2, 2}, {1, 1, 2, 2});
+  EXPECT_NEAR(macro, (2.0 / 3.0 + 0.8) / 2.0, 1e-12);
+}
+
+TEST(Metrics, PerfectPrediction) {
+  const auto scores = PerClassScores({1, 2}, {1, 2});
+  EXPECT_DOUBLE_EQ(scores.at(1).f1, 1.0);
+  EXPECT_DOUBLE_EQ(MacroF1({1, 2}, {1, 2}), 1.0);
+}
+
+// ---------------- Cross-validation ----------------
+
+TEST(Splitting, StratifiedFoldsBalanceClasses) {
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) labels.push_back(i % 3);
+  ts::Rng rng(6);
+  const auto folds = StratifiedFolds(labels, 5, rng);
+  ASSERT_EQ(folds.size(), labels.size());
+  // Every fold gets 2 of each class (10 per class / 5 folds).
+  std::map<std::pair<int, int>, int> count;  // (fold, class) -> n
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    ++count[{folds[i], labels[i]}];
+  }
+  for (const auto& [key, n] : count) EXPECT_EQ(n, 2);
+}
+
+TEST(Splitting, StratifiedSplitKeepsBothSidesNonEmptyPerClass) {
+  std::vector<int> labels = {1, 1, 1, 1, 2, 2, 2, 2, 2, 2};
+  ts::Rng rng(7);
+  const auto split = StratifiedSplit(labels, 0.7, rng);
+  EXPECT_EQ(split.train.size() + split.validation.size(), labels.size());
+  for (int label : {1, 2}) {
+    int in_train = 0;
+    int in_valid = 0;
+    for (std::size_t i : split.train) in_train += labels[i] == label;
+    for (std::size_t i : split.validation) in_valid += labels[i] == label;
+    EXPECT_GE(in_train, 1) << label;
+    EXPECT_GE(in_valid, 1) << label;
+  }
+}
+
+TEST(Splitting, SplitDatasetCarriesInstances) {
+  ts::Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    d.Add(i % 2 + 1, {static_cast<double>(i)});
+  }
+  ts::Rng rng(8);
+  const auto [train, valid] = SplitDataset(d, 0.6, rng);
+  EXPECT_EQ(train.size() + valid.size(), d.size());
+  EXPECT_EQ(train.NumClasses(), 2u);
+  EXPECT_EQ(valid.NumClasses(), 2u);
+}
+
+// ---------------- Wilcoxon ----------------
+
+TEST(Wilcoxon, IdenticalSamplesPValueOne) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const auto r = WilcoxonSignedRank(a, a);
+  EXPECT_EQ(r.n_nonzero, 0u);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(Wilcoxon, ClearlyShiftedSamplesSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  ts::Rng rng(9);
+  for (int i = 0; i < 15; ++i) {
+    const double base = rng.Uniform(0, 1);
+    a.push_back(base);
+    b.push_back(base + 0.5 + rng.Uniform(0, 0.1));
+  }
+  const auto r = WilcoxonSignedRank(a, b);
+  EXPECT_LT(r.p_value, 0.01);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);  // all differences negative
+}
+
+TEST(Wilcoxon, SymmetricDifferencesNotSignificant) {
+  const std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  const std::vector<double> b = {2, 1, 4, 3, 6, 5};  // +-1 alternating
+  const auto r = WilcoxonSignedRank(a, b);
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(Wilcoxon, LargeSampleNormalApproximation) {
+  ts::Rng rng(10);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 60; ++i) {
+    a.push_back(rng.Gaussian(0.0, 1.0));
+    b.push_back(rng.Gaussian(0.05, 1.0));  // tiny shift
+  }
+  const auto r = WilcoxonSignedRank(a, b);
+  EXPECT_EQ(r.n_nonzero, 60u);
+  EXPECT_GT(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(Wilcoxon, LengthMismatchThrows) {
+  EXPECT_THROW(WilcoxonSignedRank({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpm::ml

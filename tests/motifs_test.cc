@@ -1,0 +1,138 @@
+// Tests for the SAX-to-grammar bridge: token vocabulary, occurrence ->
+// raw-interval mapping, and junction filtering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grammar/motifs.h"
+#include "ts/rng.h"
+
+namespace rpm::grammar {
+namespace {
+
+TEST(Tokens, VocabularyAssignsDenseIdsInFirstSeenOrder) {
+  std::vector<sax::SaxRecord> records = {
+      {"ab", 0}, {"cd", 2}, {"ab", 5}, {"ee", 7}, {"cd", 9}};
+  const auto tokens = TokensFromRecords(records);
+  EXPECT_EQ(tokens, (std::vector<std::uint32_t>{0, 1, 0, 2, 1}));
+}
+
+TEST(Intervals, OccurrenceMapsThroughOffsets) {
+  std::vector<sax::SaxRecord> records = {
+      {"a", 0}, {"b", 3}, {"c", 7}, {"d", 12}};
+  const RuleOccurrence occ{1, 2};  // tokens 1..2 -> offsets 3..7+window
+  const Interval iv = OccurrenceToInterval(occ, records, 5, 100);
+  EXPECT_EQ(iv.start, 3u);
+  EXPECT_EQ(iv.end(), 12u);  // 7 + 5
+}
+
+TEST(Intervals, ClampedToSeriesLength) {
+  std::vector<sax::SaxRecord> records = {{"a", 0}, {"b", 8}};
+  const Interval iv = OccurrenceToInterval({0, 1}, records, 5, 10);
+  EXPECT_EQ(iv.end(), 10u);
+}
+
+TEST(Motifs, FindsPlantedRepeats) {
+  // Two identical sine bursts in noise: the discretized sequence repeats,
+  // so at least one motif with two intervals covering the bursts must
+  // appear.
+  ts::Rng rng(5);
+  ts::Series s(300);
+  for (auto& v : s) v = rng.Gaussian(0.0, 0.2);
+  auto plant = [&](std::size_t at) {
+    for (std::size_t i = 0; i < 50; ++i) {
+      s[at + i] += 3.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 25.0);
+    }
+  };
+  plant(40);
+  plant(200);
+
+  sax::SaxOptions opt;
+  opt.window = 25;
+  opt.paa_size = 5;
+  opt.alphabet = 4;
+  const auto records = sax::DiscretizeSlidingWindow(s, opt);
+  const auto motifs =
+      FindMotifCandidates(records, opt.window, s.size(), {}, true);
+  ASSERT_FALSE(motifs.empty());
+  bool covers_both = false;
+  for (const auto& m : motifs) {
+    bool first = false;
+    bool second = false;
+    for (const auto& iv : m.intervals) {
+      if (iv.start >= 25 && iv.start <= 70) first = true;
+      if (iv.start >= 185 && iv.start <= 230) second = true;
+    }
+    covers_both |= (first && second);
+  }
+  EXPECT_TRUE(covers_both);
+}
+
+TEST(Motifs, JunctionFilteringDropsSpanningOccurrences) {
+  // Construct records so one occurrence spans the boundary at 50.
+  std::vector<sax::SaxRecord> records;
+  // Repeat the word pattern (w0 w1) at offsets {10, 45, 80}; with window
+  // 10, the occurrence starting at 45 spans the boundary at 50.
+  const std::vector<std::pair<std::string, std::size_t>> items = {
+      {"aa", 10}, {"bb", 14}, {"cc", 30},
+      {"aa", 45}, {"bb", 49}, {"dd", 70},
+      {"aa", 80}, {"bb", 84}};
+  for (const auto& [w, off] : items) records.push_back({w, off});
+
+  const auto unfiltered =
+      FindMotifCandidates(records, 10, 120, {50}, false);
+  const auto filtered = FindMotifCandidates(records, 10, 120, {50}, true);
+  ASSERT_FALSE(unfiltered.empty());
+  ASSERT_FALSE(filtered.empty());
+  std::size_t unfiltered_total = 0;
+  std::size_t filtered_total = 0;
+  for (const auto& m : unfiltered) unfiltered_total += m.intervals.size();
+  for (const auto& m : filtered) filtered_total += m.intervals.size();
+  EXPECT_EQ(unfiltered_total, 3u);
+  EXPECT_EQ(filtered_total, 2u);
+  for (const auto& m : filtered) {
+    for (const auto& iv : m.intervals) {
+      EXPECT_TRUE(iv.end() <= 50 || iv.start >= 50);
+    }
+  }
+}
+
+TEST(Motifs, EmptyRecords) {
+  EXPECT_TRUE(FindMotifCandidates({}, 10, 100, {}, true).empty());
+}
+
+TEST(Motifs, VariableLengthOccurrences) {
+  // Numerosity reduction makes occurrences of one rule differ in raw
+  // length; verify we actually observe that on a sawtooth with varying
+  // tooth widths.
+  ts::Series s;
+  ts::Rng rng(9);
+  for (int rep = 0; rep < 6; ++rep) {
+    const int width = 20 + 4 * (rep % 3);
+    for (int i = 0; i < width; ++i) {
+      s.push_back(static_cast<double>(i) / width + rng.Gaussian(0.0, 0.02));
+    }
+  }
+  sax::SaxOptions opt;
+  opt.window = 16;
+  opt.paa_size = 4;
+  opt.alphabet = 3;
+  const auto records = sax::DiscretizeSlidingWindow(s, opt);
+  const auto motifs =
+      FindMotifCandidates(records, opt.window, s.size(), {}, true);
+  bool saw_variable = false;
+  for (const auto& m : motifs) {
+    std::size_t lo = m.intervals[0].length;
+    std::size_t hi = lo;
+    for (const auto& iv : m.intervals) {
+      lo = std::min(lo, iv.length);
+      hi = std::max(hi, iv.length);
+    }
+    if (hi > lo) saw_variable = true;
+  }
+  EXPECT_TRUE(saw_variable);
+}
+
+}  // namespace
+}  // namespace rpm::grammar

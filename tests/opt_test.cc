@@ -1,0 +1,134 @@
+// Tests for the optimizers: DIRECT on standard test functions (it must
+// approach the global optimum within a modest budget, deterministically)
+// and the exhaustive integer grid search.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/direct.h"
+#include "opt/grid.h"
+
+namespace rpm::opt {
+namespace {
+
+TEST(Direct, QuadraticBowl1D) {
+  const Bounds bounds{{-5.0}, {5.0}};
+  const auto r = Minimize(
+      [](std::span<const double> x) { return (x[0] - 1.3) * (x[0] - 1.3); },
+      bounds, {200, 60, 1e-4});
+  EXPECT_NEAR(r.best_point[0], 1.3, 0.05);
+  EXPECT_LT(r.best_value, 0.01);
+}
+
+TEST(Direct, QuadraticBowl3D) {
+  const Bounds bounds{{-2.0, -2.0, -2.0}, {2.0, 2.0, 2.0}};
+  const auto r = Minimize(
+      [](std::span<const double> x) {
+        double acc = 0.0;
+        const double target[3] = {0.5, -1.0, 1.5};
+        for (int i = 0; i < 3; ++i) {
+          acc += (x[i] - target[i]) * (x[i] - target[i]);
+        }
+        return acc;
+      },
+      bounds, {400, 80, 1e-4});
+  EXPECT_LT(r.best_value, 0.1);
+}
+
+TEST(Direct, MultimodalFindsGlobalBasin) {
+  // f(x) = sin(3x) + 0.5x on [-3, 3]: global min near x = -2.6 region.
+  const Bounds bounds{{-3.0}, {3.0}};
+  const auto r = Minimize(
+      [](std::span<const double> x) {
+        return std::sin(3.0 * x[0]) + 0.5 * x[0];
+      },
+      bounds, {150, 50, 1e-4});
+  // Brute-force reference.
+  double ref = 1e9;
+  for (double x = -3.0; x <= 3.0; x += 1e-4) {
+    ref = std::min(ref, std::sin(3.0 * x) + 0.5 * x);
+  }
+  EXPECT_NEAR(r.best_value, ref, 0.05);
+}
+
+TEST(Direct, RespectsEvaluationBudget) {
+  const Bounds bounds{{0.0, 0.0}, {1.0, 1.0}};
+  std::size_t calls = 0;
+  const auto r = Minimize(
+      [&](std::span<const double> x) {
+        ++calls;
+        return x[0] + x[1];
+      },
+      bounds, {25, 100, 1e-4});
+  EXPECT_LE(calls, 25u + 2u);  // one probe pair may straddle the budget
+  EXPECT_EQ(r.evaluations, calls);
+}
+
+TEST(Direct, Deterministic) {
+  const Bounds bounds{{-1.0}, {2.0}};
+  auto f = [](std::span<const double> x) {
+    return std::cos(5.0 * x[0]) + x[0] * x[0];
+  };
+  const auto a = Minimize(f, bounds, {80, 30, 1e-4});
+  const auto b = Minimize(f, bounds, {80, 30, 1e-4});
+  EXPECT_EQ(a.best_value, b.best_value);
+  EXPECT_EQ(a.best_point, b.best_point);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Direct, InvalidBoundsThrow) {
+  EXPECT_THROW(Minimize([](std::span<const double>) { return 0.0; },
+                        Bounds{{}, {}}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(Minimize([](std::span<const double>) { return 0.0; },
+                        Bounds{{1.0}, {0.0}}, {}),
+               std::invalid_argument);
+}
+
+TEST(Grid, ExhaustiveMinimum) {
+  const std::vector<IntRange> ranges = {{0, 10, 1}, {-3, 3, 1}};
+  const auto r = GridSearchMin(
+      [](std::span<const int> p) {
+        return (p[0] - 7) * (p[0] - 7) + (p[1] + 2) * (p[1] + 2);
+      },
+      ranges);
+  EXPECT_EQ(r.best_point, (std::vector<int>{7, -2}));
+  EXPECT_EQ(r.best_value, 0.0);
+  EXPECT_EQ(r.evaluations, 11u * 7u);
+}
+
+TEST(Grid, StrideRespected) {
+  const std::vector<IntRange> ranges = {{0, 10, 5}};
+  std::vector<int> visited;
+  GridSearchMin(
+      [&](std::span<const int> p) {
+        visited.push_back(p[0]);
+        return 0.0;
+      },
+      ranges);
+  EXPECT_EQ(visited, (std::vector<int>{0, 5, 10}));
+}
+
+TEST(Grid, InfinityRejectionStillPicksFiniteMin) {
+  const std::vector<IntRange> ranges = {{0, 5, 1}};
+  const auto r = GridSearchMin(
+      [](std::span<const int> p) {
+        return p[0] == 3 ? 1.0
+                         : std::numeric_limits<double>::infinity();
+      },
+      ranges);
+  EXPECT_EQ(r.best_point, (std::vector<int>{3}));
+}
+
+TEST(Grid, EmptyRangeThrows) {
+  EXPECT_THROW(
+      GridSearchMin([](std::span<const int>) { return 0.0; }, {}),
+      std::invalid_argument);
+  EXPECT_THROW(GridSearchMin([](std::span<const int>) { return 0.0; },
+                             {{5, 1, 1}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpm::opt

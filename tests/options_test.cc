@@ -1,0 +1,130 @@
+// Option-space sweeps and unusual-label coverage: baseline classifiers
+// must remain functional across their documented option ranges, and the
+// whole pipeline must tolerate arbitrary integer labels (negative, zero,
+// non-contiguous).
+
+#include <gtest/gtest.h>
+
+#include "baselines/fast_shapelets.h"
+#include "baselines/learning_shapelets.h"
+#include "baselines/nn_dtw.h"
+#include "core/rpm.h"
+#include "ts/generators.h"
+
+namespace rpm {
+namespace {
+
+const ts::DatasetSplit& Easy() {
+  static const ts::DatasetSplit split = ts::MakeGunPoint(8, 10, 100, 50);
+  return split;
+}
+
+// ---------------- Fast Shapelets option sweep ----------------
+
+struct FsCase {
+  std::size_t rounds;
+  std::size_t top_k;
+  std::size_t depth;
+};
+
+class FsOptionsTest : public ::testing::TestWithParam<FsCase> {};
+
+TEST_P(FsOptionsTest, TrainsAcrossOptionSpace) {
+  // FS needs more training data than the other sweeps to be stable; use
+  // the same split its dedicated tests run on.
+  static const ts::DatasetSplit split = ts::MakeGunPoint(10, 20, 100, 21);
+  const FsCase c = GetParam();
+  baselines::FastShapeletsOptions opt;
+  opt.projection_rounds = c.rounds;
+  opt.top_k = c.top_k;
+  opt.max_depth = c.depth;
+  baselines::FastShapelets clf(opt);
+  clf.Train(split.train);
+  EXPECT_LT(clf.Evaluate(split.test), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FsOptionsTest,
+                         ::testing::Values(FsCase{1, 1, 1},
+                                           FsCase{5, 5, 4},
+                                           FsCase{20, 20, 12},
+                                           FsCase{10, 3, 2}));
+
+// ---------------- Learning Shapelets option sweep ----------------
+
+struct LsCase {
+  std::size_t shapelets;
+  double alpha;
+  std::size_t epochs;
+};
+
+class LsOptionsTest : public ::testing::TestWithParam<LsCase> {};
+
+TEST_P(LsOptionsTest, TrainsAcrossOptionSpace) {
+  const LsCase c = GetParam();
+  baselines::LearningShapeletsOptions opt;
+  opt.shapelets_per_scale = c.shapelets;
+  opt.softmin_alpha = c.alpha;
+  opt.max_epochs = c.epochs;
+  baselines::LearningShapelets clf(opt);
+  clf.Train(Easy().train);
+  EXPECT_LT(clf.Evaluate(Easy().test), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LsOptionsTest,
+                         ::testing::Values(LsCase{2, -5.0, 50},
+                                           LsCase{8, -30.0, 100},
+                                           LsCase{4, -100.0, 50}));
+
+// ---------------- NN-DTW window-set sweep ----------------
+
+TEST(NnDtwOptionsTest, SingleWindowAndWideGrid) {
+  baselines::NnDtwOptions narrow;
+  narrow.window_fractions = {0.05};
+  baselines::NnDtwBestWindow a(narrow);
+  a.Train(Easy().train);
+  EXPECT_LT(a.Evaluate(Easy().test), 0.4);
+
+  baselines::NnDtwOptions wide;
+  wide.window_fractions = {0.0, 0.25, 0.5, 1.0};
+  baselines::NnDtwBestWindow b(wide);
+  b.Train(Easy().train);
+  EXPECT_LT(b.Evaluate(Easy().test), 0.4);
+}
+
+// ---------------- Unusual labels through the whole pipeline ----------------
+
+ts::Dataset Relabel(const ts::Dataset& data, int from1, int from2) {
+  ts::Dataset out;
+  for (const auto& inst : data) {
+    out.Add(inst.label == 1 ? from1 : from2, inst.values);
+  }
+  return out;
+}
+
+class OddLabelsTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(OddLabelsTest, RpmHandlesArbitraryIntegerLabels) {
+  const auto [l1, l2] = GetParam();
+  const ts::Dataset train = Relabel(Easy().train, l1, l2);
+  const ts::Dataset test = Relabel(Easy().test, l1, l2);
+  core::RpmOptions opt;
+  opt.search = core::ParameterSearch::kFixed;
+  opt.fixed_sax.window = 25;
+  opt.fixed_sax.paa_size = 5;
+  opt.fixed_sax.alphabet = 4;
+  core::RpmClassifier clf(opt);
+  clf.Train(train);
+  EXPECT_LT(clf.Evaluate(test), 0.3);
+  const int predicted = clf.Classify(test[0].values);
+  EXPECT_TRUE(predicted == l1 || predicted == l2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Labels, OddLabelsTest,
+                         ::testing::Values(std::pair{-1, 1},
+                                           std::pair{0, 7},
+                                           std::pair{100, -100},
+                                           std::pair{5, 1000000}));
+
+}  // namespace
+}  // namespace rpm

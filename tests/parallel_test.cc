@@ -1,0 +1,100 @@
+// Tests for the data-parallel helper and the determinism guarantee of the
+// parallel RPM paths: any thread count must yield bit-identical results.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/rpm.h"
+#include "ts/generators.h"
+#include "ts/parallel.h"
+
+namespace rpm {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::atomic<int>> hits(100);
+    ts::ParallelFor(100, threads,
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroAndTinyInputs) {
+  int calls = 0;
+  ts::ParallelFor(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> acalls{0};
+  ts::ParallelFor(1, 8, [&](std::size_t) { acalls.fetch_add(1); });
+  EXPECT_EQ(acalls.load(), 1);
+}
+
+TEST(ParallelFor, DefaultThreadsPositive) {
+  EXPECT_GE(ts::DefaultThreads(), 1u);
+}
+
+TEST(ParallelDeterminism, CandidatesIdenticalAcrossThreadCounts) {
+  const ts::DatasetSplit split = ts::MakeCbf(8, 4, 128, 88);
+  core::RpmOptions base;
+  base.search = core::ParameterSearch::kFixed;
+  base.fixed_sax.window = 32;
+  base.fixed_sax.paa_size = 4;
+  base.fixed_sax.alphabet = 4;
+  std::map<int, sax::SaxOptions> sax;
+  for (int label : split.train.ClassLabels()) sax[label] = base.fixed_sax;
+
+  core::RpmOptions seq = base;
+  seq.num_threads = 1;
+  core::RpmOptions par = base;
+  par.num_threads = 4;
+  const auto a = core::FindAllCandidates(split.train, sax, seq);
+  const auto b = core::FindAllCandidates(split.train, sax, par);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].class_label, b[i].class_label);
+    EXPECT_EQ(a[i].frequency, b[i].frequency);
+    EXPECT_EQ(a[i].values, b[i].values);
+  }
+}
+
+TEST(ParallelDeterminism, ClassifierIdenticalAcrossThreadCounts) {
+  const ts::DatasetSplit split = ts::MakeGunPoint(10, 15, 100, 89);
+  auto run = [&](std::size_t threads) {
+    core::RpmOptions opt;
+    opt.search = core::ParameterSearch::kFixed;
+    opt.fixed_sax.window = 25;
+    opt.fixed_sax.paa_size = 5;
+    opt.fixed_sax.alphabet = 4;
+    opt.num_threads = threads;
+    core::RpmClassifier clf(opt);
+    clf.Train(split.train);
+    return clf.ClassifyAll(split.test);
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(AbpAlarmTypes, FourBalancedClasses) {
+  const ts::DatasetSplit split = ts::MakeAbpAlarmTypes(5, 5, 240, 90);
+  EXPECT_EQ(split.train.ClassLabels(), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(split.train.size(), 20u);
+  const auto hist = split.train.ClassHistogram();
+  for (const auto& [label, count] : hist) EXPECT_EQ(count, 5u);
+}
+
+TEST(AbpAlarmTypes, RpmSeparatesAlarmTypes) {
+  const ts::DatasetSplit split = ts::MakeAbpAlarmTypes(10, 15, 240, 91);
+  core::RpmOptions opt;
+  opt.search = core::ParameterSearch::kFixed;
+  opt.fixed_sax.window = 60;
+  opt.fixed_sax.paa_size = 6;
+  opt.fixed_sax.alphabet = 4;
+  core::RpmClassifier clf(opt);
+  clf.Train(split.train);
+  // 4 balanced classes -> chance error 0.75.
+  EXPECT_LT(clf.Evaluate(split.test), 0.4);
+}
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,264 @@
+// Cross-cutting property tests: invariants that must hold across
+// parameter sweeps and random inputs, several checked against brute-force
+// reference implementations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "distance/euclidean.h"
+#include "grammar/inspect.h"
+#include "grammar/motifs.h"
+#include "sax/sax.h"
+#include "ts/generators.h"
+#include "ts/resample.h"
+#include "ts/rng.h"
+#include "ts/rotation.h"
+#include "ts/ucr_io.h"
+#include "ts/znorm.h"
+
+namespace rpm {
+namespace {
+
+ts::Series RandomSeries(std::size_t n, ts::Rng& rng) {
+  ts::Series s(n);
+  double v = 0.0;
+  for (auto& x : s) {
+    v += rng.Gaussian();
+    x = v;
+  }
+  return s;
+}
+
+// ---------------- SAX invariances ----------------
+
+// SAX of a z-normalized window is invariant to affine transforms
+// (a*x + b, a > 0) of the raw series — the property that makes SAX
+// comparable across scales.
+class SaxAffineInvariance : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SaxAffineInvariance, WordsUnchangedUnderPositiveAffineMap) {
+  ts::Rng rng(GetParam());
+  const ts::Series s = RandomSeries(120, rng);
+  ts::Series mapped(s.size());
+  const double a = rng.Uniform(0.5, 5.0);
+  const double b = rng.Uniform(-10.0, 10.0);
+  for (std::size_t i = 0; i < s.size(); ++i) mapped[i] = a * s[i] + b;
+
+  sax::SaxOptions opt;
+  opt.window = 30;
+  opt.paa_size = 6;
+  opt.alphabet = 5;
+  const auto original = sax::DiscretizeSlidingWindow(s, opt);
+  const auto transformed = sax::DiscretizeSlidingWindow(mapped, opt);
+  ASSERT_EQ(original.size(), transformed.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i].word, transformed[i].word);
+    EXPECT_EQ(original[i].offset, transformed[i].offset);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaxAffineInvariance,
+                         ::testing::Range<std::size_t>(1, 11));
+
+// Numerosity reduction only ever shortens the record list and preserves
+// the first record.
+TEST(SaxProperties, NumerosityReductionIsASubsequence) {
+  ts::Rng rng(42);
+  const ts::Series s = RandomSeries(200, rng);
+  sax::SaxOptions opt;
+  opt.window = 20;
+  opt.paa_size = 4;
+  opt.alphabet = 3;
+  opt.numerosity_reduction = false;
+  const auto full = sax::DiscretizeSlidingWindow(s, opt);
+  opt.numerosity_reduction = true;
+  const auto reduced = sax::DiscretizeSlidingWindow(s, opt);
+  ASSERT_FALSE(reduced.empty());
+  EXPECT_EQ(reduced.front().offset, full.front().offset);
+  // Every reduced record appears verbatim in the full list.
+  std::size_t cursor = 0;
+  for (const auto& rec : reduced) {
+    while (cursor < full.size() && full[cursor].offset != rec.offset) {
+      ++cursor;
+    }
+    ASSERT_LT(cursor, full.size());
+    EXPECT_EQ(full[cursor].word, rec.word);
+  }
+}
+
+// ---------------- Best-match invariances ----------------
+
+// The z-normalized best-match distance is invariant to affine transforms
+// of the haystack.
+TEST(BestMatchProperties, AffineInvarianceOfHaystack) {
+  ts::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    ts::Series pattern = RandomSeries(16, rng);
+    ts::ZNormalizeInPlace(pattern);
+    const ts::Series hay = RandomSeries(150, rng);
+    ts::Series mapped(hay.size());
+    const double a = rng.Uniform(0.5, 3.0);
+    const double b = rng.Uniform(-5.0, 5.0);
+    for (std::size_t i = 0; i < hay.size(); ++i) mapped[i] = a * hay[i] + b;
+    const auto m1 = distance::FindBestMatch(pattern, hay);
+    const auto m2 = distance::FindBestMatch(pattern, mapped);
+    EXPECT_EQ(m1.position, m2.position);
+    EXPECT_NEAR(m1.distance, m2.distance, 1e-9);
+  }
+}
+
+// Brute-force reference: z-normalize every window explicitly and take the
+// minimum length-normalized distance.
+TEST(BestMatchProperties, MatchesBruteForceReference) {
+  ts::Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    ts::Series pattern = RandomSeries(12, rng);
+    ts::ZNormalizeInPlace(pattern);
+    const ts::Series hay = RandomSeries(80, rng);
+    double ref = 1e300;
+    std::size_t ref_pos = 0;
+    for (std::size_t pos = 0; pos + pattern.size() <= hay.size(); ++pos) {
+      ts::Series window(hay.begin() + static_cast<std::ptrdiff_t>(pos),
+                        hay.begin() + static_cast<std::ptrdiff_t>(
+                                          pos + pattern.size()));
+      ts::ZNormalizeInPlace(window);
+      const double d = distance::NormalizedEuclidean(window, pattern);
+      if (d < ref) {
+        ref = d;
+        ref_pos = pos;
+      }
+    }
+    const auto m = distance::FindBestMatch(pattern, hay);
+    EXPECT_EQ(m.position, ref_pos);
+    EXPECT_NEAR(m.distance, ref, 1e-9);
+  }
+}
+
+// ---------------- Grammar-motif cross-check ----------------
+
+// Brute-force repeated-word-bigram detector: any SAX word appearing >= 3
+// times in the (numerosity-reduced) record list should be inside some
+// grammar rule occurrence region, because Sequitur reduces every repeated
+// digram and frequent words participate in repeated digrams.
+TEST(MotifProperties, FrequentRegionsAreCovered) {
+  ts::Rng rng(9);
+  // Strongly periodic series: every period is a motif occurrence.
+  ts::Series s(400);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 40.0) +
+           rng.Gaussian(0.0, 0.05);
+  }
+  sax::SaxOptions opt;
+  opt.window = 40;
+  opt.paa_size = 4;
+  opt.alphabet = 4;
+  const auto records = sax::DiscretizeSlidingWindow(s, opt);
+  const auto motifs = grammar::FindMotifCandidates(records, opt.window,
+                                                   s.size(), {}, true);
+  ASSERT_FALSE(motifs.empty());
+  // The periodic structure must cover most of the series.
+  EXPECT_GT(grammar::CoverageFraction(motifs, s.size()), 0.5);
+}
+
+// Motif intervals never escape the series and never have zero length.
+TEST(MotifProperties, IntervalsWellFormedAcrossParams) {
+  ts::Rng rng(10);
+  const ts::Series s = RandomSeries(500, rng);
+  for (std::size_t window : {16u, 32u, 64u}) {
+    for (int alphabet : {3, 5}) {
+      sax::SaxOptions opt;
+      opt.window = window;
+      opt.paa_size = 4;
+      opt.alphabet = alphabet;
+      const auto records = sax::DiscretizeSlidingWindow(s, opt);
+      for (const auto& m : grammar::FindMotifCandidates(
+               records, window, s.size(), {}, true)) {
+        EXPECT_GE(m.intervals.size(), 2u);
+        for (const auto& iv : m.intervals) {
+          EXPECT_GT(iv.length, 0u);
+          EXPECT_LE(iv.end(), s.size());
+          EXPECT_GE(iv.length, window);  // covers >= one window
+        }
+      }
+    }
+  }
+}
+
+// ---------------- UCR round-trip fuzz ----------------
+
+TEST(UcrProperties, RandomDatasetsRoundTrip) {
+  ts::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    ts::Dataset d;
+    const int classes = static_cast<int>(rng.UniformInt(1, 5));
+    const auto rows = static_cast<std::size_t>(rng.UniformInt(1, 12));
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto len = static_cast<std::size_t>(rng.UniformInt(1, 30));
+      ts::Series s(len);
+      for (auto& v : s) v = rng.Gaussian(0.0, 100.0);
+      d.Add(static_cast<int>(rng.UniformInt(1, classes)), std::move(s));
+    }
+    const ts::Dataset back = ts::ParseUcr(ts::FormatUcr(d));
+    ASSERT_EQ(back.size(), d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      EXPECT_EQ(back[i].label, d[i].label);
+      ASSERT_EQ(back[i].values.size(), d[i].values.size());
+      for (std::size_t j = 0; j < d[i].values.size(); ++j) {
+        EXPECT_NEAR(back[i].values[j], d[i].values[j],
+                    1e-8 * std::max(1.0, std::abs(d[i].values[j])));
+      }
+    }
+  }
+}
+
+// ---------------- Misc invariances ----------------
+
+TEST(MiscProperties, ZNormIdempotent) {
+  ts::Rng rng(12);
+  ts::Series s = RandomSeries(50, rng);
+  ts::ZNormalizeInPlace(s);
+  ts::Series twice = s;
+  ts::ZNormalizeInPlace(twice);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(twice[i], s[i], 1e-9);
+  }
+}
+
+TEST(MiscProperties, RotationPreservesBestMatchDistanceWhenUncut) {
+  // If the match region does not straddle the cut, rotating the haystack
+  // leaves the best-match distance unchanged.
+  ts::Rng rng(13);
+  ts::Series pattern = RandomSeries(10, rng);
+  ts::ZNormalizeInPlace(pattern);
+  ts::Series hay = RandomSeries(100, rng);
+  // Plant an exact copy at [20, 30).
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    hay[20 + i] = pattern[i];
+  }
+  const double d0 = distance::BestMatchDistance(pattern, hay);
+  const ts::Series rotated = ts::RotateAt(hay, 60);  // cut after the match
+  const double d1 = distance::BestMatchDistance(pattern, rotated);
+  EXPECT_NEAR(d0, d1, 1e-9);
+}
+
+TEST(MiscProperties, ResampleDownUpKeepsShape) {
+  ts::Rng rng(14);
+  ts::Series s(64);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 32.0);
+  }
+  const ts::Series down = ts::ResampleLinear(s, 32);
+  const ts::Series up = ts::ResampleLinear(down, 64);
+  // Smooth signal: round trip error stays small.
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    max_err = std::max(max_err, std::abs(up[i] - s[i]));
+  }
+  EXPECT_LT(max_err, 0.1);
+}
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,129 @@
+// Tests for the Re-Pair grammar-induction backend: roundtrip invariant,
+// most-frequent-pair replacement, occurrence spans, and cross-checks
+// against Sequitur on random inputs (both must cover the same repeats).
+
+#include <gtest/gtest.h>
+
+#include "grammar/repair.h"
+#include "ts/rng.h"
+
+namespace rpm::grammar {
+namespace {
+
+TEST(RePair, EmptyInput) {
+  const Grammar g = InferGrammarRePair({});
+  ASSERT_EQ(g.rules().size(), 1u);
+  EXPECT_TRUE(g.rules()[0].rhs.empty());
+}
+
+TEST(RePair, NoRepeatsNoRules) {
+  const std::vector<std::uint32_t> tokens = {1, 2, 3, 4};
+  const Grammar g = InferGrammarRePair(tokens);
+  EXPECT_EQ(g.rules().size(), 1u);
+  EXPECT_EQ(g.Expand(0), tokens);
+}
+
+TEST(RePair, ReplacesMostFrequentPair) {
+  // "abab" -> R1 = (a,b), S = R1 R1.
+  const std::vector<std::uint32_t> tokens = {0, 1, 0, 1};
+  const Grammar g = InferGrammarRePair(tokens);
+  ASSERT_EQ(g.rules().size(), 2u);
+  EXPECT_EQ(g.rules()[1].rhs, (std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(g.rules()[1].occurrences.size(), 2u);
+  EXPECT_EQ(g.Expand(0), tokens);
+}
+
+TEST(RePair, HierarchicalRules) {
+  // "abcabcabcabc": nested pair replacement; roundtrip must hold and the
+  // deepest rule must expand to length >= 3.
+  std::vector<std::uint32_t> tokens;
+  for (int i = 0; i < 4; ++i) {
+    tokens.insert(tokens.end(), {0u, 1u, 2u});
+  }
+  const Grammar g = InferGrammarRePair(tokens);
+  EXPECT_EQ(g.Expand(0), tokens);
+  std::size_t max_len = 0;
+  for (const GrammarRule* r : g.RepeatedRules()) {
+    EXPECT_EQ(r->rhs.size(), 2u);  // Re-Pair bodies are digrams
+    max_len = std::max(max_len, r->expanded_length);
+  }
+  EXPECT_GE(max_len, 3u);
+}
+
+TEST(RePair, OverlappingRunsHandled) {
+  // "aaaa": pairs overlap; replacement must be non-overlapping and the
+  // roundtrip must survive.
+  const std::vector<std::uint32_t> tokens = {7, 7, 7, 7, 7};
+  const Grammar g = InferGrammarRePair(tokens);
+  EXPECT_EQ(g.Expand(0), tokens);
+}
+
+TEST(RePair, OccurrenceSpansConsistent) {
+  ts::Rng rng(21);
+  std::vector<std::uint32_t> tokens;
+  for (int i = 0; i < 400; ++i) {
+    tokens.push_back(static_cast<std::uint32_t>(rng.UniformInt(0, 3)));
+  }
+  const Grammar g = InferGrammarRePair(tokens);
+  EXPECT_EQ(g.Expand(0), tokens);
+  for (const GrammarRule* r : g.RepeatedRules()) {
+    const auto expansion = g.Expand(r->id);
+    EXPECT_EQ(expansion.size(), r->expanded_length);
+    for (const RuleOccurrence& occ : r->occurrences) {
+      ASSERT_LT(occ.last_token, tokens.size());
+      for (std::size_t i = 0; i < expansion.size(); ++i) {
+        EXPECT_EQ(tokens[occ.first_token + i], expansion[i]);
+      }
+    }
+  }
+}
+
+TEST(RePair, EveryRuleUsedAtLeastTwice) {
+  ts::Rng rng(22);
+  std::vector<std::uint32_t> tokens;
+  for (int i = 0; i < 300; ++i) {
+    tokens.push_back(static_cast<std::uint32_t>(rng.UniformInt(0, 2)));
+  }
+  const Grammar g = InferGrammarRePair(tokens);
+  for (const GrammarRule* r : g.RepeatedRules()) {
+    EXPECT_GE(r->occurrences.size(), 2u) << "rule " << r->id;
+  }
+}
+
+TEST(RePair, DispatcherSelectsBackend) {
+  const std::vector<std::uint32_t> tokens = {0, 1, 2, 0, 1, 2};
+  const Grammar a = InferGrammarWith(GiAlgorithm::kSequitur, tokens);
+  const Grammar b = InferGrammarWith(GiAlgorithm::kRePair, tokens);
+  EXPECT_EQ(a.Expand(0), tokens);
+  EXPECT_EQ(b.Expand(0), tokens);
+}
+
+// Property: both backends reproduce the input and find repeats on random
+// low-entropy strings.
+class GiBackendProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(GiBackendProperty, RoundTripAndRepeatCoverage) {
+  const auto [seed, length] = GetParam();
+  ts::Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<std::uint32_t> tokens;
+  for (std::size_t i = 0; i < length; ++i) {
+    tokens.push_back(static_cast<std::uint32_t>(rng.UniformInt(0, 2)));
+  }
+  for (GiAlgorithm algo : {GiAlgorithm::kSequitur, GiAlgorithm::kRePair}) {
+    const Grammar g = InferGrammarWith(algo, tokens);
+    EXPECT_EQ(g.Expand(0), tokens);
+    if (length >= 50) {
+      // A ternary random string of this length must contain repeats.
+      EXPECT_FALSE(g.RepeatedRules().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GiBackendProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values<std::size_t>(10, 100, 1000)));
+
+}  // namespace
+}  // namespace rpm::grammar

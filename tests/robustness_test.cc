@@ -1,0 +1,214 @@
+// Robustness and failure-injection tests: degenerate and hostile inputs
+// (NaN/Inf values, constant series, length-1 series, single instances,
+// extreme parameters) must produce defined behavior — an exception or a
+// usable fallback, never a crash or a poisoned result. Also covers the
+// Logical Shapelets baseline and the Cricket generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "baselines/logical_shapelets.h"
+#include "baselines/nn_euclidean.h"
+#include "core/rpm.h"
+#include "ts/generators.h"
+#include "ts/rng.h"
+#include "ts/znorm.h"
+
+namespace rpm {
+namespace {
+
+core::RpmOptions Fixed(std::size_t window) {
+  core::RpmOptions opt;
+  opt.search = core::ParameterSearch::kFixed;
+  opt.fixed_sax.window = window;
+  opt.fixed_sax.paa_size = 5;
+  opt.fixed_sax.alphabet = 4;
+  return opt;
+}
+
+// ---------------- Logical Shapelets ----------------
+
+TEST(LogicalShapeletsTest, TrainsAndBeatsChance) {
+  const ts::DatasetSplit split = ts::MakeGunPoint(10, 20, 100, 30);
+  baselines::LogicalShapelets clf;
+  clf.Train(split.train);
+  EXPECT_GE(clf.num_shapelet_nodes(), 1u);
+  EXPECT_LE(clf.Evaluate(split.test), 0.25);
+}
+
+TEST(LogicalShapeletsTest, LogicHelpsOnConjunctiveConcept) {
+  // Class 1 requires BOTH a spike early AND a dip late; class 2 has
+  // exactly one of the two. A single shapelet cannot separate this; a
+  // conjunction can.
+  ts::Rng rng(31);
+  ts::Dataset train;
+  ts::Dataset test;
+  auto make = [&](bool spike, bool dip) {
+    ts::Series s(100);
+    for (auto& v : s) v = rng.Gaussian(0.0, 0.1);
+    if (spike) {
+      for (int i = 0; i < 8; ++i) s[15 + i] += 3.0;
+    }
+    if (dip) {
+      for (int i = 0; i < 8; ++i) s[70 + i] -= 3.0;
+    }
+    return s;
+  };
+  for (int r = 0; r < 8; ++r) {
+    train.Add(1, make(true, true));
+    train.Add(2, r % 2 == 0 ? make(true, false) : make(false, true));
+    test.Add(1, make(true, true));
+    test.Add(2, r % 2 == 0 ? make(true, false) : make(false, true));
+  }
+  baselines::LogicalShapelets clf;
+  clf.Train(train);
+  EXPECT_LE(clf.Evaluate(test), 0.2);
+}
+
+TEST(LogicalShapeletsTest, ThrowsAppropriately) {
+  baselines::LogicalShapelets clf;
+  EXPECT_THROW(clf.Classify(ts::Series(10, 0.0)), std::logic_error);
+  EXPECT_THROW(clf.Train(ts::Dataset{}), std::invalid_argument);
+}
+
+// ---------------- Cricket generator ----------------
+
+TEST(CricketGenerator, TwoMirroredClasses) {
+  const ts::DatasetSplit split = ts::MakeCricket(6, 6, 160, 32);
+  EXPECT_EQ(split.train.ClassLabels(), (std::vector<int>{1, 2}));
+  baselines::NnEuclidean nn;
+  nn.Train(split.train);
+  EXPECT_LT(nn.Evaluate(split.test), 0.4);
+}
+
+// ---------------- Hostile inputs ----------------
+
+TEST(Robustness, ConstantSeriesDatasetTrainsWithFallback) {
+  ts::Dataset train;
+  for (int i = 0; i < 6; ++i) {
+    train.Add(i % 2 + 1, ts::Series(50, static_cast<double>(i % 2)));
+  }
+  core::RpmClassifier clf(Fixed(20));
+  clf.Train(train);  // Flat windows everywhere; must not crash.
+  const int label = clf.Classify(ts::Series(50, 0.5));
+  EXPECT_TRUE(label == 1 || label == 2);
+}
+
+TEST(Robustness, SingleInstancePerClass) {
+  ts::Rng rng(33);
+  ts::Dataset train;
+  for (int label : {1, 2}) {
+    ts::Series s(80);
+    for (auto& v : s) v = rng.Gaussian();
+    train.Add(label, std::move(s));
+  }
+  core::RpmClassifier clf(Fixed(20));
+  clf.Train(train);
+  const int label = clf.Classify(train[0].values);
+  EXPECT_TRUE(label == 1 || label == 2);
+}
+
+TEST(Robustness, VeryShortSeries) {
+  ts::Dataset train;
+  ts::Rng rng(34);
+  for (int i = 0; i < 8; ++i) {
+    ts::Series s(4);
+    for (auto& v : s) v = rng.Gaussian(i % 2 == 0 ? -1.0 : 1.0, 0.1);
+    train.Add(i % 2 + 1, std::move(s));
+  }
+  core::RpmClassifier clf(Fixed(20));  // window far exceeds series length
+  clf.Train(train);                    // falls back to majority
+  EXPECT_NO_THROW(clf.Classify(ts::Series(4, 0.0)));
+}
+
+TEST(Robustness, ClassifySeriesShorterThanPatterns) {
+  const ts::DatasetSplit split = ts::MakeGunPoint(8, 4, 100, 35);
+  core::RpmClassifier clf(Fixed(25));
+  clf.Train(split.train);
+  ASSERT_FALSE(clf.patterns().empty());
+  // A query shorter than every pattern still classifies.
+  EXPECT_NO_THROW(clf.Classify(ts::Series(5, 1.0)));
+  EXPECT_NO_THROW(clf.Classify(ts::Series(1, 1.0)));
+}
+
+TEST(Robustness, ZNormHandlesExtremeValues) {
+  ts::Series s = {1e300, -1e300, 1e300, -1e300};
+  ts::ZNormalizeInPlace(s);
+  for (double v : s) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Robustness, BestMatchWithNanPoisonsOnlyDistance) {
+  // NaNs in the haystack must not crash the scan; the distance may be
+  // NaN/garbage for affected windows but the call returns.
+  ts::Series pattern = {0.0, 1.0, -1.0};
+  ts::ZNormalizeInPlace(pattern);
+  ts::Series hay(20, 0.5);
+  hay[7] = std::numeric_limits<double>::quiet_NaN();
+  hay[15] = 2.0;
+  hay[16] = -2.0;
+  hay[14] = 0.0;
+  EXPECT_NO_THROW(distance::FindBestMatch(pattern, hay));
+}
+
+TEST(Robustness, SvmOnDuplicateRows) {
+  ml::FeatureDataset d;
+  for (int i = 0; i < 10; ++i) {
+    d.Add({1.0, 2.0}, 1);
+    d.Add({1.0, 2.0}, 2);  // identical features, different labels
+  }
+  ml::SvmClassifier svm;
+  EXPECT_NO_THROW(svm.Train(d));
+  EXPECT_NO_THROW(svm.Predict(std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Robustness, ExtremeGammaValues) {
+  const ts::DatasetSplit split = ts::MakeCbf(6, 4, 128, 36);
+  for (double gamma : {0.0, 1.0, 5.0}) {
+    core::RpmOptions opt = Fixed(32);
+    opt.gamma = gamma;
+    core::RpmClassifier clf(opt);
+    EXPECT_NO_THROW(clf.Train(split.train)) << gamma;
+    EXPECT_NO_THROW(clf.Classify(split.test[0].values)) << gamma;
+  }
+}
+
+TEST(Robustness, ExtremeTauPercentiles) {
+  const ts::DatasetSplit split = ts::MakeCbf(6, 4, 128, 37);
+  for (double tau : {0.0, 100.0, 250.0, -10.0}) {  // clamped internally
+    core::RpmOptions opt = Fixed(32);
+    opt.tau_percentile = tau;
+    core::RpmClassifier clf(opt);
+    EXPECT_NO_THROW(clf.Train(split.train)) << tau;
+  }
+}
+
+TEST(Robustness, AlphabetBoundsEnforced) {
+  EXPECT_THROW(sax::SaxWord(ts::Series(10, 0.0), 4, 1),
+               std::invalid_argument);
+  EXPECT_THROW(sax::SaxWord(ts::Series(10, 0.0), 4, 100),
+               std::invalid_argument);
+}
+
+TEST(Robustness, MixedLengthTrainingSet) {
+  // RPM concatenates per class, so ragged inputs are legal.
+  ts::Rng rng(38);
+  ts::Dataset train;
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t len = 60 + 10 * (i % 3);
+    ts::Series s(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      s[j] = (i % 2 == 0 ? std::sin(0.3 * static_cast<double>(j))
+                         : std::cos(0.3 * static_cast<double>(j))) +
+             rng.Gaussian(0.0, 0.05);
+    }
+    train.Add(i % 2 + 1, std::move(s));
+  }
+  core::RpmClassifier clf(Fixed(20));
+  EXPECT_NO_THROW(clf.Train(train));
+  EXPECT_NO_THROW(clf.Classify(train[0].values));
+}
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,107 @@
+// Suite-wide end-to-end coverage: RPM (fixed parameters, no search) must
+// beat chance clearly on every generator family, and a handful of golden
+// regression pins lock exact error rates for fixed seeds so accidental
+// behavior changes in any pipeline stage are caught immediately.
+
+#include <gtest/gtest.h>
+
+#include "core/rpm.h"
+#include "ts/generators.h"
+#include "ts/rng.h"
+
+namespace rpm {
+namespace {
+
+core::RpmOptions Fixed(std::size_t window) {
+  core::RpmOptions opt;
+  opt.search = core::ParameterSearch::kFixed;
+  opt.fixed_sax.window = window;
+  opt.fixed_sax.paa_size = 5;
+  opt.fixed_sax.alphabet = 4;
+  return opt;
+}
+
+// ---------------- RPM across every generator family ----------------
+
+class SuiteWideRpm : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static const std::vector<ts::DatasetSplit>& Suite() {
+    static const std::vector<ts::DatasetSplit> suite =
+        ts::BenchmarkSuite({0.8, 424242});
+    return suite;
+  }
+};
+
+TEST_P(SuiteWideRpm, BeatsChanceWithFixedParams) {
+  const ts::DatasetSplit& split = Suite()[GetParam()];
+  core::RpmOptions opt = Fixed(std::max<std::size_t>(
+      6, split.train.MinLength() / 4));
+  core::RpmClassifier clf(opt);
+  clf.Train(split.train);
+  const double chance =
+      1.0 - 1.0 / static_cast<double>(split.train.NumClasses());
+  EXPECT_LT(clf.Evaluate(split.test), 0.75 * chance) << split.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, SuiteWideRpm,
+                         ::testing::Range<std::size_t>(0, 14));
+
+// ---------------- Golden regression pins ----------------
+//
+// Exact values for fixed seeds. If any pipeline stage changes behavior
+// (SAX binning, Sequitur reductions, clustering, CFS, SMO), these move —
+// that is the point. Update deliberately, never casually.
+
+TEST(Golden, GunPointErrorPinned) {
+  const ts::DatasetSplit split = ts::MakeGunPoint(12, 40, 150, 777);
+  core::RpmClassifier clf(Fixed(37));
+  clf.Train(split.train);
+  EXPECT_DOUBLE_EQ(clf.Evaluate(split.test), 0.0);
+}
+
+TEST(Golden, CbfPatternCountAndErrorPinned) {
+  const ts::DatasetSplit split = ts::MakeCbf(10, 30, 128, 778);
+  core::RpmClassifier clf(Fixed(32));
+  clf.Train(split.train);
+  const double error = clf.Evaluate(split.test);
+  // Small tolerance band: exact pin on error, structural pin on count.
+  EXPECT_NEAR(error, 0.0667, 1e-3);
+  EXPECT_GE(clf.patterns().size(), 4u);
+  EXPECT_LE(clf.patterns().size(), 16u);
+}
+
+TEST(Golden, SequiturRuleCountPinned) {
+  // The grammar over a fixed token stream is fully deterministic.
+  ts::Rng rng(12345);
+  std::vector<std::uint32_t> tokens;
+  for (int i = 0; i < 500; ++i) {
+    tokens.push_back(static_cast<std::uint32_t>(rng.UniformInt(0, 3)));
+  }
+  const grammar::Grammar g = grammar::InferGrammar(tokens);
+  EXPECT_EQ(g.Expand(0), tokens);
+  const std::size_t rules = g.rules().size();
+  static constexpr std::size_t kPinnedRuleCount = 55;
+  EXPECT_EQ(rules, kPinnedRuleCount)
+      << "Sequitur behavior changed; verify intentionally.";
+}
+
+TEST(Golden, DirectEvaluationCountPinned) {
+  // DIRECT is deterministic: the combos it explores for a fixed dataset
+  // must not drift.
+  const ts::DatasetSplit split = ts::MakeGunPoint(8, 4, 100, 779);
+  core::RpmOptions opt;
+  opt.search = core::ParameterSearch::kDirect;
+  opt.direct_max_evaluations = 10;
+  opt.param_splits = 2;
+  opt.param_folds = 2;
+  core::RpmClassifier a(opt);
+  core::RpmClassifier b(opt);
+  a.Train(split.train);
+  b.Train(split.train);
+  EXPECT_EQ(a.combos_evaluated(), b.combos_evaluated());
+  EXPECT_EQ(a.sax_by_class().at(1).window, b.sax_by_class().at(1).window);
+  EXPECT_EQ(a.ClassifyAll(split.test), b.ClassifyAll(split.test));
+}
+
+}  // namespace
+}  // namespace rpm
