@@ -2,17 +2,28 @@
 // claims: SAX discretization and Sequitur inference are linear in the
 // input; the best-match scan is the classification-time hot loop; DTW
 // cost scales with the band width.
+//
+// `--json` skips the google-benchmark suite and instead times the
+// batched matching engine against the legacy per-call kernel on a
+// 50-pattern x 200-series workload, writing BENCH_kernels.json.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "distance/approximate.h"
 #include "distance/dtw.h"
 #include "distance/euclidean.h"
+#include "distance/matcher.h"
 #include "grammar/motifs.h"
 #include "grammar/repair.h"
 #include "grammar/sequitur.h"
 #include "sax/sax.h"
 #include "ts/rng.h"
+#include "ts/znorm.h"
 
 namespace {
 
@@ -85,10 +96,25 @@ void BM_BestMatchScan(benchmark::State& state) {
   const rpm::ts::Series hay = RandomWalk(hay_len, 3);
   rpm::ts::Series pattern = RandomWalk(32, 4);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(rpm::distance::FindBestMatch(pattern, hay));
+    benchmark::DoNotOptimize(rpm::distance::FindBestMatchNaive(pattern, hay));
   }
 }
 BENCHMARK(BM_BestMatchScan)->Range(256, 8192);
+
+// Batched engine on the same workload, contexts prebuilt: what the
+// transform stage pays per pattern x series after amortization.
+void BM_BestMatchBatched(benchmark::State& state) {
+  const auto hay_len = static_cast<std::size_t>(state.range(0));
+  const rpm::ts::Series hay = RandomWalk(hay_len, 3);
+  rpm::ts::Series pattern = RandomWalk(32, 4);
+  const rpm::distance::PatternContext pattern_ctx(pattern);
+  const rpm::distance::SeriesContext hay_ctx(hay);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rpm::distance::BatchedBestMatch(pattern_ctx, hay_ctx));
+  }
+}
+BENCHMARK(BM_BestMatchBatched)->Range(256, 8192);
 
 void BM_DtwBanded(benchmark::State& state) {
   const std::size_t n = 256;
@@ -127,6 +153,112 @@ void BM_MotifCandidates(benchmark::State& state) {
 }
 BENCHMARK(BM_MotifCandidates)->Range(512, 8192);
 
+// --json workload: 50 patterns (lengths 16..64) matched into 200 series
+// of length 256, the shape of one transform pass over a mid-sized UCR
+// dataset. The legacy kernel re-sorts the pattern and re-derives window
+// moments on every pair; the batched engine builds each context once.
+// Context construction is charged to the batched side.
+void RunJsonWorkload() {
+  constexpr std::size_t kPatterns = 50;
+  constexpr std::size_t kSeries = 200;
+  constexpr std::size_t kSeriesLen = 256;
+
+  std::vector<rpm::ts::Series> patterns;
+  patterns.reserve(kPatterns);
+  for (std::size_t p = 0; p < kPatterns; ++p) {
+    rpm::ts::Series s = RandomWalk(16 + (p * 48) / (kPatterns - 1), 100 + p);
+    rpm::ts::ZNormalizeInPlace(s);
+    patterns.push_back(std::move(s));
+  }
+  std::vector<rpm::ts::Series> series;
+  series.reserve(kSeries);
+  for (std::size_t i = 0; i < kSeries; ++i) {
+    series.push_back(RandomWalk(kSeriesLen, 500 + i));
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto ops = static_cast<double>(kPatterns * kSeries);
+  // Three interleaved naive/batched passes, keeping the minimum of each:
+  // interleaving exposes both kernels to the same machine conditions and
+  // the minimum is robust against scheduler interference.
+  constexpr int kReps = 5;
+
+  double naive_checksum = 0.0;
+  double batched_checksum = 0.0;
+  double naive_ns = std::numeric_limits<double>::infinity();
+  double batched_ns = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    naive_checksum = 0.0;
+    const auto t0 = Clock::now();
+    for (const auto& hay : series) {
+      for (const auto& pattern : patterns) {
+        naive_checksum +=
+            rpm::distance::FindBestMatchNaive(pattern, hay).distance;
+      }
+    }
+    const auto t1 = Clock::now();
+    naive_ns = std::min(
+        naive_ns,
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / ops);
+
+    batched_checksum = 0.0;
+    // Context construction is rebuilt every pass so it stays charged to
+    // the batched side.
+    const auto t2 = Clock::now();
+    rpm::distance::BatchMatcher matcher(patterns);
+    for (const auto& hay : series) {
+      const rpm::distance::SeriesContext ctx(hay);
+      for (const auto& m : matcher.MatchAll(ctx)) {
+        batched_checksum += m.distance;
+      }
+    }
+    const auto t3 = Clock::now();
+    batched_ns = std::min(
+        batched_ns,
+        std::chrono::duration<double, std::nano>(t3 - t2).count() / ops);
+  }
+  const double speedup = naive_ns / batched_ns;
+  // Rolling vs prefix sums differ only in rounding, so the summed
+  // distances must agree closely; a visible gap means a kernel bug.
+  const double drift = naive_checksum - batched_checksum;
+
+  std::FILE* f = std::fopen("BENCH_kernels.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_kernels.json\n");
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"workload\": {\"patterns\": %zu, \"series\": %zu, "
+               "\"series_length\": %zu},\n"
+               "  \"kernels\": [\n"
+               "    {\"name\": \"best_match_per_call\", \"ns_per_op\": %.1f, "
+               "\"speedup\": 1.0},\n"
+               "    {\"name\": \"best_match_batched\", \"ns_per_op\": %.1f, "
+               "\"speedup\": %.2f}\n"
+               "  ],\n"
+               "  \"checksum_drift\": %.3e\n"
+               "}\n",
+               kPatterns, kSeries, kSeriesLen, naive_ns, batched_ns, speedup,
+               drift);
+  std::fclose(f);
+  std::printf("per-call %.1f ns/op, batched %.1f ns/op, speedup %.2fx "
+              "(checksum drift %.3e) -> BENCH_kernels.json\n",
+              naive_ns, batched_ns, speedup, drift);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      RunJsonWorkload();
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the thread-sanitized configuration and runs the concurrency
+# surface: the thread-pool/matcher tests and the cross-thread determinism
+# tests. Any data race in the pool or the parallel transform paths fails
+# the script.
+#
+# Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tsan}"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DRPM_SANITIZE=thread \
+  -DRPM_BUILD_BENCHMARKS=OFF \
+  -DRPM_BUILD_EXAMPLES=OFF
+# Build everything registered with ctest: partially built trees leave
+# NOT_BUILT placeholder tests that fail the run.
+cmake --build "${build_dir}" -j
+
+# halt_on_error makes ctest report races as hard failures.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+ctest --test-dir "${build_dir}" --output-on-failure \
+  -R 'ThreadPool|ParallelFor|ParallelDeterminism|BatchedBestMatch|BatchMatcher|SeriesContext'
+
+echo "TSan check passed."

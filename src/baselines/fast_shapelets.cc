@@ -7,7 +7,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
-#include "distance/euclidean.h"
+#include "distance/matcher.h"
 #include "sax/sax.h"
 #include "ts/rng.h"
 #include "ts/znorm.h"
@@ -41,6 +41,12 @@ void FastShapelets::Train(const ts::Dataset& train) {
     throw std::invalid_argument("FastShapelets::Train: empty training set");
   }
   ts::Rng rng(options_.seed);
+
+  // Prefix-sum contexts of every training series, shared by all shapelet
+  // evaluations across the whole tree build.
+  std::vector<distance::SeriesContext> train_ctx;
+  train_ctx.reserve(train.size());
+  for (const auto& inst : train) train_ctx.emplace_back(inst.values);
 
   // Recursive node builder over index subsets.
   auto build = [&](auto&& self, std::vector<std::size_t> idx,
@@ -168,12 +174,13 @@ void FastShapelets::Train(const ts::Dataset& train) {
           src.begin() + static_cast<std::ptrdiff_t>(c.pos),
           src.begin() + static_cast<std::ptrdiff_t>(c.pos + c.length));
       ts::ZNormalizeInPlace(shapelet);
+      const distance::PatternContext shapelet_ctx(shapelet);
       // Distances from every node series to the candidate.
       std::vector<std::pair<double, int>> dist;  // (distance, label)
       dist.reserve(idx.size());
       for (std::size_t i : idx) {
         dist.emplace_back(
-            distance::FindBestMatch(shapelet, train[i].values).distance,
+            distance::BatchedBestMatch(shapelet_ctx, train_ctx[i]).distance,
             train[i].label);
       }
       std::sort(dist.begin(), dist.end());
@@ -205,16 +212,18 @@ void FastShapelets::Train(const ts::Dataset& train) {
     if (best_gain <= 1e-9 || best_shapelet.empty()) return node;
 
     // Split and recurse.
+    const distance::PatternContext best_ctx(best_shapelet);
     std::vector<std::size_t> left_idx;
     std::vector<std::size_t> right_idx;
     for (std::size_t i : idx) {
       const double d =
-          distance::FindBestMatch(best_shapelet, train[i].values).distance;
+          distance::BatchedBestMatch(best_ctx, train_ctx[i]).distance;
       (d <= best_threshold ? left_idx : right_idx).push_back(i);
     }
     if (left_idx.empty() || right_idx.empty()) return node;
     node->leaf = false;
     node->shapelet = std::move(best_shapelet);
+    node->shapelet_ctx = best_ctx;
     node->threshold = best_threshold;
     node->left = self(self, std::move(left_idx), depth + 1);
     node->right = self(self, std::move(right_idx), depth + 1);
@@ -230,10 +239,13 @@ int FastShapelets::Classify(ts::SeriesView series) const {
   if (root_ == nullptr) {
     throw std::logic_error("FastShapelets::Classify before Train");
   }
+  // One prefix-sum context serves every shapelet on the root-to-leaf
+  // path; the per-node orders were precomputed at build time.
+  const distance::SeriesContext ctx(series);
   const Node* node = root_.get();
   while (!node->leaf) {
     const double d =
-        distance::FindBestMatch(node->shapelet, series).distance;
+        distance::BatchedBestMatch(node->shapelet_ctx, ctx).distance;
     node = (d <= node->threshold) ? node->left.get() : node->right.get();
   }
   return node->label;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "baselines/classifier.h"
+#include "distance/matcher.h"
 
 namespace rpm::baselines {
 
@@ -50,6 +51,9 @@ class FastShapelets : public Classifier {
     bool leaf = true;
     int label = 0;
     ts::Series shapelet;  // z-normalized
+    /// Precomputed matching context of `shapelet`, so tree descent never
+    /// re-sorts the early-abandon order per classified series.
+    distance::PatternContext shapelet_ctx;
     double threshold = 0.0;
     std::unique_ptr<Node> left;   // distance <= threshold
     std::unique_ptr<Node> right;  // distance > threshold

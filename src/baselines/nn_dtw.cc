@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+
+#include "ts/parallel.h"
 
 namespace rpm::baselines {
 
@@ -25,13 +28,16 @@ void NnDtwBestWindow::Train(const ts::Dataset& train) {
   // LOOCV over the training set (smaller window wins ties).
   best_window_ = windows.front();
   std::size_t best_hits = 0;
+  std::vector<std::uint8_t> hit(train_.size());
   for (std::size_t w : windows) {
-    std::size_t hits = 0;
-    for (std::size_t i = 0; i < train_.size(); ++i) {
-      if (ClassifyWithWindow(train_[i].values, w, i) == train_[i].label) {
-        ++hits;
-      }
-    }
+    // Each left-out instance writes only its own slot; the ordered sum
+    // below keeps the hit count independent of the thread count.
+    ts::ParallelFor(train_.size(), options_.num_threads, [&](std::size_t i) {
+      hit[i] =
+          ClassifyWithWindow(train_[i].values, w, i) == train_[i].label ? 1 : 0;
+    });
+    const std::size_t hits =
+        std::accumulate(hit.begin(), hit.end(), std::size_t{0});
     if (hits > best_hits) {
       best_hits = hits;
       best_window_ = w;

@@ -18,6 +18,10 @@ struct NnDtwOptions {
   /// LOOCV picks the best (ties -> smaller window).
   std::vector<double> window_fractions = {0.0,  0.01, 0.02, 0.04,
                                           0.06, 0.1,  0.2};
+  /// Threads for the LOOCV sweep in Train. Each left-out instance is an
+  /// independent classification, so the chosen window is identical for
+  /// any thread count.
+  std::size_t num_threads = 1;
 };
 
 class NnDtwBestWindow : public Classifier {

@@ -1,6 +1,8 @@
 #include "baselines/nn_euclidean.h"
 
+#include <cstddef>
 #include <limits>
+#include <map>
 #include <stdexcept>
 
 #include "distance/euclidean.h"
@@ -14,12 +16,15 @@ int NnEuclidean::Classify(ts::SeriesView series) const {
   }
   double best = std::numeric_limits<double>::infinity();
   int label = train_[0].label;
-  ts::Series resampled;
+  // One resampled copy of the query per distinct training length, instead
+  // of re-interpolating for every length-mismatched instance.
+  std::map<std::size_t, ts::Series> resampled;
   for (const auto& inst : train_) {
     ts::SeriesView query = series;
     if (inst.values.size() != series.size()) {
-      resampled = ts::ResampleLinear(series, inst.values.size());
-      query = resampled;
+      auto [it, inserted] = resampled.try_emplace(inst.values.size());
+      if (inserted) it->second = ts::ResampleLinear(series, inst.values.size());
+      query = it->second;
     }
     const double d =
         distance::SquaredEuclideanEarlyAbandon(query, inst.values, best);

@@ -17,6 +17,11 @@ class RpmAdapter : public Classifier {
   int Classify(ts::SeriesView series) const override {
     return clf_.Classify(series);
   }
+  std::vector<int> ClassifyAll(const ts::Dataset& test) const override {
+    // Delegate so the pattern contexts are built once per batch instead
+    // of once per series.
+    return clf_.ClassifyAll(test);
+  }
   std::string Name() const override { return "RPM"; }
 
   const core::RpmClassifier& classifier() const { return clf_; }

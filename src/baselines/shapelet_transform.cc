@@ -5,7 +5,7 @@
 #include <map>
 #include <stdexcept>
 
-#include "distance/euclidean.h"
+#include "distance/matcher.h"
 #include "ts/znorm.h"
 
 namespace rpm::baselines {
@@ -62,6 +62,7 @@ void ShapeletTransform::Train(const ts::Dataset& train) {
         "ShapeletTransform::Train: empty training set");
   }
   shapelets_.clear();
+  matcher_ = distance::BatchMatcher{};
 
   std::map<int, std::size_t> hist;
   for (const auto& inst : train) ++hist[inst.label];
@@ -73,7 +74,14 @@ void ShapeletTransform::Train(const ts::Dataset& train) {
   trained_ = true;
   if (hist.size() == 1) return;
 
-  // Score sampled candidates by whole-train information gain.
+  // Score sampled candidates by whole-train information gain. Every
+  // candidate scans every training series, so the per-series prefix-sum
+  // contexts are built once here and shared by all of them; each
+  // candidate's sort order is likewise computed once for the whole pass.
+  std::vector<distance::SeriesContext> train_ctx;
+  train_ctx.reserve(train.size());
+  for (const auto& inst : train) train_ctx.emplace_back(inst.values);
+
   const std::size_t min_len = train.MinLength();
   std::vector<ScoredCandidate> scored;
   for (double frac : options_.length_fractions) {
@@ -90,12 +98,13 @@ void ShapeletTransform::Train(const ts::Dataset& train) {
         ts::Series cand(values.begin() + static_cast<std::ptrdiff_t>(p),
                         values.begin() + static_cast<std::ptrdiff_t>(p + len));
         ts::ZNormalizeInPlace(cand);
+        const distance::PatternContext cand_ctx(cand);
         std::vector<std::pair<double, int>> dist;
         dist.reserve(train.size());
-        for (const auto& inst : train) {
+        for (std::size_t i = 0; i < train.size(); ++i) {
           dist.emplace_back(
-              distance::FindBestMatch(cand, inst.values).distance,
-              inst.label);
+              distance::BatchedBestMatch(cand_ctx, train_ctx[i]).distance,
+              train[i].label);
         }
         scored.push_back(
             {BestInfoGain(std::move(dist), hist), s, p, len});
@@ -133,6 +142,7 @@ void ShapeletTransform::Train(const ts::Dataset& train) {
         values.begin() + static_cast<std::ptrdiff_t>(c.pos),
         values.begin() + static_cast<std::ptrdiff_t>(c.pos + c.length));
     ts::ZNormalizeInPlace(shapelet);
+    matcher_.Add(shapelet);
     shapelets_.push_back(std::move(shapelet));
     claimed.push_back({c.series, c.pos, c.pos + c.length});
   }
@@ -151,9 +161,9 @@ std::vector<double> ShapeletTransform::Transform(
     ts::SeriesView series) const {
   std::vector<double> row;
   row.reserve(shapelets_.size());
-  for (const auto& s : shapelets_) {
-    const double d = distance::FindBestMatch(s, series).distance;
-    row.push_back(std::isfinite(d) ? d : 1e6);
+  const distance::SeriesContext ctx(series);
+  for (const auto& m : matcher_.MatchAll(ctx)) {
+    row.push_back(m.found() ? m.distance : 1e6);
   }
   return row;
 }

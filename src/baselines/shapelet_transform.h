@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "baselines/classifier.h"
+#include "distance/matcher.h"
 #include "ml/svm.h"
 
 namespace rpm::baselines {
@@ -49,6 +50,9 @@ class ShapeletTransform : public Classifier {
   ShapeletTransformOptions options_;
   bool trained_ = false;
   std::vector<ts::Series> shapelets_;
+  /// Matching contexts of the selected shapelets, built once after
+  /// selection and reused by every Transform call.
+  distance::BatchMatcher matcher_;
   ml::SvmClassifier svm_{};
   int lone_label_ = 0;  // majority / degenerate fallback
 };

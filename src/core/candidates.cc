@@ -54,7 +54,14 @@ std::vector<PatternCandidate> FindClassCandidates(
   const auto min_size = static_cast<std::size_t>(
       std::max(2.0, std::ceil(min_size_d)));
 
-  for (const auto& motif : motifs) {
+  // Motifs are refined independently (resample -> split -> prototype);
+  // per-motif slots merged in order keep the output deterministic for any
+  // thread count. When FindClassCandidates itself runs inside the
+  // per-class parallel region of FindAllCandidates, this nested region
+  // executes inline on the owning worker.
+  std::vector<std::vector<PatternCandidate>> per_motif(motifs.size());
+  ts::ParallelFor(motifs.size(), options.num_threads, [&](std::size_t mi) {
+    const grammar::MotifCandidate& motif = motifs[mi];
     // Bring all occurrences to a common (median) length, z-normalized.
     std::vector<std::size_t> lengths;
     lengths.reserve(motif.intervals.size());
@@ -62,7 +69,7 @@ std::vector<PatternCandidate> FindClassCandidates(
     std::nth_element(lengths.begin(), lengths.begin() + lengths.size() / 2,
                      lengths.end());
     const std::size_t common_len = lengths[lengths.size() / 2];
-    if (common_len < 2) continue;
+    if (common_len < 2) return;
 
     std::vector<ts::Series> members;
     members.reserve(motif.intervals.size());
@@ -106,8 +113,11 @@ std::vector<PatternCandidate> FindClassCandidates(
           cand.within_cluster_distances.push_back(dist[i * n + j]);
         }
       }
-      candidates.push_back(std::move(cand));
+      per_motif[mi].push_back(std::move(cand));
     }
+  });
+  for (auto& batch : per_motif) {
+    for (auto& cand : batch) candidates.push_back(std::move(cand));
   }
   return candidates;
 }

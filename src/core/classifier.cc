@@ -9,6 +9,7 @@
 #include "core/distinct.h"
 #include "core/transform.h"
 #include "ml/metrics.h"
+#include "ts/parallel.h"
 
 namespace rpm::core {
 
@@ -75,6 +76,14 @@ void RpmClassifier::Train(const ts::Dataset& train) {
   trained_ = true;
 }
 
+TransformOptions RpmClassifier::ClassifyTransformOptions() const {
+  TransformOptions transform;
+  transform.rotation_invariant = options_.rotation_invariant;
+  transform.approximate = options_.approximate_matching;
+  transform.approx.refine_top_k = options_.approx_refine_top_k;
+  return transform;
+}
+
 int RpmClassifier::Classify(ts::SeriesView series) const {
   if (!trained_) {
     throw std::logic_error("RpmClassifier::Classify before Train");
@@ -83,19 +92,27 @@ int RpmClassifier::Classify(ts::SeriesView series) const {
       !feature_classifier_->trained()) {
     return majority_label_;
   }
-  TransformOptions transform;
-  transform.rotation_invariant = options_.rotation_invariant;
-  transform.approximate = options_.approximate_matching;
-  transform.approx.refine_top_k = options_.approx_refine_top_k;
   const std::vector<double> row =
-      TransformSeries(patterns_, series, transform);
+      TransformSeries(patterns_, series, ClassifyTransformOptions());
   return feature_classifier_->Predict(row);
 }
 
 std::vector<int> RpmClassifier::ClassifyAll(const ts::Dataset& test) const {
-  std::vector<int> out;
-  out.reserve(test.size());
-  for (const auto& inst : test) out.push_back(Classify(inst.values));
+  if (!trained_) {
+    throw std::logic_error("RpmClassifier::ClassifyAll before Train");
+  }
+  if (patterns_.empty() || feature_classifier_ == nullptr ||
+      !feature_classifier_->trained()) {
+    return std::vector<int>(test.size(), majority_label_);
+  }
+  // Pattern contexts are built once here and shared by every test series
+  // and worker thread; Predict is const and lock-free, so the loop is
+  // deterministic for any thread count.
+  const TransformEngine engine(patterns_, ClassifyTransformOptions());
+  std::vector<int> out(test.size(), 0);
+  ts::ParallelFor(test.size(), options_.num_threads, [&](std::size_t i) {
+    out[i] = feature_classifier_->Predict(engine.Row(test[i].values));
+  });
   return out;
 }
 

@@ -16,6 +16,7 @@
 #include "core/options.h"
 #include "core/parameter_selection.h"
 #include "core/pattern.h"
+#include "core/transform.h"
 #include "ml/simple_classifiers.h"
 #include "ts/series.h"
 
@@ -52,6 +53,9 @@ class RpmClassifier {
   int Classify(ts::SeriesView series) const;
 
   /// Classifies every instance of `test` (labels in `test` are ignored).
+  /// Pattern contexts are built once and shared across the batch, and the
+  /// loop runs on `options.num_threads` pool workers; predictions are
+  /// identical to per-series Classify calls for any thread count.
   std::vector<int> ClassifyAll(const ts::Dataset& test) const;
 
   /// Error rate on a labeled test set.
@@ -90,6 +94,9 @@ class RpmClassifier {
   static RpmClassifier LoadFromFile(const std::string& path);
 
  private:
+  /// Transform configuration used at classification time.
+  TransformOptions ClassifyTransformOptions() const;
+
   RpmOptions options_;
   bool trained_ = false;
   int majority_label_ = 0;

@@ -5,6 +5,7 @@
 
 #include "core/transform.h"
 #include "distance/euclidean.h"
+#include "distance/matcher.h"
 #include "ml/feature_selection.h"
 
 namespace rpm::core {
@@ -49,20 +50,53 @@ double ComputeSimilarityThreshold(
 
 std::vector<PatternCandidate> RemoveSimilarCandidates(
     const std::vector<PatternCandidate>& candidates, double tau) {
-  std::vector<PatternCandidate> kept;
+  // Every candidate plays both roles across the O(K^2) comparisons —
+  // pattern (shorter side) and haystack (longer side) — so both context
+  // kinds are built once per candidate instead of once per pair.
+  const std::size_t k = candidates.size();
+  std::vector<distance::PatternContext> as_pattern;
+  std::vector<distance::SeriesContext> as_haystack;
+  as_pattern.reserve(k);
+  as_haystack.reserve(k);
   for (const auto& c : candidates) {
+    as_pattern.emplace_back(c.values);
+    as_haystack.emplace_back(c.values);
+  }
+  // Same pairwise rule as CandidateDistance, over the prebuilt contexts.
+  auto pair_distance = [&](std::size_t i, std::size_t j) {
+    const std::size_t shorter = candidates[i].values.size() <=
+                                        candidates[j].values.size()
+                                    ? i
+                                    : j;
+    const std::size_t longer = shorter == i ? j : i;
+    if (candidates[i].values.size() == candidates[j].values.size()) {
+      return distance::NormalizedEuclidean(candidates[i].values,
+                                           candidates[j].values);
+    }
+    return distance::BatchedBestMatch(as_pattern[shorter],
+                                      as_haystack[longer])
+        .distance;
+  };
+
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < k; ++i) {
     bool is_similar = false;
-    for (auto& k : kept) {
-      if (CandidateDistance(c, k) < tau) {
+    for (std::size_t& kept_idx : kept) {
+      if (pair_distance(i, kept_idx) < tau) {
         // Keep whichever occurs more often in its concatenated series.
-        if (k.frequency < c.frequency) k = c;
+        if (candidates[kept_idx].frequency < candidates[i].frequency) {
+          kept_idx = i;
+        }
         is_similar = true;
         break;
       }
     }
-    if (!is_similar) kept.push_back(c);
+    if (!is_similar) kept.push_back(i);
   }
-  return kept;
+  std::vector<PatternCandidate> out;
+  out.reserve(kept.size());
+  for (std::size_t idx : kept) out.push_back(candidates[idx]);
+  return out;
 }
 
 std::vector<RepresentativePattern> FindDistinctPatterns(

@@ -75,8 +75,10 @@ class ComboEvaluator {
     const std::vector<int> labels = train_.ClassLabels();
     for (int label : labels) f_sum[label] = 0.0;
 
-    // The splits are independent; evaluate them in parallel and merge in
-    // order (deterministic for any thread count).
+    // The splits are independent; evaluate them on the persistent pool
+    // and merge in order (deterministic for any thread count). DIRECT /
+    // grid search evaluates hundreds of combos per run, so reusing pool
+    // workers here is what keeps thread churn out of the hot path.
     std::vector<std::map<int, double>> split_scores(splits_.size());
     ts::ParallelFor(splits_.size(), options_.num_threads, [&](std::size_t s) {
       split_scores[s] = EvaluateSplit(sax, s);
@@ -99,8 +101,9 @@ class ComboEvaluator {
     const auto& [sub_train, validation] = splits_[s];
     std::map<int, sax::SaxOptions> sax_by_class;
     for (int label : labels) sax_by_class[label] = sax;
-    // Candidate mining inside a parallel split stays single-threaded;
-    // the split level is the unit of parallelism here.
+    // Candidate mining inside a parallel split stays single-threaded:
+    // the split level is the unit of parallelism here (nested regions
+    // would run inline on the pool anyway, so this is also explicit).
     RpmOptions inner = options_;
     inner.num_threads = 1;
     const std::vector<PatternCandidate> candidates =

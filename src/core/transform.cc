@@ -32,47 +32,96 @@ double PatternDistanceRotationInvariant(const ts::Series& pattern,
 
 namespace {
 
-// One pattern-to-series distance under the configured matching mode.
-double DistanceWith(const ts::Series& pattern, ts::SeriesView series,
-                    const TransformOptions& options) {
-  if (options.approximate && pattern.size() <= series.size() &&
-      !pattern.empty()) {
-    return distance::FindBestMatchApprox(pattern, series, options.approx)
-        .distance;
-  }
-  return PatternDistance(pattern, series);
+// Degenerate case shared with PatternDistance: pattern longer than the
+// series — compare at series length after resampling down.
+double ShrunkPatternDistance(const ts::Series& pattern,
+                             ts::SeriesView series) {
+  ts::Series shrunk = ts::ResampleLinear(pattern, series.size());
+  ts::ZNormalizeInPlace(shrunk);
+  ts::Series z(series.begin(), series.end());
+  ts::ZNormalizeInPlace(z);
+  return distance::NormalizedEuclidean(shrunk, z);
 }
 
 }  // namespace
 
-std::vector<double> TransformSeries(
+TransformEngine::TransformEngine(
     const std::vector<RepresentativePattern>& patterns,
-    ts::SeriesView series, const TransformOptions& options) {
+    const TransformOptions& options)
+    : patterns_(&patterns), options_(options) {
+  // The exact scan is the only consumer of the precomputed contexts; the
+  // approximate mode routes through the PAA-coarse scan instead.
+  if (!options_.approximate) {
+    for (const auto& p : patterns) matcher_.Add(p.values);
+  }
+}
+
+// One pattern-to-series distance under the configured matching mode;
+// mirrors the legacy per-call semantics (PatternDistance) exactly.
+double TransformEngine::Distance(std::size_t i,
+                                 const distance::SeriesContext& ctx) const {
+  const ts::Series& pattern = (*patterns_)[i].values;
+  const ts::SeriesView series = ctx.data();
+  if (options_.approximate && pattern.size() <= series.size() &&
+      !pattern.empty()) {
+    return distance::FindBestMatchApprox(pattern, series, options_.approx)
+        .distance;
+  }
+  if (pattern.empty() || series.empty()) return 0.0;
+  if (pattern.size() > series.size()) {
+    return ShrunkPatternDistance(pattern, series);
+  }
+  if (options_.approximate) {
+    // Approximate mode builds no contexts; fall back to the per-call path
+    // (only reachable for the empty-pattern / short-series guards above).
+    return distance::FindBestMatch(pattern, series).distance;
+  }
+  // A pattern longer than the series was handled above, so the batched
+  // scan always reports a found match here — never the unfound sentinel.
+  return matcher_.Match(i, ctx).distance;
+}
+
+std::vector<double> TransformEngine::Row(ts::SeriesView series) const {
   std::vector<double> row;
-  row.reserve(patterns.size());
+  row.reserve(patterns_->size());
+  const distance::SeriesContext ctx(series);
   ts::Series rotated;
-  if (options.rotation_invariant) rotated = ts::RotateAtMidpoint(series);
-  for (const auto& p : patterns) {
-    double d = DistanceWith(p.values, series, options);
-    if (options.rotation_invariant) {
-      d = std::min(d, DistanceWith(p.values, rotated, options));
+  distance::SeriesContext rotated_ctx;
+  if (options_.rotation_invariant) {
+    rotated = ts::RotateAtMidpoint(series);
+    rotated_ctx = distance::SeriesContext(rotated);
+  }
+  for (std::size_t i = 0; i < patterns_->size(); ++i) {
+    double d = Distance(i, ctx);
+    if (options_.rotation_invariant) {
+      d = std::min(d, Distance(i, rotated_ctx));
     }
     row.push_back(d);
   }
   return row;
 }
 
-ml::FeatureDataset TransformDataset(
-    const std::vector<RepresentativePattern>& patterns,
-    const ts::Dataset& data, const TransformOptions& options) {
+ml::FeatureDataset TransformEngine::Apply(const ts::Dataset& data) const {
   ml::FeatureDataset out;
   out.x.resize(data.size());
   out.y.resize(data.size());
-  ts::ParallelFor(data.size(), options.num_threads, [&](std::size_t i) {
-    out.x[i] = TransformSeries(patterns, data[i].values, options);
+  ts::ParallelFor(data.size(), options_.num_threads, [&](std::size_t i) {
+    out.x[i] = Row(data[i].values);
     out.y[i] = data[i].label;
   });
   return out;
+}
+
+std::vector<double> TransformSeries(
+    const std::vector<RepresentativePattern>& patterns,
+    ts::SeriesView series, const TransformOptions& options) {
+  return TransformEngine(patterns, options).Row(series);
+}
+
+ml::FeatureDataset TransformDataset(
+    const std::vector<RepresentativePattern>& patterns,
+    const ts::Dataset& data, const TransformOptions& options) {
+  return TransformEngine(patterns, options).Apply(data);
 }
 
 std::vector<double> TransformSeries(

@@ -11,6 +11,7 @@
 
 #include "core/pattern.h"
 #include "distance/approximate.h"
+#include "distance/matcher.h"
 #include "ml/feature_dataset.h"
 #include "ts/series.h"
 
@@ -37,6 +38,32 @@ double PatternDistance(const ts::Series& pattern, ts::SeriesView series);
 /// midpoint-rotated copy.
 double PatternDistanceRotationInvariant(const ts::Series& pattern,
                                         ts::SeriesView series);
+
+/// Reusable transform engine over the batched matching backend
+/// (distance/matcher.h): one PatternContext per representative pattern,
+/// built once and shared across every series and every worker thread.
+/// Prefer this over the free functions when transforming repeatedly
+/// against a fixed pattern set (classification loops, benches).
+class TransformEngine {
+ public:
+  /// Keeps a reference to `patterns`; they must outlive the engine.
+  TransformEngine(const std::vector<RepresentativePattern>& patterns,
+                  const TransformOptions& options);
+
+  /// The K-dim feature row of one series.
+  std::vector<double> Row(ts::SeriesView series) const;
+
+  /// Transforms a labeled dataset (parallel over options.num_threads;
+  /// bit-identical for any thread count).
+  ml::FeatureDataset Apply(const ts::Dataset& data) const;
+
+ private:
+  double Distance(std::size_t i, const distance::SeriesContext& ctx) const;
+
+  const std::vector<RepresentativePattern>* patterns_;
+  TransformOptions options_;
+  distance::BatchMatcher matcher_;
+};
 
 /// Transforms one series into the K-dim feature row.
 std::vector<double> TransformSeries(

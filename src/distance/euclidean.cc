@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "distance/matcher.h"
 #include "ts/znorm.h"
 
 namespace rpm::distance {
@@ -39,6 +40,19 @@ double NormalizedEuclidean(ts::SeriesView a, ts::SeriesView b) {
 }
 
 BestMatch FindBestMatch(ts::SeriesView pattern, ts::SeriesView haystack) {
+  // Thin wrapper over the batched kernel: the contexts are rebuilt per
+  // call, which is exactly the redundant work BatchMatcher amortizes —
+  // but sharing the kernel keeps per-call and batched results
+  // bit-identical.
+  const std::size_t n = pattern.size();
+  if (n == 0 || haystack.size() < n) return BestMatch{};
+  const PatternContext pattern_ctx(pattern);
+  const SeriesContext series_ctx(haystack);
+  return BatchedBestMatch(pattern_ctx, series_ctx);
+}
+
+BestMatch FindBestMatchNaive(ts::SeriesView pattern,
+                             ts::SeriesView haystack) {
   BestMatch best;
   const std::size_t n = pattern.size();
   if (n == 0 || haystack.size() < n) return best;

@@ -48,7 +48,18 @@ struct BestMatch {
 /// length-normalized Euclidean distance, with early abandoning against the
 /// best-so-far. Returns an unfound BestMatch when |haystack| < |pattern|
 /// or the pattern is empty.
+///
+/// Implemented as a per-call wrapper over the batched kernel
+/// (distance/matcher.h); results are bit-identical to BatchedBestMatch.
+/// Callers scanning many pattern x series pairs should build the contexts
+/// once via BatchMatcher / SeriesContext instead.
 BestMatch FindBestMatch(ts::SeriesView pattern, ts::SeriesView haystack);
+
+/// The pre-batching reference implementation (per-call sort, rolling
+/// window moments, no lower-bound cascade). Kept as the ground truth for
+/// the matcher equivalence tests and the bench/micro_kernels speedup
+/// baseline; not used by the pipeline.
+BestMatch FindBestMatchNaive(ts::SeriesView pattern, ts::SeriesView haystack);
 
 /// Convenience: the closest-match distance only (infinity when unfound).
 double BestMatchDistance(ts::SeriesView pattern, ts::SeriesView haystack);

@@ -1,0 +1,200 @@
+#include "distance/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "ts/znorm.h"
+
+namespace rpm::distance {
+namespace {
+
+// Dot product with four fixed partial sums combined as
+// (s0 + s1) + (s2 + s3): the association is spelled out, so the scalar
+// and SSE2 paths produce bit-identical results (the compiler cannot
+// reassociate a strict FP reduction itself, which also means the scalar
+// loop would otherwise serialize on the single accumulator's add
+// latency).
+inline double Dot(const double* a, const double* b, std::size_t n) {
+#if defined(__SSE2__)
+  __m128d va = _mm_setzero_pd();  // lanes {s0, s1}
+  __m128d vb = _mm_setzero_pd();  // lanes {s2, s3}
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    va = _mm_add_pd(va, _mm_mul_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+    vb = _mm_add_pd(
+        vb, _mm_mul_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2)));
+  }
+  double s0 = _mm_cvtsd_f64(va);
+  double s1 = _mm_cvtsd_f64(_mm_unpackhi_pd(va, va));
+  double s2 = _mm_cvtsd_f64(vb);
+  double s3 = _mm_cvtsd_f64(_mm_unpackhi_pd(vb, vb));
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+#else
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  double s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+#endif
+}
+
+}  // namespace
+
+PatternContext::PatternContext(ts::SeriesView pattern)
+    : values(pattern.begin(), pattern.end()) {
+  const std::size_t n = values.size();
+  if (n == 0) return;
+  inv_n = 1.0 / static_cast<double>(n);
+  for (const double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  // Largest-|z| points first: against a z-normalized window they
+  // contribute the biggest squared terms, so the early-abandon sum
+  // crosses the best-so-far threshold soonest (UCR-suite reordering).
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return std::abs(values[a]) > std::abs(values[b]);
+            });
+}
+
+SeriesContext::SeriesContext(ts::SeriesView series) : data_(series) {
+  const std::size_t m = data_.size();
+  prefix_.resize(m + 1);
+  prefix_sq_.resize(m + 1);
+  prefix_[0] = 0.0;
+  prefix_sq_[0] = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    prefix_[i + 1] = prefix_[i] + data_[i];
+    prefix_sq_[i + 1] = prefix_sq_[i] + data_[i] * data_[i];
+  }
+}
+
+void SeriesContext::WindowMoments(std::size_t pos, std::size_t len,
+                                  double* mu, double* inv_sigma) const {
+  if (len == 1) {
+    // A single-point window is exactly flat; computing it through the
+    // prefix sums would leave cancellation noise above the flat
+    // threshold.
+    *mu = data_[pos];
+    *inv_sigma = 1.0;
+    return;
+  }
+  const double inv_len = 1.0 / static_cast<double>(len);
+  const double sum = prefix_[pos + len] - prefix_[pos];
+  const double sum_sq = prefix_sq_[pos + len] - prefix_sq_[pos];
+  *mu = sum * inv_len;
+  const double var = std::max(0.0, sum_sq * inv_len - *mu * *mu);
+  const double sigma = std::sqrt(var);
+  *inv_sigma = sigma < ts::kFlatThreshold ? 1.0 : 1.0 / sigma;
+}
+
+BestMatch BatchedBestMatch(const PatternContext& pattern,
+                           const SeriesContext& series) {
+  BestMatch best;  // Explicit sentinel: npos position, infinite distance.
+  const std::size_t n = pattern.size();
+  if (n == 0 || series.size() < n) return best;
+  if (n == 1) {
+    // Every single-point window is exactly flat (z-value 0), so all
+    // positions tie at distance |p| and the first window wins — going
+    // through the prefix sums would instead see cancellation noise.
+    best.position = 0;
+    const double p = pattern.values[0];
+    best.distance = std::sqrt(p * p * pattern.inv_n);
+    return best;
+  }
+
+  const double* hay = series.data().data();
+  const double* pat = pattern.values.data();
+  const double nd = static_cast<double>(n);
+  const double inv_n = pattern.inv_n;
+  const double p_first = pat[0];
+  const double p_last = pat[n - 1];
+  const double sum_p = pattern.sum;
+  const double psq = pattern.sum_sq;
+  double best_sq = std::numeric_limits<double>::infinity();
+
+  for (std::size_t pos = 0; pos + n <= series.size(); ++pos) {
+    const double sum = series.WindowSum(pos, n);
+    const double sum_sq = series.WindowSumSq(pos, n);
+    const double mu = sum * inv_n;
+    const double var = std::max(0.0, sum_sq * inv_n - mu * mu);
+    double sigma = std::sqrt(var);
+    // Flat-window rule: sigma below the threshold means mean-center only,
+    // the same convention the legacy kernel applies.
+    if (sigma < ts::kFlatThreshold) sigma = 1.0;
+    const double sig2 = sigma * sigma;
+    // All comparisons happen in sigma-scaled space (everything multiplied
+    // by sigma^2), which keeps the whole window free of divisions; the
+    // one division below runs only when a window improves the best.
+    const double thresh = best_sq * sig2;
+
+    // Lower-bound cascade: the first/last-point terms alone already bound
+    // the window's distance from below (all terms of the squared sum are
+    // non-negative), so pruned windows cost ~8 flops and never touch the
+    // other n-2 points.
+    const double d_first = (hay[pos] - mu) - p_first * sigma;
+    double lb = d_first * d_first;
+    if (n >= 2) {
+      const double d_last = (hay[pos + n - 1] - mu) - p_last * sigma;
+      lb += d_last * d_last;
+    }
+    if (lb >= thresh) continue;
+
+    // Surviving windows: closed-form z-normalized distance. Expanding
+    //   sigma^2 * sum((x - mu)/sigma - p)^2
+    // gives  csq - 2*sigma*(dot - mu*sum_p) + psq*sigma^2  with
+    // csq = sum_sq - n*mu^2, so the only O(n) work is one sequential
+    // dot product of raw window values against the pattern — branch-free
+    // and SIMD-friendly, unlike a per-point z-normalize-and-abandon loop.
+    const double dot = Dot(hay + pos, pat, n);
+    const double csq = std::max(0.0, sum_sq - nd * mu * mu);
+    const double d2s = std::max(
+        0.0, csq - 2.0 * sigma * (dot - mu * sum_p) + psq * sig2);
+    if (d2s < thresh) {
+      best_sq = d2s / sig2;
+      best.position = pos;
+    }
+  }
+  best.distance = std::sqrt(best_sq * inv_n);
+  return best;
+}
+
+BatchMatcher::BatchMatcher(const std::vector<ts::Series>& patterns) {
+  patterns_.reserve(patterns.size());
+  for (const auto& p : patterns) patterns_.emplace_back(p);
+}
+
+void BatchMatcher::Add(ts::SeriesView pattern) {
+  patterns_.emplace_back(pattern);
+}
+
+std::vector<BestMatch> BatchMatcher::MatchAll(
+    const SeriesContext& series) const {
+  std::vector<BestMatch> out;
+  out.reserve(patterns_.size());
+  for (const auto& p : patterns_) {
+    out.push_back(BatchedBestMatch(p, series));
+  }
+  return out;
+}
+
+}  // namespace rpm::distance

@@ -1,0 +1,137 @@
+// Batched best-match engine: precomputed per-pattern and per-series
+// contexts for the z-normalized closest-match scan (Section 2.1,
+// Section 5.3 early abandoning).
+//
+// The per-call FindBestMatch kernel re-derives two things on every single
+// pattern x series invocation: the pattern's largest-|z| early-abandon
+// ordering (an O(n log n) sort) and the haystack's rolling window
+// moments. The transform stage calls that kernel K x |dataset| times —
+// and parameter selection repeats the transform for every DIRECT combo x
+// split — so the redundant work dominates end-to-end runtime.
+//
+// This engine splits the state by lifetime:
+//  * PatternContext — the z-normalized pattern, its sort order, and its
+//    end-point values, computed once per pattern and reused against every
+//    series.
+//  * SeriesContext — prefix-sum / prefix-sum-of-squares arrays over the
+//    haystack, so the mean and stddev of *any* window of *any* length
+//    come from two O(1) lookups; built once per series and shared by all
+//    patterns regardless of their lengths.
+//  * BatchedBestMatch — the scan itself, with a cheap first/last-point
+//    lower bound cascaded before the full early-abandon loop: windows
+//    whose two end-point terms already exceed the best-so-far are
+//    skipped without touching the other n-2 points.
+//
+// FindBestMatch (distance/euclidean.h) is now a thin wrapper that builds
+// both contexts on the fly, so per-call and batched paths share one
+// kernel and return bit-identical results.
+
+#ifndef RPM_DISTANCE_MATCHER_H_
+#define RPM_DISTANCE_MATCHER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "distance/euclidean.h"
+#include "ts/series.h"
+
+namespace rpm::distance {
+
+/// Per-pattern precomputation for the batched scan. The pattern is
+/// copied, so the context owns everything it needs.
+struct PatternContext {
+  PatternContext() = default;
+  /// `pattern` must already be z-normalized (the RPM pipeline invariant;
+  /// FindBestMatch has always assumed the same).
+  explicit PatternContext(ts::SeriesView pattern);
+
+  std::size_t size() const { return values.size(); }
+  bool empty() const { return values.empty(); }
+
+  /// The (z-normalized) pattern values.
+  ts::Series values;
+  /// Indices sorted by |value| descending — the UCR-suite early-abandon
+  /// order, computed once instead of per call. The closed-form kernel
+  /// only falls back to it for the ordered refinement scan.
+  std::vector<std::uint32_t> order;
+  /// 1 / |pattern| (0 when empty), for length normalization.
+  double inv_n = 0.0;
+  /// Sum and sum of squares of the pattern values (for a z-normalized
+  /// pattern these are ~0 and ~|pattern|, but the kernel uses the exact
+  /// floating-point values so nothing depends on perfect normalization).
+  double sum = 0.0;
+  double sum_sq = 0.0;
+};
+
+/// Per-series precomputation: prefix sums of values and squared values.
+/// Holds a *view* of the series — the underlying data must outlive the
+/// context (datasets are stable for the duration of a transform).
+class SeriesContext {
+ public:
+  SeriesContext() = default;
+  explicit SeriesContext(ts::SeriesView series);
+
+  ts::SeriesView data() const { return data_; }
+  std::size_t size() const { return data_.size(); }
+
+  /// Mean and inverse stddev of the window [pos, pos+len) in O(1).
+  /// Flat windows (stddev < ts::kFlatThreshold) get inv_sigma = 1, the
+  /// same mean-center-only rule the per-call kernel applies.
+  /// Precondition: pos + len <= size(), len > 0.
+  void WindowMoments(std::size_t pos, std::size_t len, double* mu,
+                     double* inv_sigma) const;
+
+  /// Sum of values / squared values over [pos, pos+len) in O(1).
+  double WindowSum(std::size_t pos, std::size_t len) const {
+    return prefix_[pos + len] - prefix_[pos];
+  }
+  double WindowSumSq(std::size_t pos, std::size_t len) const {
+    return prefix_sq_[pos + len] - prefix_sq_[pos];
+  }
+
+ private:
+  ts::SeriesView data_;
+  std::vector<double> prefix_;     // prefix_[i] = sum of data[0..i)
+  std::vector<double> prefix_sq_;  // prefix_sq_[i] = sum of squares
+};
+
+/// Closest match of the pattern inside the series (same contract as
+/// FindBestMatch): every window of length |pattern| is z-normalized and
+/// compared under length-normalized Euclidean distance. Returns an
+/// explicit unfound sentinel (position == npos, distance == inf) when the
+/// pattern is empty or longer than the series — mid-batch callers must
+/// not rely on pre-checking sizes.
+BestMatch BatchedBestMatch(const PatternContext& pattern,
+                           const SeriesContext& series);
+
+/// A set of pattern contexts built once and matched against many series.
+class BatchMatcher {
+ public:
+  BatchMatcher() = default;
+  /// Builds one context per pattern (patterns are copied).
+  explicit BatchMatcher(const std::vector<ts::Series>& patterns);
+
+  /// Appends one pattern.
+  void Add(ts::SeriesView pattern);
+
+  std::size_t size() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+  const PatternContext& pattern(std::size_t i) const { return patterns_[i]; }
+
+  /// Best match of pattern `i` in the series (sentinel when unfound).
+  BestMatch Match(std::size_t i, const SeriesContext& series) const {
+    return BatchedBestMatch(patterns_[i], series);
+  }
+
+  /// Best match of every pattern in the series. Patterns longer than the
+  /// series yield the explicit unfound sentinel at their slot.
+  std::vector<BestMatch> MatchAll(const SeriesContext& series) const;
+
+ private:
+  std::vector<PatternContext> patterns_;
+};
+
+}  // namespace rpm::distance
+
+#endif  // RPM_DISTANCE_MATCHER_H_

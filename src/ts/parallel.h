@@ -1,42 +1,30 @@
 // Minimal deterministic data-parallel helper. Work items are independent
 // and write to distinct output slots, so results are identical for any
 // thread count — parallelism only changes wall-clock time.
+//
+// ParallelFor is a shim over the process-wide persistent ThreadPool
+// (ts/thread_pool.h): regions no longer spawn-join threads, and indices
+// are handed out in chunks instead of one per atomic fetch_add, so tiny
+// work items don't serialize on the counter.
 
 #ifndef RPM_TS_PARALLEL_H_
 #define RPM_TS_PARALLEL_H_
 
-#include <algorithm>
-#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <thread>
-#include <vector>
+
+#include "ts/thread_pool.h"
 
 namespace rpm::ts {
 
-/// Invokes fn(i) for every i in [0, n), using up to `num_threads` worker
-/// threads (<= 1 runs inline). Exceptions from fn terminate the process
-/// (workers don't marshal them); keep fn noexcept in practice.
+/// Invokes fn(i) for every i in [0, n), using the calling thread plus up
+/// to `num_threads - 1` persistent pool workers (<= 1 runs inline).
+/// Exceptions from fn terminate the process (workers don't marshal
+/// them); keep fn noexcept in practice.
 inline void ParallelFor(std::size_t n, std::size_t num_threads,
                         const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
-  num_threads = std::min(num_threads, n);
-  if (num_threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (std::size_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < n;
-           i = next.fetch_add(1)) {
-        fn(i);
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
+  ThreadPool::Global().ParallelFor(n, num_threads, fn);
 }
 
 /// Hardware concurrency with a sane floor.

@@ -7,8 +7,11 @@
 #include <numeric>
 
 #include "core/rpm.h"
+#include "core/transform.h"
 #include "ts/generators.h"
 #include "ts/parallel.h"
+#include "ts/rng.h"
+#include "ts/znorm.h"
 
 namespace rpm {
 namespace {
@@ -56,6 +59,40 @@ TEST(ParallelDeterminism, CandidatesIdenticalAcrossThreadCounts) {
     EXPECT_EQ(a[i].class_label, b[i].class_label);
     EXPECT_EQ(a[i].frequency, b[i].frequency);
     EXPECT_EQ(a[i].values, b[i].values);
+  }
+}
+
+TEST(ParallelDeterminism, TransformBitIdenticalAcrossThreadCounts) {
+  // The transform engine writes each series' feature row into its own
+  // slot, so the embedded dataset must be bit-identical — not merely
+  // close — for any thread count.
+  const ts::DatasetSplit split = ts::MakeCbf(6, 6, 128, 92);
+  std::vector<core::RepresentativePattern> patterns;
+  ts::Rng rng(17);
+  for (int k = 0; k < 12; ++k) {
+    core::RepresentativePattern p;
+    p.class_label = 1 + (k % 3);
+    ts::Series values(16 + 4 * (k % 5));
+    for (auto& v : values) v = rng.Gaussian(0.0, 1.0);
+    ts::ZNormalizeInPlace(values);
+    p.values = std::move(values);
+    patterns.push_back(std::move(p));
+  }
+
+  auto run = [&](std::size_t threads) {
+    core::TransformOptions opt;
+    opt.num_threads = threads;
+    return core::TransformDataset(patterns, split.train, opt);
+  };
+  const ml::FeatureDataset base = run(1);
+  for (std::size_t threads : {2u, 8u}) {
+    const ml::FeatureDataset other = run(threads);
+    ASSERT_EQ(base.x.size(), other.x.size());
+    EXPECT_EQ(base.y, other.y);
+    for (std::size_t i = 0; i < base.x.size(); ++i) {
+      EXPECT_EQ(base.x[i], other.x[i]) << "row " << i << " with " << threads
+                                       << " threads";
+    }
   }
 }
 
