@@ -36,6 +36,7 @@
 #include "baselines/shapelet_transform.h"
 #include "baselines/shapelet_tree.h"
 #include "core/rpm.h"
+#include "ts/parallel.h"
 #include "ts/ucr_io.h"
 
 namespace {
@@ -179,11 +180,14 @@ int CmdTrain(int argc, char** argv) {
 
 int CmdClassify(int argc, char** argv) {
   if (argc < 4) Usage();
-  const rpm::core::RpmClassifier clf =
+  rpm::core::RpmClassifier clf =
       rpm::core::RpmClassifier::LoadFromFile(argv[2]);
   const rpm::ts::Dataset test = rpm::ts::LoadUcrFile(argv[3]);
-  for (const auto& inst : test) {
-    std::printf("%d\n", clf.Classify(inst.values));
+  // Route the whole set through the batched path: pattern contexts are
+  // built once and shared, instead of being rebuilt per instance.
+  clf.set_num_threads(rpm::ts::DefaultThreads());
+  for (const int label : clf.ClassifyAll(test)) {
+    std::printf("%d\n", label);
   }
   return 0;
 }

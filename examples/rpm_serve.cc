@@ -1,0 +1,246 @@
+// Socket front end for the inference server (src/serve): serves the
+// line-oriented protocol (see docs/SERVING.md) over TCP or a Unix-domain
+// socket, one thread per connection. Concurrent connections are what
+// feed the micro-batcher — each CLASSIFY blocks its connection thread
+// until the batch completes, so co-travelling requests share one engine
+// dispatch.
+//
+// Usage:
+//   rpm_serve [--port N | --unix PATH] [--model NAME=PATH ...]
+//             [--batch N] [--linger-us N] [--queue N] [--threads N]
+//             [--timeout-ms N]
+//
+// Quickstart:
+//   rpm_cli train train.csv gunpoint.model --search fixed --window 25
+//   rpm_serve --port 7070 --model gunpoint=gunpoint.model &
+//   printf 'CLASSIFY gunpoint 0.1,0.5,...\nSTATS\nQUIT\n' | nc localhost 7070
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: rpm_serve [--port N | --unix PATH] "
+               "[--model NAME=PATH ...]\n"
+               "                 [--batch N] [--linger-us N] [--queue N] "
+               "[--threads N] [--timeout-ms N]\n");
+  std::exit(2);
+}
+
+struct ServeCliOptions {
+  int port = 7070;
+  std::string unix_path;  // non-empty selects a Unix-domain socket
+  std::vector<std::pair<std::string, std::string>> models;
+  rpm::serve::ServerOptions server;
+};
+
+ServeCliOptions ParseArgs(int argc, char** argv) {
+  ServeCliOptions cli;
+  auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) Usage();
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port") {
+      cli.port = std::atoi(need(i++));
+    } else if (arg == "--unix") {
+      cli.unix_path = need(i++);
+    } else if (arg == "--model") {
+      const std::string spec = need(i++);
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        Usage();
+      }
+      cli.models.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--batch") {
+      cli.server.batching.max_batch_size =
+          static_cast<std::size_t>(std::atoi(need(i++)));
+    } else if (arg == "--linger-us") {
+      cli.server.batching.max_linger =
+          std::chrono::microseconds(std::atol(need(i++)));
+    } else if (arg == "--queue") {
+      cli.server.batching.max_queue_depth =
+          static_cast<std::size_t>(std::atoi(need(i++)));
+    } else if (arg == "--threads") {
+      cli.server.batching.num_threads =
+          static_cast<std::size_t>(std::atoi(need(i++)));
+    } else if (arg == "--timeout-ms") {
+      cli.server.default_timeout =
+          std::chrono::milliseconds(std::atol(need(i++)));
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      Usage();
+    }
+  }
+  return cli;
+}
+
+int ListenTcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ListenUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  ::unlink(path.c_str());
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads newline-terminated requests and answers each with one response
+// line; the connection closes on QUIT, EOF, or a write error.
+void ServeConnection(rpm::serve::InferenceServer* server, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string response = server->HandleLine(line);
+    if (!WriteAll(fd, response + "\n")) break;
+    if (response == "OK bye") break;
+  }
+  ::close(fd);
+}
+
+// Open connections, so shutdown can unblock their reads and join.
+class ConnectionSet {
+ public:
+  void Spawn(rpm::serve::InferenceServer* server, int fd) {
+    std::lock_guard lock(mutex_);
+    fds_.push_back(fd);
+    threads_.emplace_back(ServeConnection, server, fd);
+  }
+  void ShutdownAll() {
+    {
+      std::lock_guard lock(mutex_);
+      for (int fd : fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> fds_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServeCliOptions cli = ParseArgs(argc, argv);
+
+  rpm::serve::InferenceServer server(cli.server);
+  for (const auto& [name, path] : cli.models) {
+    try {
+      const std::size_t patterns = server.LoadModel(name, path);
+      std::fprintf(stderr, "[rpm_serve] loaded %s from %s (%zu patterns)\n",
+                   name.c_str(), path.c_str(), patterns);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[rpm_serve] cannot load %s: %s\n", name.c_str(),
+                   e.what());
+      return 1;
+    }
+  }
+
+  const int listen_fd = cli.unix_path.empty()
+                            ? ListenTcp(cli.port)
+                            : ListenUnix(cli.unix_path);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "[rpm_serve] cannot listen on %s\n",
+                 cli.unix_path.empty() ? std::to_string(cli.port).c_str()
+                                       : cli.unix_path.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::fprintf(stderr, "[rpm_serve] listening on %s\n",
+               cli.unix_path.empty()
+                   ? ("localhost:" + std::to_string(cli.port)).c_str()
+                   : cli.unix_path.c_str());
+
+  ConnectionSet connections;
+  while (g_stop == 0) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    connections.Spawn(&server, fd);
+  }
+
+  // Graceful drain: unblock every connection, complete admitted requests,
+  // then report the final counters.
+  ::close(listen_fd);
+  if (!cli.unix_path.empty()) ::unlink(cli.unix_path.c_str());
+  connections.ShutdownAll();
+  server.Shutdown();
+  std::fprintf(stderr, "[rpm_serve] final stats: %s\n",
+               server.Stats().ToJson().c_str());
+  return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the thread-sanitized configuration and runs the concurrency
-# surface: the thread-pool/matcher tests and the cross-thread determinism
-# tests. Any data race in the pool or the parallel transform paths fails
-# the script.
+# surface: the thread-pool/matcher tests, the cross-thread determinism
+# tests, and the serving-layer suites (registry hot reload, batching
+# queue, server hammering). Any data race in the pool, the parallel
+# transform paths, or the serve path fails the script.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -21,6 +22,6 @@ cmake --build "${build_dir}" -j
 # halt_on_error makes ctest report races as hard failures.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R 'ThreadPool|ParallelFor|ParallelDeterminism|BatchedBestMatch|BatchMatcher|SeriesContext'
+  -R 'ThreadPool|ParallelFor|ParallelDeterminism|BatchedBestMatch|BatchMatcher|SeriesContext|ModelRegistry|BatchingQueue|InferenceServer|ServeConcurrency'
 
 echo "TSan check passed."

@@ -76,7 +76,7 @@ void RpmClassifier::Train(const ts::Dataset& train) {
   trained_ = true;
 }
 
-TransformOptions RpmClassifier::ClassifyTransformOptions() const {
+TransformOptions RpmClassifier::classify_transform_options() const {
   TransformOptions transform;
   transform.rotation_invariant = options_.rotation_invariant;
   transform.approximate = options_.approximate_matching;
@@ -93,7 +93,7 @@ int RpmClassifier::Classify(ts::SeriesView series) const {
     return majority_label_;
   }
   const std::vector<double> row =
-      TransformSeries(patterns_, series, ClassifyTransformOptions());
+      TransformSeries(patterns_, series, classify_transform_options());
   return feature_classifier_->Predict(row);
 }
 
@@ -101,17 +101,52 @@ std::vector<int> RpmClassifier::ClassifyAll(const ts::Dataset& test) const {
   if (!trained_) {
     throw std::logic_error("RpmClassifier::ClassifyAll before Train");
   }
-  if (patterns_.empty() || feature_classifier_ == nullptr ||
-      !feature_classifier_->trained()) {
-    return std::vector<int>(test.size(), majority_label_);
+  const ClassificationEngine engine(*this);
+  return engine.ClassifyDataset(test, options_.num_threads);
+}
+
+ClassificationEngine::ClassificationEngine(const RpmClassifier& clf)
+    : clf_(&clf) {
+  if (!clf.trained()) {
+    throw std::logic_error("ClassificationEngine: classifier not trained");
   }
-  // Pattern contexts are built once here and shared by every test series
-  // and worker thread; Predict is const and lock-free, so the loop is
+  if (!clf.patterns().empty() && clf.feature_classifier() != nullptr &&
+      clf.feature_classifier()->trained()) {
+    engine_.emplace(clf.patterns(), clf.classify_transform_options());
+  }
+}
+
+std::size_t ClassificationEngine::num_patterns() const {
+  return clf_->patterns().size();
+}
+
+int ClassificationEngine::Classify(ts::SeriesView series) const {
+  if (!engine_.has_value()) return clf_->majority_label();
+  return clf_->feature_classifier()->Predict(engine_->Row(series));
+}
+
+std::vector<int> ClassificationEngine::ClassifyBatch(
+    std::span<const ts::Series> batch, std::size_t num_threads) const {
+  if (!engine_.has_value()) {
+    return std::vector<int>(batch.size(), clf_->majority_label());
+  }
+  // Contexts are shared read-only and Predict is const, so the loop is
   // deterministic for any thread count.
-  const TransformEngine engine(patterns_, ClassifyTransformOptions());
-  std::vector<int> out(test.size(), 0);
-  ts::ParallelFor(test.size(), options_.num_threads, [&](std::size_t i) {
-    out[i] = feature_classifier_->Predict(engine.Row(test[i].values));
+  std::vector<int> out(batch.size(), 0);
+  ts::ParallelFor(batch.size(), num_threads, [&](std::size_t i) {
+    out[i] = clf_->feature_classifier()->Predict(engine_->Row(batch[i]));
+  });
+  return out;
+}
+
+std::vector<int> ClassificationEngine::ClassifyDataset(
+    const ts::Dataset& data, std::size_t num_threads) const {
+  if (!engine_.has_value()) {
+    return std::vector<int>(data.size(), clf_->majority_label());
+  }
+  std::vector<int> out(data.size(), 0);
+  ts::ParallelFor(data.size(), num_threads, [&](std::size_t i) {
+    out[i] = clf_->feature_classifier()->Predict(engine_->Row(data[i].values));
   });
   return out;
 }
@@ -159,12 +194,34 @@ void RpmClassifier::SaveToFile(const std::string& path) const {
   }
 }
 
+namespace {
+
+// Sanity caps applied while parsing persisted models: a corrupt or
+// malicious header must produce a descriptive error, not a multi-gigabyte
+// resize. Real models are orders of magnitude below both.
+constexpr std::size_t kMaxModelEntries = std::size_t{1} << 20;
+constexpr std::size_t kMaxPatternLength = std::size_t{1} << 24;
+
+}  // namespace
+
 RpmClassifier RpmClassifier::Load(std::istream& in) {
   auto fail = [](const std::string& what) -> void {
     throw std::runtime_error("RpmClassifier::Load: " + what);
   };
-  std::string line;
-  if (!std::getline(in, line) || line != "RPM-MODEL v1") fail("bad magic");
+  // Header: magic bytes and format version are checked separately so a
+  // non-model file and a model from an incompatible build fail with
+  // distinct, actionable messages.
+  std::string magic;
+  if (!(in >> magic)) fail("empty or unreadable stream");
+  if (magic != "RPM-MODEL") {
+    fail("bad magic '" + magic + "' (not an RPM model file)");
+  }
+  std::string version;
+  if (!(in >> version)) fail("missing format version");
+  if (version != "v1") {
+    fail("unsupported model format version '" + version +
+         "' (this build reads v1)");
+  }
 
   RpmClassifier clf;
   std::string tag;
@@ -177,6 +234,10 @@ RpmClassifier RpmClassifier::Load(std::istream& in) {
       tag != "flags") {
     fail("bad flags");
   }
+  if (classifier_kind < 0 ||
+      classifier_kind > static_cast<int>(ml::FeatureClassifierKind::kNaiveBayes)) {
+    fail("corrupt classifier kind " + std::to_string(classifier_kind));
+  }
   clf.options_.rotation_invariant = rotation != 0;
   clf.options_.approximate_matching = approximate != 0;
   clf.options_.final_classifier =
@@ -186,22 +247,45 @@ RpmClassifier RpmClassifier::Load(std::istream& in) {
   }
   std::size_t num_sax = 0;
   if (!(in >> tag >> num_sax) || tag != "sax") fail("bad sax header");
+  if (num_sax > kMaxModelEntries) {
+    fail("corrupt sax entry count " + std::to_string(num_sax));
+  }
   for (std::size_t i = 0; i < num_sax; ++i) {
     int label = 0;
     sax::SaxOptions sax;
-    in >> label >> sax.window >> sax.paa_size >> sax.alphabet;
+    if (!(in >> label >> sax.window >> sax.paa_size >> sax.alphabet)) {
+      fail("truncated sax section");
+    }
+    if (sax.window == 0 || sax.paa_size == 0 || sax.alphabet < 2) {
+      fail("corrupt sax parameters for class " + std::to_string(label));
+    }
     clf.sax_by_class_[label] = sax;
   }
   std::size_t num_patterns = 0;
   if (!(in >> tag >> num_patterns) || tag != "patterns") {
     fail("bad patterns header");
   }
+  if (num_patterns > kMaxModelEntries) {
+    fail("corrupt pattern count " + std::to_string(num_patterns));
+  }
   clf.patterns_.resize(num_patterns);
-  for (auto& p : clf.patterns_) {
+  for (std::size_t i = 0; i < num_patterns; ++i) {
+    auto& p = clf.patterns_[i];
     std::size_t len = 0;
-    in >> p.class_label >> p.frequency >> len;
+    if (!(in >> p.class_label >> p.frequency >> len)) {
+      fail("truncated pattern header (pattern " + std::to_string(i) + " of " +
+           std::to_string(num_patterns) + ")");
+    }
+    if (len > kMaxPatternLength) {
+      fail("corrupt pattern length " + std::to_string(len) + " (pattern " +
+           std::to_string(i) + ")");
+    }
     p.values.resize(len);
-    for (double& v : p.values) in >> v;
+    for (double& v : p.values) {
+      if (!(in >> v)) {
+        fail("truncated pattern values (pattern " + std::to_string(i) + ")");
+      }
+    }
   }
   int has_classifier = 0;
   if (!(in >> tag >> has_classifier) || tag != "classifier") {
@@ -211,8 +295,8 @@ RpmClassifier RpmClassifier::Load(std::istream& in) {
     clf.feature_classifier_ = ml::MakeFeatureClassifier(
         clf.options_.final_classifier, clf.options_.svm, clf.options_.knn_k);
     clf.feature_classifier_->Load(in);
+    if (!in) fail("truncated classifier section");
   }
-  if (!in) fail("truncated input");
   clf.trained_ = true;
   return clf;
 }

@@ -7,6 +7,8 @@
 #define RPM_CORE_CLASSIFIER_H_
 
 #include <map>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include <iosfwd>
@@ -78,6 +80,23 @@ class RpmClassifier {
 
   const RpmOptions& options() const { return options_; }
 
+  /// Worker threads used by ClassifyAll (results are bit-identical for
+  /// any value; only wall-clock time changes). Lets loaded models — whose
+  /// persisted format carries no thread count — be re-tuned to the host.
+  void set_num_threads(std::size_t n) { options_.num_threads = n; }
+
+  /// The fitted feature-space classifier, or nullptr for the
+  /// majority-class fallback (and before Train).
+  const ml::FeatureClassifier* feature_classifier() const {
+    return feature_classifier_.get();
+  }
+
+  /// Label predicted when no patterns were minable.
+  int majority_label() const { return majority_label_; }
+
+  /// Transform configuration used at classification time.
+  TransformOptions classify_transform_options() const;
+
   /// Stage timings and counts from the last Train call.
   const TrainingReport& report() const { return report_; }
 
@@ -94,9 +113,6 @@ class RpmClassifier {
   static RpmClassifier LoadFromFile(const std::string& path);
 
  private:
-  /// Transform configuration used at classification time.
-  TransformOptions ClassifyTransformOptions() const;
-
   RpmOptions options_;
   bool trained_ = false;
   int majority_label_ = 0;
@@ -105,6 +121,39 @@ class RpmClassifier {
   std::size_t combos_evaluated_ = 0;
   TrainingReport report_;
   std::unique_ptr<ml::FeatureClassifier> feature_classifier_;
+};
+
+/// Reusable request-oriented classification engine: the pattern-match
+/// contexts (one per representative pattern) are built once at
+/// construction and shared — read-only — across every request and worker
+/// thread, so repeated single-series classification skips the per-call
+/// context rebuild that Classify pays. This is the context-reuse hook the
+/// serving layer (src/serve) keeps warm between requests.
+///
+/// Keeps pointers into `clf`: the classifier must outlive the engine and
+/// must not be retrained while the engine is alive.
+class ClassificationEngine {
+ public:
+  explicit ClassificationEngine(const RpmClassifier& clf);
+
+  /// Label of one series, identical to clf.Classify(series).
+  int Classify(ts::SeriesView series) const;
+
+  /// Labels for a batch of plain series, parallel over `num_threads` pool
+  /// workers; bit-identical to per-series Classify for any thread count.
+  std::vector<int> ClassifyBatch(std::span<const ts::Series> batch,
+                                 std::size_t num_threads = 1) const;
+
+  /// Dataset variant (labels in `data` are ignored).
+  std::vector<int> ClassifyDataset(const ts::Dataset& data,
+                                   std::size_t num_threads = 1) const;
+
+  std::size_t num_patterns() const;
+
+ private:
+  const RpmClassifier* clf_;
+  /// Engaged unless the classifier is a majority-class fallback.
+  std::optional<TransformEngine> engine_;
 };
 
 }  // namespace rpm::core

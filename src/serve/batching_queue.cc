@@ -1,0 +1,177 @@
+#include "serve/batching_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ts/parallel.h"
+
+namespace rpm::serve {
+
+std::string_view StatusName(StatusCode status) {
+  switch (status) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+double MicrosSince(BatchingQueue::Clock::time_point t0,
+                   BatchingQueue::Clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+}  // namespace
+
+BatchingQueue::BatchingQueue(BatchingOptions options, ServerStats* stats)
+    : options_([&] {
+        BatchingOptions o = options;
+        if (o.max_batch_size == 0) o.max_batch_size = 1;
+        if (o.num_threads == 0) o.num_threads = ts::DefaultThreads();
+        return o;
+      }()),
+      stats_(stats),
+      dispatcher_([this] { DispatcherLoop(); }) {}
+
+BatchingQueue::~BatchingQueue() { Shutdown(); }
+
+std::future<ClassifyResult> BatchingQueue::Submit(
+    ModelHandle model, ts::Series values, Clock::time_point deadline) {
+  std::promise<ClassifyResult> promise;
+  std::future<ClassifyResult> future = promise.get_future();
+  {
+    std::unique_lock lock(mutex_);
+    if (shutdown_) {
+      stats_->RecordRejectedShutdown();
+      promise.set_value({StatusCode::kShutdown, 0, 0.0});
+      return future;
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      stats_->RecordShed();
+      promise.set_value({StatusCode::kOverloaded, 0, 0.0});
+      return future;
+    }
+    Request req;
+    req.model = std::move(model);
+    req.values = std::move(values);
+    req.deadline = deadline;
+    req.enqueue_time = Clock::now();
+    req.promise = std::move(promise);
+    queue_.push_back(std::move(req));
+    stats_->RecordAdmitted();
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void BatchingQueue::Shutdown() {
+  {
+    std::unique_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  // Serialized so concurrent Shutdown calls don't race on join.
+  std::lock_guard join_guard(join_mutex_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::size_t BatchingQueue::depth() const {
+  std::unique_lock lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t BatchingQueue::CountFor(const LoadedModel* model) const {
+  std::size_t n = 0;
+  for (const Request& r : queue_) {
+    if (r.model.get() == model) ++n;
+  }
+  return n;
+}
+
+std::vector<BatchingQueue::Request> BatchingQueue::ExtractBatch(
+    const LoadedModel* model) {
+  std::vector<Request> batch;
+  batch.reserve(std::min(queue_.size(), options_.max_batch_size));
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < options_.max_batch_size;) {
+    if (it->model.get() == model) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+void BatchingQueue::DispatcherLoop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;  // drained
+      continue;
+    }
+    // Micro-batch formation: linger on the oldest request until its batch
+    // fills, its linger window closes, or its own deadline passes
+    // (whichever is first). Draining skips the linger entirely.
+    const LoadedModel* key = queue_.front().model.get();
+    const auto wait_until = std::min(
+        queue_.front().enqueue_time + options_.max_linger,
+        queue_.front().deadline);
+    // Only this thread removes queue entries, so the front request (and
+    // `key`) is stable across the waits.
+    while (!shutdown_ && CountFor(key) < options_.max_batch_size &&
+           Clock::now() < wait_until) {
+      cv_.wait_until(lock, wait_until);
+    }
+    std::vector<Request> batch = ExtractBatch(key);
+    lock.unlock();
+    RunBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void BatchingQueue::RunBatch(std::vector<Request> batch) {
+  const auto dispatch_time = Clock::now();
+  // Split expired requests out; they complete with kTimeout and never
+  // reach the engine.
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  for (Request& req : batch) {
+    if (dispatch_time >= req.deadline) {
+      const double lat = MicrosSince(req.enqueue_time, dispatch_time);
+      stats_->RecordTimeout(lat);
+      req.promise.set_value({StatusCode::kTimeout, 0, lat});
+    } else {
+      live.push_back(std::move(req));
+    }
+  }
+  if (live.empty()) return;
+
+  const LoadedModel& model = *live.front().model;
+  std::vector<ts::Series> values;
+  values.reserve(live.size());
+  for (Request& req : live) values.push_back(std::move(req.values));
+  const std::vector<int> labels =
+      model.engine.ClassifyBatch(values, options_.num_threads);
+
+  const auto done_time = Clock::now();
+  stats_->RecordBatch(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const double lat = MicrosSince(live[i].enqueue_time, done_time);
+    stats_->RecordOk(lat);
+    live[i].promise.set_value({StatusCode::kOk, labels[i], lat});
+  }
+}
+
+}  // namespace rpm::serve

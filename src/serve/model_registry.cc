@@ -1,0 +1,64 @@
+#include "serve/model_registry.h"
+
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace rpm::serve {
+
+std::size_t ModelRegistry::Load(const std::string& name,
+                                const std::string& path) {
+  // Parse and build contexts before touching the map: a bad file must not
+  // disturb the currently served model, and a good one must not hold the
+  // exclusive lock while its contexts warm up.
+  auto model = std::make_shared<const LoadedModel>(
+      core::RpmClassifier::LoadFromFile(path));
+  const std::size_t patterns = model->classifier.patterns().size();
+  {
+    std::unique_lock lock(mutex_);
+    models_[name] = std::move(model);
+  }
+  return patterns;
+}
+
+void ModelRegistry::Put(const std::string& name, core::RpmClassifier clf) {
+  if (!clf.trained()) {
+    throw std::logic_error("ModelRegistry::Put: classifier not trained");
+  }
+  auto model = std::make_shared<const LoadedModel>(std::move(clf));
+  std::unique_lock lock(mutex_);
+  models_[name] = std::move(model);
+}
+
+bool ModelRegistry::Unload(const std::string& name) {
+  // The erased handle is destroyed after the lock is released (it was
+  // moved out first) — or later still, by the last in-flight request.
+  ModelHandle retired;
+  std::unique_lock lock(mutex_);
+  auto it = models_.find(name);
+  if (it == models_.end()) return false;
+  retired = std::move(it->second);
+  models_.erase(it);
+  return true;
+}
+
+ModelHandle ModelRegistry::Get(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, model] : models_) names.push_back(name);
+  return names;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return models_.size();
+}
+
+}  // namespace rpm::serve

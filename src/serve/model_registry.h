@@ -1,0 +1,75 @@
+// Named registry of loaded models with warm pattern contexts.
+//
+// Every model lives behind a shared_ptr<const LoadedModel>: readers take
+// a handle under a shared lock and keep classifying through it for as
+// long as they need, while Load/Unload swap the map entry under an
+// exclusive lock. Refcounting — not the lock — is what makes hot reload
+// safe: a swap only retires the old model once the last in-flight request
+// drops its handle, so requests never observe a torn or destroyed model.
+//
+// Model files are parsed *outside* the lock; a multi-megabyte LOAD never
+// stalls concurrent CLASSIFY traffic for more than the map swap.
+
+#ifndef RPM_SERVE_MODEL_REGISTRY_H_
+#define RPM_SERVE_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+
+namespace rpm::serve {
+
+/// A trained classifier plus its warm ClassificationEngine. The engine
+/// points into the classifier, so the pair is immovable and always heap-
+/// allocated behind the registry's shared_ptr.
+struct LoadedModel {
+  explicit LoadedModel(core::RpmClassifier clf)
+      : classifier(std::move(clf)), engine(classifier) {}
+  LoadedModel(const LoadedModel&) = delete;
+  LoadedModel& operator=(const LoadedModel&) = delete;
+
+  core::RpmClassifier classifier;
+  core::ClassificationEngine engine;
+};
+
+/// Shared read-only handle to a loaded model; keeps the model alive
+/// across hot reloads for as long as any request holds it.
+using ModelHandle = std::shared_ptr<const LoadedModel>;
+
+class ModelRegistry {
+ public:
+  /// Loads (or hot-reloads) the model at `path` under `name`. Parsing
+  /// happens outside the lock; throws std::runtime_error on malformed
+  /// files and leaves any previous model for `name` untouched. Returns
+  /// the number of representative patterns in the loaded model.
+  std::size_t Load(const std::string& name, const std::string& path);
+
+  /// Registers an already-trained classifier (in-process path used by
+  /// tests and benches; also the hot-swap entry point). Requires
+  /// clf.trained().
+  void Put(const std::string& name, core::RpmClassifier clf);
+
+  /// Removes `name`; in-flight handles stay valid. Returns false when no
+  /// such model exists.
+  bool Unload(const std::string& name);
+
+  /// The current handle for `name`, or nullptr when absent.
+  ModelHandle Get(const std::string& name) const;
+
+  /// Registered names, ascending.
+  std::vector<std::string> Names() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, ModelHandle> models_;
+};
+
+}  // namespace rpm::serve
+
+#endif  // RPM_SERVE_MODEL_REGISTRY_H_

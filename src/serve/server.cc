@@ -1,0 +1,153 @@
+#include "serve/server.h"
+
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+namespace rpm::serve {
+
+InferenceServer::InferenceServer(ServerOptions options)
+    : options_(options), queue_(options.batching, &stats_) {}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+std::size_t InferenceServer::LoadModel(const std::string& name,
+                                       const std::string& path) {
+  return registry_.Load(name, path);
+}
+
+void InferenceServer::AddModel(const std::string& name,
+                               core::RpmClassifier clf) {
+  registry_.Put(name, std::move(clf));
+}
+
+bool InferenceServer::UnloadModel(const std::string& name) {
+  return registry_.Unload(name);
+}
+
+std::future<ClassifyResult> InferenceServer::ClassifyAsync(
+    const std::string& model, ts::Series values,
+    std::chrono::microseconds timeout) {
+  ModelHandle handle = registry_.Get(model);
+  if (handle == nullptr) {
+    stats_.RecordNotFound();
+    std::promise<ClassifyResult> promise;
+    promise.set_value({StatusCode::kNotFound, 0, 0.0});
+    return promise.get_future();
+  }
+  return queue_.Submit(std::move(handle), std::move(values),
+                       BatchingQueue::Clock::now() + timeout);
+}
+
+ClassifyResult InferenceServer::Classify(const std::string& model,
+                                         ts::Series values,
+                                         std::chrono::microseconds timeout) {
+  return ClassifyAsync(model, std::move(values), timeout).get();
+}
+
+ClassifyResult InferenceServer::Classify(const std::string& model,
+                                         ts::Series values) {
+  return Classify(model, std::move(values), options_.default_timeout);
+}
+
+void InferenceServer::Shutdown() { queue_.Shutdown(); }
+
+namespace {
+
+// "1.5,2,-0.25" (or space-separated) -> Series; false on any non-number.
+bool ParseValues(const std::string& text, ts::Series* out) {
+  out->clear();
+  std::string token;
+  std::string normalized = text;
+  for (char& c : normalized) {
+    if (c == ',') c = ' ';
+  }
+  std::istringstream fields(normalized);
+  while (fields >> token) {
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    out->push_back(v);
+  }
+  return !out->empty();
+}
+
+std::string Err(std::string_view code, const std::string& detail) {
+  std::string out = "ERR ";
+  out += code;
+  if (!detail.empty()) {
+    out += ' ';
+    out += detail;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string InferenceServer::HandleLine(const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  if (!(in >> cmd)) return Err("BAD_REQUEST", "empty line");
+
+  if (cmd == "QUIT") return "OK bye";
+  if (cmd == "STATS") return "OK " + stats_.Snapshot().ToJson();
+  if (cmd == "MODELS") {
+    const std::vector<std::string> names = registry_.Names();
+    std::string out = "OK " + std::to_string(names.size());
+    for (const auto& n : names) out += ' ' + n;
+    return out;
+  }
+  if (cmd == "LOAD") {
+    std::string name;
+    std::string path;
+    if (!(in >> name >> path)) {
+      return Err("BAD_REQUEST", "usage: LOAD <name> <path>");
+    }
+    try {
+      const std::size_t patterns = LoadModel(name, path);
+      return "OK loaded " + name + " patterns=" + std::to_string(patterns);
+    } catch (const std::exception& e) {
+      return Err("BAD_REQUEST", e.what());
+    }
+  }
+  if (cmd == "UNLOAD") {
+    std::string name;
+    if (!(in >> name)) return Err("BAD_REQUEST", "usage: UNLOAD <name>");
+    if (!UnloadModel(name)) {
+      return Err("NOT_FOUND", "no model named '" + name + "'");
+    }
+    return "OK unloaded " + name;
+  }
+  if (cmd == "CLASSIFY") {
+    std::string name;
+    std::string csv;
+    if (!(in >> name >> csv)) {
+      return Err("BAD_REQUEST", "usage: CLASSIFY <name> <v1,v2,...> [ms]");
+    }
+    std::chrono::microseconds timeout = options_.default_timeout;
+    long timeout_ms = 0;
+    if (in >> timeout_ms) {
+      if (timeout_ms <= 0) {
+        return Err("BAD_REQUEST", "timeout must be positive");
+      }
+      timeout = std::chrono::milliseconds(timeout_ms);
+    }
+    ts::Series values;
+    if (!ParseValues(csv, &values)) {
+      return Err("BAD_REQUEST", "malformed values '" + csv + "'");
+    }
+    const ClassifyResult result =
+        Classify(name, std::move(values), timeout);
+    if (result.status == StatusCode::kOk) {
+      return "OK " + std::to_string(result.label);
+    }
+    if (result.status == StatusCode::kNotFound) {
+      return Err("NOT_FOUND", "no model named '" + name + "'");
+    }
+    return Err(StatusName(result.status), "");
+  }
+  return Err("BAD_REQUEST", "unknown command '" + cmd + "'");
+}
+
+}  // namespace rpm::serve

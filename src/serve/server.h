@@ -1,0 +1,90 @@
+// The inference server: registry + batching queue + stats behind one
+// facade, with both an in-process C++ API (tests, benches, embedding)
+// and a line-oriented text protocol (the socket front end in
+// examples/rpm_serve.cc). One request line maps to one response line:
+//
+//   LOAD <name> <path>                  -> OK loaded <name> patterns=<K>
+//   UNLOAD <name>                       -> OK unloaded <name>
+//   MODELS                              -> OK <n> <name...>
+//   CLASSIFY <name> <v1,v2,...> [T_MS]  -> OK <label>
+//   STATS                               -> OK <one-line JSON>
+//   QUIT                                -> OK bye
+//
+// Failures answer "ERR <CODE> <detail>", where CODE is one of TIMEOUT,
+// OVERLOADED, NOT_FOUND, SHUTDOWN, BAD_REQUEST. The protocol carries no
+// connection state, so HandleLine is safe to call from any number of
+// connection threads concurrently.
+
+#ifndef RPM_SERVE_SERVER_H_
+#define RPM_SERVE_SERVER_H_
+
+#include <chrono>
+#include <future>
+#include <string>
+
+#include "serve/batching_queue.h"
+#include "serve/model_registry.h"
+#include "serve/server_stats.h"
+
+namespace rpm::serve {
+
+struct ServerOptions {
+  BatchingOptions batching;
+  /// Deadline applied to CLASSIFY requests that don't carry their own.
+  std::chrono::milliseconds default_timeout{1000};
+};
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(ServerOptions options = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  // ---- In-process API ----
+
+  /// Loads (or hot-reloads) a persisted model; returns its pattern count.
+  std::size_t LoadModel(const std::string& name, const std::string& path);
+
+  /// Registers an already-trained classifier under `name`.
+  void AddModel(const std::string& name, core::RpmClassifier clf);
+
+  /// Removes `name`; in-flight requests on it complete normally.
+  bool UnloadModel(const std::string& name);
+
+  /// Enqueues one request; the future resolves when its micro-batch is
+  /// dispatched (or it is rejected/timed out).
+  std::future<ClassifyResult> ClassifyAsync(
+      const std::string& model, ts::Series values,
+      std::chrono::microseconds timeout);
+
+  /// Blocking convenience wrapper around ClassifyAsync.
+  ClassifyResult Classify(const std::string& model, ts::Series values,
+                          std::chrono::microseconds timeout);
+  ClassifyResult Classify(const std::string& model, ts::Series values);
+
+  StatsSnapshot Stats() const { return stats_.Snapshot(); }
+  ModelRegistry& registry() { return registry_; }
+
+  /// Stops admissions, drains admitted requests. Idempotent.
+  void Shutdown();
+
+  // ---- Text protocol ----
+
+  /// Handles one protocol line (no trailing newline) and returns the
+  /// response line. Thread-safe; CLASSIFY blocks the calling connection
+  /// thread until its batch completes, which is what lets concurrent
+  /// connections form batches.
+  std::string HandleLine(const std::string& line);
+
+ private:
+  ServerOptions options_;
+  ModelRegistry registry_;
+  ServerStats stats_;
+  BatchingQueue queue_;
+};
+
+}  // namespace rpm::serve
+
+#endif  // RPM_SERVE_SERVER_H_

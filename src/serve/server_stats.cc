@@ -1,0 +1,116 @@
+#include "serve/server_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rpm::serve {
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (total == 0) return 0.0;
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * double(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (double(cumulative) >= rank && counts[i] > 0) {
+      return upper_bounds[i];
+    }
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+Histogram Histogram::Geometric(double first, double growth) {
+  std::array<double, kBuckets> bounds{};
+  double b = first;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    bounds[i] = b;
+    b *= growth;
+  }
+  return Histogram(bounds);
+}
+
+Histogram Histogram::Linear(double step) {
+  std::array<double, kBuckets> bounds{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    bounds[i] = step * double(i + 1);
+  }
+  return Histogram(bounds);
+}
+
+void Histogram::Record(double value) {
+  const auto it =
+      std::lower_bound(bounds_.begin(), bounds_.end() - 1, value);
+  const auto idx = std::size_t(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  const double milli = std::max(0.0, value) * 1000.0;
+  sum_milli_.fetch_add(std::uint64_t(milli), std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.counts.resize(kBuckets);
+  snap.upper_bounds.assign(bounds_.begin(), bounds_.end());
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    snap.total += snap.counts[i];
+  }
+  snap.sum = double(sum_milli_.load(std::memory_order_relaxed)) / 1000.0;
+  return snap;
+}
+
+ServerStats::ServerStats()
+    : latency_us_(Histogram::Geometric(1.0, 1.35)),
+      batch_occupancy_(Histogram::Linear(1.0)) {}
+
+void ServerStats::RecordOk(double latency_us) {
+  ok_.fetch_add(1, std::memory_order_relaxed);
+  latency_us_.Record(latency_us);
+}
+
+void ServerStats::RecordTimeout(double latency_us) {
+  timeout_.fetch_add(1, std::memory_order_relaxed);
+  latency_us_.Record(latency_us);
+}
+
+void ServerStats::RecordBatch(std::size_t occupancy) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_occupancy_.Record(double(occupancy));
+}
+
+StatsSnapshot ServerStats::Snapshot() const {
+  StatsSnapshot snap;
+  snap.admitted = admitted_.load(std::memory_order_relaxed);
+  snap.ok = ok_.load(std::memory_order_relaxed);
+  snap.timeout = timeout_.load(std::memory_order_relaxed);
+  snap.shed = shed_.load(std::memory_order_relaxed);
+  snap.not_found = not_found_.load(std::memory_order_relaxed);
+  snap.rejected_shutdown =
+      rejected_shutdown_.load(std::memory_order_relaxed);
+  snap.batches = batches_.load(std::memory_order_relaxed);
+  snap.latency_us = latency_us_.Snapshot();
+  snap.batch_occupancy = batch_occupancy_.Snapshot();
+  return snap;
+}
+
+std::string StatsSnapshot::ToJson() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"admitted\":%llu,\"ok\":%llu,\"timeout\":%llu,\"shed\":%llu,"
+      "\"not_found\":%llu,\"rejected_shutdown\":%llu,\"batches\":%llu,"
+      "\"mean_batch_occupancy\":%.2f,\"latency_us\":{\"p50\":%.1f,"
+      "\"p95\":%.1f,\"p99\":%.1f,\"mean\":%.1f}}",
+      static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(timeout),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(not_found),
+      static_cast<unsigned long long>(rejected_shutdown),
+      static_cast<unsigned long long>(batches), batch_occupancy.Mean(),
+      latency_us.Percentile(50.0), latency_us.Percentile(95.0),
+      latency_us.Percentile(99.0), latency_us.Mean());
+  return std::string(buf);
+}
+
+}  // namespace rpm::serve

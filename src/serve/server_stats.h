@@ -1,0 +1,113 @@
+// Serving metrics: lock-free counters and fixed-bucket histograms.
+//
+// Request threads and the batch dispatcher record events with relaxed
+// atomic increments — no locks, no allocation on the hot path — and
+// readers take a point-in-time Snapshot on demand (STATS requests, bench
+// reports). Counters are monotonically increasing; a snapshot taken
+// while writers are active is internally consistent per counter but not
+// across counters, which is the usual contract for serving metrics.
+//
+// Latency percentiles come from a geometric fixed-bucket histogram
+// (64 buckets, ~26% resolution per bucket over ~1us..~3e8us), batch
+// occupancy from a linear one; percentile values are bucket upper bounds,
+// so they are exact to bucket resolution.
+
+#ifndef RPM_SERVE_SERVER_STATS_H_
+#define RPM_SERVE_SERVER_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpm::serve {
+
+/// Plain-value copy of one histogram, taken by Snapshot().
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> counts;  ///< per-bucket event counts
+  std::vector<double> upper_bounds;   ///< bucket upper edges (inclusive)
+  std::uint64_t total = 0;            ///< sum of counts
+  double sum = 0.0;                   ///< sum of recorded values
+
+  /// Upper bound of the bucket holding the p-th percentile (p in
+  /// [0, 100]); 0 when empty.
+  double Percentile(double p) const;
+  double Mean() const { return total == 0 ? 0.0 : sum / double(total); }
+};
+
+/// Fixed-bucket histogram with relaxed atomic increments. Bucket bounds
+/// are immutable after construction, so Record is wait-free.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Buckets [0, first], (first, first*growth], ... (geometric).
+  static Histogram Geometric(double first, double growth);
+  /// Buckets [0, step], (step, 2*step], ... (linear).
+  static Histogram Linear(double step);
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  explicit Histogram(std::array<double, kBuckets> bounds) : bounds_(bounds) {}
+
+  std::array<double, kBuckets> bounds_;  // ascending; last bucket catches all
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> total_{0};
+  // Value sum accumulated in integer nanounits to keep the add atomic.
+  std::atomic<std::uint64_t> sum_milli_{0};
+};
+
+/// Point-in-time copy of every serving metric.
+struct StatsSnapshot {
+  std::uint64_t admitted = 0;   ///< requests accepted into the queue
+  std::uint64_t ok = 0;         ///< completed with a label
+  std::uint64_t timeout = 0;    ///< expired before dispatch
+  std::uint64_t shed = 0;       ///< rejected by admission control
+  std::uint64_t not_found = 0;  ///< unknown model name
+  std::uint64_t rejected_shutdown = 0;  ///< submitted after Shutdown
+  std::uint64_t batches = 0;    ///< micro-batches dispatched
+  HistogramSnapshot latency_us;       ///< submit -> completion, microseconds
+  HistogramSnapshot batch_occupancy;  ///< live requests per dispatched batch
+
+  /// One-line JSON rendering (the STATS protocol response body).
+  std::string ToJson() const;
+};
+
+/// The process-wide metric set of one server instance. All recorders are
+/// lock-free and safe to call from any thread.
+class ServerStats {
+ public:
+  ServerStats();
+
+  void RecordAdmitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordOk(double latency_us);
+  void RecordTimeout(double latency_us);
+  void RecordShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordNotFound() {
+    not_found_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordRejectedShutdown() {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordBatch(std::size_t occupancy);
+
+  StatsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> timeout_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> not_found_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  Histogram latency_us_;
+  Histogram batch_occupancy_;
+};
+
+}  // namespace rpm::serve
+
+#endif  // RPM_SERVE_SERVER_STATS_H_
