@@ -3,9 +3,10 @@
 // input; the best-match scan is the classification-time hot loop; DTW
 // cost scales with the band width.
 //
-// `--json` skips the google-benchmark suite and instead times the
+// `--json` skips the google-benchmark suite and instead times (a) the
 // batched matching engine against the legacy per-call kernel on a
-// 50-pattern x 200-series workload, writing BENCH_kernels.json.
+// 50-pattern x 200-series workload and (b) the LB-cascaded 1NN-DTW
+// against full banded DTW at a 10 % band, writing BENCH_kernels.json.
 
 #include <benchmark/benchmark.h>
 
@@ -222,6 +223,85 @@ void RunJsonWorkload() {
   // distances must agree closely; a visible gap means a kernel bug.
   const double drift = naive_checksum - batched_checksum;
 
+  // 1NN-DTW workload: 20 queries against a 100-candidate pool, length
+  // 128, Sakoe-Chiba band at 10 % of the length. The full kernel runs
+  // banded DTW on every pair with no cutoff; the cascade prunes with the
+  // endpoint bound and LB_Keogh (both directions) before an
+  // early-abandoning DTW seeded with the best-so-far. Envelope
+  // construction is charged to the cascade side. The cascade is
+  // decision-exact, so both sides must find identical neighbors.
+  constexpr std::size_t kQueries = 20;
+  constexpr std::size_t kPool = 100;
+  constexpr std::size_t kLen = 128;
+  const std::size_t band = kLen / 10;
+
+  std::vector<rpm::ts::Series> queries;
+  queries.reserve(kQueries);
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    rpm::ts::Series s = RandomWalk(kLen, 900 + q);
+    rpm::ts::ZNormalizeInPlace(s);
+    queries.push_back(std::move(s));
+  }
+  std::vector<rpm::ts::Series> pool;
+  pool.reserve(kPool);
+  for (std::size_t c = 0; c < kPool; ++c) {
+    rpm::ts::Series s = RandomWalk(kLen, 2000 + c);
+    rpm::ts::ZNormalizeInPlace(s);
+    pool.push_back(std::move(s));
+  }
+
+  const auto dtw_ops = static_cast<double>(kQueries * kPool);
+  double full_checksum = 0.0;
+  double cascade_checksum = 0.0;
+  double full_ns = std::numeric_limits<double>::infinity();
+  double cascade_ns = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    full_checksum = 0.0;
+    const auto t0 = Clock::now();
+    for (const auto& q : queries) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : pool) {
+        best = std::min(best, rpm::distance::Dtw(q, c, band));
+      }
+      full_checksum += best;
+    }
+    const auto t1 = Clock::now();
+    full_ns = std::min(
+        full_ns,
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+            dtw_ops);
+
+    cascade_checksum = 0.0;
+    const auto t2 = Clock::now();
+    std::vector<rpm::distance::Envelope> envelopes;
+    envelopes.reserve(kPool);
+    for (const auto& c : pool) {
+      envelopes.push_back(rpm::distance::MakeEnvelope(c, band));
+    }
+    for (const auto& q : queries) {
+      const rpm::distance::Envelope q_env =
+          rpm::distance::MakeEnvelope(q, band);
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < kPool; ++c) {
+        const double d = rpm::distance::DtwCascade(q, pool[c], &q_env,
+                                                   &envelopes[c], band,
+                                                   best);
+        if (d < best) best = d;
+      }
+      cascade_checksum += best;
+    }
+    const auto t3 = Clock::now();
+    cascade_ns = std::min(
+        cascade_ns,
+        std::chrono::duration<double, std::nano>(t3 - t2).count() /
+            dtw_ops);
+  }
+  const double dtw_speedup = full_ns / cascade_ns;
+  // The cascade only skips candidates provably >= the best-so-far, so the
+  // nearest-neighbor distances must be bit-identical: any drift at all is
+  // a pruning bug.
+  const double dtw_drift = full_checksum - cascade_checksum;
+
   std::FILE* f = std::fopen("BENCH_kernels.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_kernels.json\n");
@@ -231,20 +311,31 @@ void RunJsonWorkload() {
                "{\n"
                "  \"workload\": {\"patterns\": %zu, \"series\": %zu, "
                "\"series_length\": %zu},\n"
+               "  \"dtw_workload\": {\"queries\": %zu, \"pool\": %zu, "
+               "\"length\": %zu, \"band\": %zu},\n"
                "  \"kernels\": [\n"
                "    {\"name\": \"best_match_per_call\", \"ns_per_op\": %.1f, "
                "\"speedup\": 1.0},\n"
                "    {\"name\": \"best_match_batched\", \"ns_per_op\": %.1f, "
+               "\"speedup\": %.2f},\n"
+               "    {\"name\": \"dtw_full\", \"ns_per_op\": %.1f, "
+               "\"speedup\": 1.0},\n"
+               "    {\"name\": \"dtw_cascade\", \"ns_per_op\": %.1f, "
                "\"speedup\": %.2f}\n"
                "  ],\n"
-               "  \"checksum_drift\": %.3e\n"
+               "  \"checksum_drift\": %.3e,\n"
+               "  \"dtw_checksum_drift\": %.3e\n"
                "}\n",
-               kPatterns, kSeries, kSeriesLen, naive_ns, batched_ns, speedup,
-               drift);
+               kPatterns, kSeries, kSeriesLen, kQueries, kPool, kLen, band,
+               naive_ns, batched_ns, speedup, full_ns, cascade_ns,
+               dtw_speedup, drift, dtw_drift);
   std::fclose(f);
   std::printf("per-call %.1f ns/op, batched %.1f ns/op, speedup %.2fx "
-              "(checksum drift %.3e) -> BENCH_kernels.json\n",
+              "(checksum drift %.3e)\n",
               naive_ns, batched_ns, speedup, drift);
+  std::printf("dtw full %.1f ns/op, cascade %.1f ns/op, speedup %.2fx "
+              "(checksum drift %.3e) -> BENCH_kernels.json\n",
+              full_ns, cascade_ns, dtw_speedup, dtw_drift);
 }
 
 }  // namespace

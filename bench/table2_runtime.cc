@@ -3,14 +3,85 @@
 // RPM per dataset, the "# best" row, and the LS/RPM speedup summary
 // (Section 5.3 reports a 78x average speedup on the authors' hardware;
 // the shape to reproduce is LS >> RPM ~ FS).
+//
+// Flags:
+//   --json     also write the table plus per-method train/classify sums
+//              to BENCH_table2.json (used by scripts/bench_snapshot.sh)
+//   --profile  skip the table; instead train RPM freshly on every suite
+//              dataset with the core phase profiler enabled and print
+//              per-phase wall time (discretization / grammar /
+//              clustering / selection)
 
+#include <array>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <set>
 
+#include "core/phase_profile.h"
 #include "harness.h"
 
-int main() {
+namespace {
+
+using rpm::core::PhaseProfile;
+
+// Fresh RPM training per dataset with the global phase counters armed.
+// The suite sweep cache is deliberately bypassed: profiling needs a live
+// run, and the counters only instrument the RPM pipeline.
+void RunProfile() {
+  std::printf("RPM training per-phase wall time, seconds\n");
+  std::printf("%-18s%11s%11s%11s%11s%11s%11s%12s\n", "Dataset",
+              "selection", "discretize", "grammar", "cluster", "transform",
+              "svm", "train-total");
+  std::array<double, PhaseProfile::kNumPhases> sums{};
+  double train_sum = 0.0;
+  for (const auto& split : rpm::bench::Suite()) {
+    auto clf = rpm::bench::MakeMethod("RPM");
+    PhaseProfile::Reset();
+    PhaseProfile::Enable(true);
+    const auto t0 = std::chrono::steady_clock::now();
+    clf->Train(split.train);
+    const auto t1 = std::chrono::steady_clock::now();
+    PhaseProfile::Enable(false);
+    const auto phases = PhaseProfile::Totals();
+    const double train =
+        std::chrono::duration<double>(t1 - t0).count();
+    for (std::size_t i = 0; i < phases.size(); ++i) sums[i] += phases[i];
+    train_sum += train;
+    std::printf("%-18s%11.3f%11.3f%11.3f%11.3f%11.3f%11.3f%12.3f\n",
+                split.name.c_str(), phases[PhaseProfile::kSelection],
+                phases[PhaseProfile::kDiscretization],
+                phases[PhaseProfile::kGrammar],
+                phases[PhaseProfile::kClustering],
+                phases[PhaseProfile::kTransform],
+                phases[PhaseProfile::kSvm], train);
+  }
+  std::printf("%-18s%11.3f%11.3f%11.3f%11.3f%11.3f%11.3f%12.3f\n", "TOTAL",
+              sums[PhaseProfile::kSelection],
+              sums[PhaseProfile::kDiscretization],
+              sums[PhaseProfile::kGrammar],
+              sums[PhaseProfile::kClustering],
+              sums[PhaseProfile::kTransform], sums[PhaseProfile::kSvm],
+              train_sum);
+  std::printf(
+      "\nPhases overlap: selection is end-to-end stage-0 time, and the\n"
+      "discretize/grammar/cluster columns count that kind of work\n"
+      "anywhere in training (including inside selection's combo search).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace rpm;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      RunProfile();
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
   const auto results = bench::RunOrLoadSuiteResults();
   const auto idx = bench::Index(results);
   const std::vector<std::string> methods = {"LS", "FS", "RPM"};
@@ -25,6 +96,7 @@ int main() {
   std::printf("%-18s%12s%12s%12s%14s\n", "Dataset", "LS", "FS", "RPM",
               "LS/RPM");
   std::map<std::string, int> best_count;
+  std::vector<double> speedups;
   double speedup_sum = 0.0;
   double speedup_max = 0.0;
   for (const auto& ds : datasets) {
@@ -39,6 +111,7 @@ int main() {
       if (total[m] <= best + 1e-12) ++best_count[m];
     }
     const double speedup = total["LS"] / std::max(1e-9, total["RPM"]);
+    speedups.push_back(speedup);
     speedup_sum += speedup;
     speedup_max = std::max(speedup_max, speedup);
     std::printf("%-18s%12.3f%12.3f%12.3f%13.1fx\n", ds.c_str(),
@@ -46,8 +119,48 @@ int main() {
   }
   std::printf("%-18s%12d%12d%12d\n", "# best (ties)", best_count["LS"],
               best_count["FS"], best_count["RPM"]);
-  std::printf("\nLS/RPM speedup: average %.1fx, max %.1fx\n",
-              speedup_sum / static_cast<double>(datasets.size()),
+  const double speedup_avg =
+      speedup_sum / static_cast<double>(datasets.size());
+  std::printf("\nLS/RPM speedup: average %.1fx, max %.1fx\n", speedup_avg,
               speedup_max);
+
+  if (json) {
+    std::FILE* f = std::fopen("BENCH_table2.json", "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_table2.json\n");
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"datasets\": [\n");
+    for (std::size_t i = 0; i < datasets.size(); ++i) {
+      std::map<std::string, double> total;
+      for (const auto& m : methods) {
+        const auto& r = idx.at({datasets[i], m});
+        total[m] = r.train_seconds + r.classify_seconds;
+      }
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"ls\": %.4f, \"fs\": %.4f, "
+                   "\"rpm\": %.4f, \"ls_over_rpm\": %.2f}%s\n",
+                   datasets[i].c_str(), total["LS"], total["FS"],
+                   total["RPM"], speedups[i],
+                   i + 1 < datasets.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"train_seconds_by_method\": {");
+    bool first = true;
+    for (const auto& m : bench::MethodNames()) {
+      double train = 0.0;
+      for (const auto& r : results) {
+        if (r.method == m) train += r.train_seconds;
+      }
+      std::fprintf(f, "%s\n    \"%s\": %.4f", first ? "" : ",", m.c_str(),
+                   train);
+      first = false;
+    }
+    std::fprintf(f,
+                 "\n  },\n  \"ls_over_rpm\": {\"average\": %.2f, "
+                 "\"max\": %.2f}\n}\n",
+                 speedup_avg, speedup_max);
+    std::fclose(f);
+    std::printf("-> BENCH_table2.json\n");
+  }
   return 0;
 }

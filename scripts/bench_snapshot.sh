@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Records a benchmark snapshot at the repo root:
+#   BENCH_kernels.json  micro_kernels --json   (matcher + DTW-cascade
+#                       kernel timings with exactness checksums)
+#   BENCH_table2.json   table2_runtime --json  (suite sweep: per-dataset
+#                       LS/FS/RPM totals and per-method train sums)
+#
+# Usage: scripts/bench_snapshot.sh [build-dir]   (default: build)
+#
+# The sweep honours RPM_BENCH_SCALE / RPM_BENCH_CACHE (see
+# bench/harness.h). By default the cache file lives at the repo root, so
+# re-running the script after a code change without clearing
+# .rpm_bench_results_cache.csv re-reports the cached sweep; pass
+# RPM_BENCH_CACHE=off for a guaranteed fresh measurement.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+if [[ ! -x "${build_dir}/bench/micro_kernels" ||
+      ! -x "${build_dir}/bench/table2_runtime" ]]; then
+  echo "bench binaries missing under ${build_dir}/bench;" \
+       "configure with -DRPM_BUILD_BENCHMARKS=ON and build first" >&2
+  exit 1
+fi
+
+cd "${repo_root}"
+"${build_dir}/bench/micro_kernels" --json
+"${build_dir}/bench/table2_runtime" --json
+
+echo "snapshot written: ${repo_root}/BENCH_kernels.json," \
+     "${repo_root}/BENCH_table2.json"

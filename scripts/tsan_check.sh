@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Builds the thread-sanitized configuration and runs the concurrency
 # surface: the thread-pool/matcher tests, the cross-thread determinism
-# tests, and the serving-layer suites (registry hot reload, batching
-# queue, server hammering). Any data race in the pool, the parallel
-# transform paths, or the serve path fails the script.
+# tests, the training-path equivalence suites (clustering, DTW cascade,
+# training cache — everything carrying the `training` ctest label), and
+# the serving-layer suites (registry hot reload, batching queue, server
+# hammering). Any data race in the pool, the parallel transform paths,
+# the training cache, or the serve path fails the script.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -23,5 +25,10 @@ cmake --build "${build_dir}" -j
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 ctest --test-dir "${build_dir}" --output-on-failure \
   -R 'ThreadPool|ParallelFor|ParallelDeterminism|BatchedBestMatch|BatchMatcher|SeriesContext|ModelRegistry|BatchingQueue|InferenceServer|ServeConcurrency'
+
+# Training-path suites (cluster_linkage, dtw_cascade, training_cache):
+# includes the concurrent TrainingCache lookups and the pool-shared
+# iterative-split tests.
+ctest --test-dir "${build_dir}" --output-on-failure -L training
 
 echo "TSan check passed."

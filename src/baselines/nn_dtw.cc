@@ -25,16 +25,26 @@ void NnDtwBestWindow::Train(const ts::Dataset& train) {
   std::sort(windows.begin(), windows.end());
   windows.erase(std::unique(windows.begin(), windows.end()), windows.end());
 
-  // LOOCV over the training set (smaller window wins ties).
+  // LOOCV over the training set (smaller window wins ties). Envelopes are
+  // built once per candidate window — O(n) each via the Lemire deques —
+  // and shared across the whole sweep at that window, so every left-out
+  // query runs the full cascade: a left-out instance's own envelope is
+  // already in the set and serves as the query envelope.
   best_window_ = windows.front();
   std::size_t best_hits = 0;
   std::vector<std::uint8_t> hit(train_.size());
+  std::vector<distance::Envelope> envelopes(train_.size());
   for (std::size_t w : windows) {
+    ts::ParallelFor(train_.size(), options_.num_threads, [&](std::size_t i) {
+      envelopes[i] = distance::MakeEnvelope(train_[i].values, w);
+    });
     // Each left-out instance writes only its own slot; the ordered sum
     // below keeps the hit count independent of the thread count.
     ts::ParallelFor(train_.size(), options_.num_threads, [&](std::size_t i) {
-      hit[i] =
-          ClassifyWithWindow(train_[i].values, w, i) == train_[i].label ? 1 : 0;
+      hit[i] = ClassifyWithWindow(train_[i].values, &envelopes[i], w,
+                                  envelopes, i) == train_[i].label
+                   ? 1
+                   : 0;
     });
     const std::size_t hits =
         std::accumulate(hit.begin(), hit.end(), std::size_t{0});
@@ -44,28 +54,30 @@ void NnDtwBestWindow::Train(const ts::Dataset& train) {
     }
   }
 
-  // Precompute envelopes at the chosen window for LB_Keogh pruning.
-  envelopes_.reserve(train_.size());
-  for (const auto& inst : train_) {
-    envelopes_.push_back(distance::MakeEnvelope(inst.values, best_window_));
-  }
+  // Keep the envelope set at the chosen window for classification.
+  envelopes_.resize(train_.size());
+  ts::ParallelFor(train_.size(), options_.num_threads, [&](std::size_t i) {
+    envelopes_[i] = distance::MakeEnvelope(train_[i].values, best_window_);
+  });
 }
 
-int NnDtwBestWindow::ClassifyWithWindow(ts::SeriesView series,
-                                        std::size_t window,
-                                        std::size_t exclude) const {
+int NnDtwBestWindow::ClassifyWithWindow(
+    ts::SeriesView series, const distance::Envelope* series_envelope,
+    std::size_t window, const std::vector<distance::Envelope>& envelopes,
+    std::size_t exclude) const {
   double best = std::numeric_limits<double>::infinity();
   int label = train_[0].label;
   for (std::size_t i = 0; i < train_.size(); ++i) {
     if (i == exclude) continue;
     const auto& inst = train_[i];
-    // LB_Keogh prune only when an envelope set matching this window is
-    // available (the post-training fast path).
-    if (!envelopes_.empty() && window == best_window_ &&
-        series.size() == inst.values.size()) {
-      if (distance::LbKeogh(series, envelopes_[i]) >= best) continue;
-    }
-    const double d = distance::Dtw(series, inst.values, window, best);
+    const distance::Envelope* cand_env =
+        i < envelopes.size() ? &envelopes[i] : nullptr;
+    // The cascade skips a candidate only when a bound proves its DTW
+    // cannot beat `best`, so the selected neighbor (first index reaching
+    // the minimum) is identical to an exhaustive full-DTW scan.
+    const double d = distance::DtwCascade(series, inst.values,
+                                          series_envelope, cand_env, window,
+                                          best);
     if (d < best) {
       best = d;
       label = inst.label;
@@ -78,7 +90,10 @@ int NnDtwBestWindow::Classify(ts::SeriesView series) const {
   if (train_.empty()) {
     throw std::logic_error("NnDtwBestWindow::Classify before Train");
   }
-  return ClassifyWithWindow(series, best_window_, train_.size());
+  const distance::Envelope query_env =
+      distance::MakeEnvelope(series, best_window_);
+  return ClassifyWithWindow(series, &query_env, best_window_, envelopes_,
+                            train_.size());
 }
 
 }  // namespace rpm::baselines

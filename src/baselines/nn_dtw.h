@@ -1,7 +1,10 @@
 // 1-NN DTW with the best warping window (NN-DTWB, Table 1): the window
 // half-width is chosen by leave-one-out cross-validation on the training
-// set over a fraction grid, the standard UCR protocol. Classification uses
-// LB_Keogh lower-bound pruning plus DTW early abandoning.
+// set over a fraction grid, the standard UCR protocol. Every DTW call —
+// including the LOOCV sweep itself — goes through the lower-bound
+// cascade (endpoint bound, LB_Keogh both directions, early-abandoning
+// banded DTW): envelopes are built once per candidate window in O(n)
+// and shared by all left-out queries at that window.
 
 #ifndef RPM_BASELINES_NN_DTW_H_
 #define RPM_BASELINES_NN_DTW_H_
@@ -36,7 +39,14 @@ class NnDtwBestWindow : public Classifier {
   std::size_t best_window() const { return best_window_; }
 
  private:
-  int ClassifyWithWindow(ts::SeriesView series, std::size_t window,
+  /// 1NN over the training set at the given band. `envelopes` holds one
+  /// envelope per training instance built at `window` (used for LB_Keogh
+  /// against the candidates); `series_envelope` is the query's own
+  /// envelope at the same window, or null to skip the reversed bound.
+  int ClassifyWithWindow(ts::SeriesView series,
+                         const distance::Envelope* series_envelope,
+                         std::size_t window,
+                         const std::vector<distance::Envelope>& envelopes,
                          std::size_t exclude) const;
 
   NnDtwOptions options_;

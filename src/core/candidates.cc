@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include "cluster/hierarchical.h"
+#include "core/phase_profile.h"
+#include "core/training_cache.h"
 #include "grammar/motifs.h"
 #include "ts/parallel.h"
 #include "ts/resample.h"
@@ -42,12 +45,29 @@ std::vector<PatternCandidate> FindClassCandidates(
 
   sax::SaxOptions sax = sax_options;
   sax.numerosity_reduction = options.numerosity_reduction;
-  const std::vector<sax::SaxRecord> records =
-      sax::DiscretizeSlidingWindow(cls.values, sax);
-  const std::vector<grammar::MotifCandidate> motifs =
-      grammar::FindMotifCandidates(records, sax.window, cls.values.size(),
-                                   cls.boundaries, options.filter_junctions,
-                                   options.gi_algorithm);
+  // Parameter selection injects a TrainingCache so the discretization of
+  // this class series is shared across every SAX combo the search probes;
+  // the cached result is bit-identical to the direct call.
+  std::shared_ptr<const std::vector<sax::SaxRecord>> cached;
+  std::vector<sax::SaxRecord> local;
+  {
+    ScopedPhaseTimer timer(PhaseProfile::kDiscretization);
+    if (options.training_cache != nullptr) {
+      cached = options.training_cache->Discretize(cls.values, sax,
+                                                  options.num_threads);
+    } else {
+      local = sax::DiscretizeSlidingWindow(cls.values, sax);
+    }
+  }
+  const std::vector<sax::SaxRecord>& records = cached ? *cached : local;
+  std::vector<grammar::MotifCandidate> motifs;
+  {
+    ScopedPhaseTimer timer(PhaseProfile::kGrammar);
+    motifs = grammar::FindMotifCandidates(records, sax.window,
+                                          cls.values.size(), cls.boundaries,
+                                          options.filter_junctions,
+                                          options.gi_algorithm);
+  }
 
   const double min_size_d =
       options.gamma * static_cast<double>(cls.num_instances);
@@ -80,11 +100,16 @@ std::vector<PatternCandidate> FindClassCandidates(
       members.push_back(std::move(m));
     }
 
-    // Iterative 2-way splitting (30 % rule) into homogeneous groups.
-    const std::vector<std::vector<std::size_t>> groups =
-        cluster::IterativeSplit(members, options.split);
+    // Iterative 2-way splitting (30 % rule) into homogeneous groups. The
+    // split's pairwise matrix is kept and sliced below: the tau pooling
+    // and the medoid prototype read the distances the refinement already
+    // measured instead of re-deriving them per group.
+    ScopedPhaseTimer timer(PhaseProfile::kClustering);
+    const cluster::SplitResult split =
+        cluster::IterativeSplitWithMatrix(members, options.split);
+    const std::size_t all_n = members.size();
 
-    for (const auto& group : groups) {
+    for (const auto& group : split.groups) {
       if (group.size() < min_size) continue;  // Frequency requirement.
       std::vector<ts::Series> group_members;
       group_members.reserve(group.size());
@@ -98,19 +123,25 @@ std::vector<PatternCandidate> FindClassCandidates(
       cand.rule_id = motif.rule_id;
       cand.frequency = group.size();
       cand.instance_coverage = covered.size();
+      const std::size_t n = group_members.size();
       if (options.prototype == ClusterPrototype::kCentroid) {
         cand.values = cluster::Centroid(group_members);
         ts::ZNormalizeInPlace(cand.values);
       } else {
-        cand.values = group_members[cluster::MedoidIndex(group_members)];
+        std::vector<double> sub(n * n);
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            sub[i * n + j] = split.matrix[group[i] * all_n + group[j]];
+          }
+        }
+        cand.values =
+            group_members[cluster::MedoidIndexFromMatrix(sub, n)];
       }
       // Pairwise member distances feed the tau threshold (Section 3.2.3).
-      const std::vector<double> dist =
-          cluster::PairwiseDistanceMatrix(group_members);
-      const std::size_t n = group_members.size();
       for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = i + 1; j < n; ++j) {
-          cand.within_cluster_distances.push_back(dist[i * n + j]);
+          cand.within_cluster_distances.push_back(
+              split.matrix[group[i] * all_n + group[j]]);
         }
       }
       per_motif[mi].push_back(std::move(cand));

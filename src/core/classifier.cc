@@ -7,6 +7,7 @@
 
 #include "core/candidates.h"
 #include "core/distinct.h"
+#include "core/phase_profile.h"
 #include "core/transform.h"
 #include "ml/metrics.h"
 #include "ts/parallel.h"
@@ -34,7 +35,10 @@ void RpmClassifier::Train(const ts::Dataset& train) {
 
   // Stage 0: SAX parameters per class (Section 4).
   auto t0 = Clock::now();
-  ParameterSelectionResult params = SelectSaxParameters(train, options_);
+  ParameterSelectionResult params = [&] {
+    ScopedPhaseTimer timer(PhaseProfile::kSelection);
+    return SelectSaxParameters(train, options_);
+  }();
   sax_by_class_ = std::move(params.sax_by_class);
   combos_evaluated_ = params.combos_evaluated;
   report_.parameter_selection_seconds = seconds_since(t0);

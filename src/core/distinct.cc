@@ -63,26 +63,32 @@ std::vector<PatternCandidate> RemoveSimilarCandidates(
     as_haystack.emplace_back(c.values);
   }
   // Same pairwise rule as CandidateDistance, over the prebuilt contexts.
-  auto pair_distance = [&](std::size_t i, std::size_t j) {
+  // Only the `< tau` outcome matters here, so both branches run their
+  // tau-bounded variants: the unequal-length side asks the scan for mere
+  // existence of a sub-tau window (it stops at the first one instead of
+  // hunting for the minimum) and the equal-length distance abandons once
+  // its partial sum proves >= tau. Both decide identically to comparing
+  // the unbounded distance against tau.
+  auto pair_below = [&](std::size_t i, std::size_t j) {
     const std::size_t shorter = candidates[i].values.size() <=
                                         candidates[j].values.size()
                                     ? i
                                     : j;
     const std::size_t longer = shorter == i ? j : i;
     if (candidates[i].values.size() == candidates[j].values.size()) {
-      return distance::NormalizedEuclidean(candidates[i].values,
-                                           candidates[j].values);
+      return distance::NormalizedEuclideanBounded(candidates[i].values,
+                                                  candidates[j].values,
+                                                  tau) < tau;
     }
-    return distance::BatchedBestMatch(as_pattern[shorter],
-                                      as_haystack[longer])
-        .distance;
+    return distance::BatchedMatchBelow(as_pattern[shorter],
+                                       as_haystack[longer], tau);
   };
 
   std::vector<std::size_t> kept;
   for (std::size_t i = 0; i < k; ++i) {
     bool is_similar = false;
     for (std::size_t& kept_idx : kept) {
-      if (pair_distance(i, kept_idx) < tau) {
+      if (pair_below(i, kept_idx)) {
         // Keep whichever occurs more often in its concatenated series.
         if (candidates[kept_idx].frequency < candidates[i].frequency) {
           kept_idx = i;

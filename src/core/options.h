@@ -13,6 +13,8 @@
 
 namespace rpm::core {
 
+class TrainingCache;
+
 /// Cluster prototype choice (Algorithm 1, line 15: "an alternative is to
 /// use the medoid instead of centroid").
 enum class ClusterPrototype { kCentroid, kMedoid };
@@ -87,6 +89,17 @@ struct RpmOptions {
   /// transformation. Results are bit-identical for any value (work items
   /// are independent); 1 = fully sequential.
   std::size_t num_threads = 1;
+
+  /// Byte budget for the parameter-search discretization cache
+  /// (TrainingCache): DIRECT / grid probes share z-normalized window and
+  /// PAA matrices across SAX combos instead of rediscretizing. 0 disables
+  /// the cache. Cached and uncached runs are bit-identical.
+  std::size_t training_cache_bytes = std::size_t{256} << 20;
+
+  /// Non-owning cache injected by parameter selection into the inner
+  /// candidate-mining calls; leave null elsewhere (candidate mining falls
+  /// back to plain sax::DiscretizeSlidingWindow).
+  TrainingCache* training_cache = nullptr;
 };
 
 }  // namespace rpm::core

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <memory>
 
 #include "core/candidates.h"
+#include "core/phase_profile.h"
+#include "core/training_cache.h"
 #include "core/distinct.h"
 #include "core/transform.h"
 #include "ml/cross_validation.h"
@@ -47,7 +50,12 @@ sax::SaxOptions MakeSax(int window, int paa, int alphabet,
 class ComboEvaluator {
  public:
   ComboEvaluator(const ts::Dataset& train, const RpmOptions& options)
-      : train_(train), options_(options) {
+      : train_(train),
+        options_(options),
+        discretization_cache_(options.training_cache_bytes > 0
+                                  ? std::make_unique<TrainingCache>(
+                                        options.training_cache_bytes)
+                                  : nullptr) {
     // Fixed splits reused across combos keep comparisons apples-to-apples.
     ts::Rng rng(options.seed);
     for (std::size_t s = 0; s < std::max<std::size_t>(1, options.param_splits);
@@ -104,8 +112,12 @@ class ComboEvaluator {
     // Candidate mining inside a parallel split stays single-threaded:
     // the split level is the unit of parallelism here (nested regions
     // would run inline on the pool anyway, so this is also explicit).
+    // The shared discretization cache persists across every combo this
+    // evaluator probes — each split's class series discretizes once per
+    // (window, paa, alphabet) layer instead of once per probe.
     RpmOptions inner = options_;
     inner.num_threads = 1;
+    inner.training_cache = discretization_cache_.get();
     const std::vector<PatternCandidate> candidates =
         FindAllCandidates(sub_train, sax_by_class, inner);
     if (candidates.empty()) return {};  // Pruned: contributes 0.
@@ -124,6 +136,7 @@ class ComboEvaluator {
                               tv.size());
     const std::vector<int> folds = ml::StratifiedFolds(tv.y, k, fold_rng);
     std::vector<int> predicted(tv.size(), 0);
+    ScopedPhaseTimer timer(PhaseProfile::kSvm);
     for (std::size_t fold = 0; fold < k; ++fold) {
       std::vector<std::size_t> tr;
       std::vector<std::size_t> te;
@@ -144,6 +157,10 @@ class ComboEvaluator {
 
   const ts::Dataset& train_;
   const RpmOptions& options_;
+  /// Discretization artifacts shared across combos (null when disabled).
+  /// TrainingCache is internally synchronized, so the concurrent split
+  /// evaluations share it safely.
+  std::unique_ptr<TrainingCache> discretization_cache_;
   std::vector<std::pair<ts::Dataset, ts::Dataset>> splits_;
   std::map<std::array<int, 3>, std::map<int, double>> cache_;
 };

@@ -1,0 +1,52 @@
+#include "core/phase_profile.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace rpm::core {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Nanosecond counters: integer fetch_add keeps accumulation lock-free and
+// exact under concurrent workers (atomic<double> addition would need a
+// CAS loop and is not available pre-C++20 fetch_add anyway).
+std::array<std::atomic<std::int64_t>, PhaseProfile::kNumPhases> g_nanos{};
+
+constexpr const char* kNames[PhaseProfile::kNumPhases] = {
+    "discretization", "grammar", "clustering", "selection",
+    "transform",      "svm"};
+
+}  // namespace
+
+void PhaseProfile::Enable(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool PhaseProfile::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void PhaseProfile::Reset() {
+  for (auto& n : g_nanos) n.store(0, std::memory_order_relaxed);
+}
+
+void PhaseProfile::Add(Phase phase, double seconds) {
+  if (!enabled()) return;
+  const auto nanos = static_cast<std::int64_t>(seconds * 1e9);
+  g_nanos[phase].fetch_add(nanos, std::memory_order_relaxed);
+}
+
+std::array<double, PhaseProfile::kNumPhases> PhaseProfile::Totals() {
+  std::array<double, kNumPhases> out{};
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    out[i] =
+        static_cast<double>(g_nanos[i].load(std::memory_order_relaxed)) *
+        1e-9;
+  }
+  return out;
+}
+
+const char* PhaseProfile::Name(Phase phase) { return kNames[phase]; }
+
+}  // namespace rpm::core

@@ -1,0 +1,80 @@
+// Opt-in wall-clock accounting for the training-path phases (used by
+// bench/table2_runtime --profile). Disabled it is a single relaxed
+// atomic load per instrumented scope, so the pipeline keeps its normal
+// cost; enabled, each scope adds its elapsed nanoseconds to a global
+// per-phase counter with fetch_add, so instrumented code is free to run
+// inside ParallelFor workers.
+//
+// Phases are not disjoint: parameter selection (kSelection) internally
+// re-runs discretization, grammar inference, and clustering for every
+// combo x split it probes, and those nested scopes accrue into their own
+// counters as well. Readers should treat kSelection as the end-to-end
+// stage-0 time and the other counters as "total time spent in that kind
+// of work anywhere in training".
+
+#ifndef RPM_CORE_PHASE_PROFILE_H_
+#define RPM_CORE_PHASE_PROFILE_H_
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+
+namespace rpm::core {
+
+class PhaseProfile {
+ public:
+  enum Phase : std::size_t {
+    kDiscretization = 0,  // SAX sliding-window discretization
+    kGrammar,             // Sequitur/Re-Pair inference + motif extraction
+    kClustering,          // iterative 2-way splitting incl. the matrix
+    kSelection,           // stage 0: DIRECT SAX parameter selection
+    kTransform,           // pattern-to-feature transform (best-match scans)
+    kSvm,                 // SVM training/prediction (selection CV + final fit)
+    kNumPhases,
+  };
+
+  /// Enables or disables accumulation (process-wide). Off by default.
+  static void Enable(bool on);
+  static bool enabled();
+
+  /// Zeroes every per-phase counter.
+  static void Reset();
+
+  /// Adds `seconds` to a phase counter. No-op while disabled.
+  static void Add(Phase phase, double seconds);
+
+  /// Accumulated seconds per phase, indexed by Phase.
+  static std::array<double, kNumPhases> Totals();
+
+  /// Human-readable phase name ("discretization", ...).
+  static const char* Name(Phase phase);
+};
+
+/// RAII scope that charges its lifetime to a phase. The clock is only
+/// read when profiling is enabled at construction time.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(PhaseProfile::Phase phase)
+      : phase_(phase), armed_(PhaseProfile::enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedPhaseTimer() {
+    if (armed_) {
+      PhaseProfile::Add(
+          phase_, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+    }
+  }
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  PhaseProfile::Phase phase_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rpm::core
+
+#endif  // RPM_CORE_PHASE_PROFILE_H_

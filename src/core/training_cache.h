@@ -1,0 +1,104 @@
+// Cross-combo discretization cache for parameter selection (Section 4).
+// DIRECT / grid search probe hundreds of SAX triples against the same
+// per-split concatenated class series; without memoization every probe
+// repays the full sliding-window discretization. The cache stores the
+// three stages of sax::DiscretizeSlidingWindow at their natural sharing
+// granularity:
+//
+//   z-normalized window matrix   keyed (series, window)            —
+//       shared by every (paa_size, alphabet) pair at that window
+//   PAA row matrix               keyed (series, window, paa)       —
+//       shared by every alphabet at that (window, paa)
+//   numerosity-reduced records   keyed (series, window, paa, alphabet)
+//
+// Series are identified by content (length + FNV-1a over the raw bytes
+// + boundary values), so callers need no bookkeeping and identical
+// class series across calls share entries automatically. Entries are
+// evicted LRU once the byte budget is exceeded; values are handed out
+// as shared_ptr so eviction never invalidates a borrower. All methods
+// are thread-safe: stages are computed outside the lock, so concurrent
+// split evaluations never serialize on each other's discretization.
+//
+// Every lookup path reproduces sax::DiscretizeSlidingWindow bit for bit
+// (asserted by training_cache_test).
+
+#ifndef RPM_CORE_TRAINING_CACHE_H_
+#define RPM_CORE_TRAINING_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sax/sax.h"
+#include "ts/series.h"
+
+namespace rpm::core {
+
+class TrainingCache {
+ public:
+  /// `max_bytes` bounds the resident payload (matrix + record storage);
+  /// least-recently-used entries are dropped once it is exceeded.
+  explicit TrainingCache(std::size_t max_bytes = std::size_t{256} << 20)
+      : max_bytes_(max_bytes) {}
+
+  TrainingCache(const TrainingCache&) = delete;
+  TrainingCache& operator=(const TrainingCache&) = delete;
+
+  /// Drop-in replacement for sax::DiscretizeSlidingWindow that memoizes
+  /// all three stages. `num_threads` parallelizes stage computation on
+  /// cache misses (results are identical for any value).
+  std::shared_ptr<const std::vector<sax::SaxRecord>> Discretize(
+      ts::SeriesView series, const sax::SaxOptions& options,
+      std::size_t num_threads = 1);
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t bytes = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+  void Clear();
+
+ private:
+  struct Key {
+    std::uint64_t series = 0;  ///< content fingerprint of the series
+    std::uint32_t window = 0;
+    std::uint32_t paa = 0;       ///< 0 for the window-matrix stage
+    std::uint32_t alphabet = 0;  ///< 0 below the records stage
+    std::uint32_t flags = 0;     ///< bit0 znormalize, bit1 numerosity
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct Entry {
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+    std::list<Key>::iterator lru;
+  };
+
+  std::shared_ptr<const void> Find(const Key& key);
+  void Insert(const Key& key, std::shared_ptr<const void> value,
+              std::size_t bytes);
+
+  const std::size_t max_bytes_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::list<Key> lru_;  ///< front = most recent
+  std::size_t bytes_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace rpm::core
+
+#endif  // RPM_CORE_TRAINING_CACHE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/phase_profile.h"
 #include "distance/euclidean.h"
 #include "ts/parallel.h"
 #include "ts/resample.h"
@@ -102,6 +103,7 @@ std::vector<double> TransformEngine::Row(ts::SeriesView series) const {
 }
 
 ml::FeatureDataset TransformEngine::Apply(const ts::Dataset& data) const {
+  ScopedPhaseTimer timer(PhaseProfile::kTransform);
   ml::FeatureDataset out;
   out.x.resize(data.size());
   out.y.resize(data.size());

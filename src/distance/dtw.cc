@@ -48,22 +48,40 @@ Envelope MakeEnvelope(ts::SeriesView s, std::size_t window) {
   Envelope env;
   env.upper.resize(n);
   env.lower.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t lo = i >= window ? i - window : 0;
-    const std::size_t hi = std::min(n - 1, i + window);
-    double mx = s[lo];
-    double mn = s[lo];
-    for (std::size_t j = lo + 1; j <= hi; ++j) {
-      mx = std::max(mx, s[j]);
-      mn = std::min(mn, s[j]);
+  if (n == 0) return env;
+  const std::size_t w = std::min(window, n - 1);
+
+  // Lemire streaming max/min: each deque holds indices whose values are
+  // monotone from front to back, so the front is always the extremum of
+  // the current window. Every index enters and leaves each deque once —
+  // O(n) total regardless of w. The emitted values are selections from
+  // `s`, identical to the naive per-position scan.
+  std::vector<std::size_t> up(n);
+  std::vector<std::size_t> lo(n);
+  std::size_t up_head = 0;
+  std::size_t up_tail = 0;  // [head, tail) live region
+  std::size_t lo_head = 0;
+  std::size_t lo_tail = 0;
+  for (std::size_t i = 0; i < n + w; ++i) {
+    if (i < n) {
+      while (up_tail > up_head && s[up[up_tail - 1]] <= s[i]) --up_tail;
+      up[up_tail++] = i;
+      while (lo_tail > lo_head && s[lo[lo_tail - 1]] >= s[i]) --lo_tail;
+      lo[lo_tail++] = i;
     }
-    env.upper[i] = mx;
-    env.lower[i] = mn;
+    if (i >= w) {
+      const std::size_t p = i - w;  // window is [p - w, p + w]
+      while (up[up_head] + w < p) ++up_head;
+      while (lo[lo_head] + w < p) ++lo_head;
+      env.upper[p] = s[up[up_head]];
+      env.lower[p] = s[lo[lo_head]];
+    }
   }
   return env;
 }
 
-double LbKeogh(ts::SeriesView query, const Envelope& candidate_envelope) {
+double LbKeoghSquared(ts::SeriesView query,
+                      const Envelope& candidate_envelope) {
   double acc = 0.0;
   const std::size_t n =
       std::min(query.size(), candidate_envelope.upper.size());
@@ -77,7 +95,43 @@ double LbKeogh(ts::SeriesView query, const Envelope& candidate_envelope) {
       acc += d * d;
     }
   }
-  return std::sqrt(acc);
+  return acc;
+}
+
+double LbKeogh(ts::SeriesView query, const Envelope& candidate_envelope) {
+  return std::sqrt(LbKeoghSquared(query, candidate_envelope));
+}
+
+double EndpointLowerBoundSquared(ts::SeriesView a, ts::SeriesView b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const double d0 = a.front() - b.front();
+  const double d1 = a.back() - b.back();
+  if (a.size() == 1 && b.size() == 1) return d0 * d0;  // same cell
+  return d0 * d0 + d1 * d1;
+}
+
+double DtwCascade(ts::SeriesView a, ts::SeriesView b,
+                  const Envelope* a_envelope, const Envelope* b_envelope,
+                  std::size_t window, double cutoff) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (!std::isinf(cutoff) && !a.empty() && !b.empty()) {
+    // All pruning decisions compare sqrt(bound^2) against the cutoff —
+    // the exact quantity the final Dtw value is expressed in — so a
+    // candidate is dropped only when DTW >= cutoff provably holds and a
+    // best-so-far search stays decision-identical to full DTW.
+    if (std::sqrt(EndpointLowerBoundSquared(a, b)) >= cutoff) return kInf;
+    if (a.size() == b.size()) {
+      if (b_envelope != nullptr &&
+          std::sqrt(LbKeoghSquared(a, *b_envelope)) >= cutoff) {
+        return kInf;
+      }
+      if (a_envelope != nullptr &&
+          std::sqrt(LbKeoghSquared(b, *a_envelope)) >= cutoff) {
+        return kInf;
+      }
+    }
+  }
+  return Dtw(a, b, window, cutoff);
 }
 
 }  // namespace rpm::distance

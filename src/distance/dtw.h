@@ -1,7 +1,16 @@
 // Dynamic Time Warping with an optional Sakoe-Chiba band, plus the
-// LB_Keogh lower bound. Substrate of the NN-DTWB baseline (Table 1):
-// "DTW with the best warping window" searches band widths on the training
-// set; LB_Keogh + early abandoning keep the search tractable.
+// UCR-suite lower-bound cascade (Rakthanmanon et al., KDD 2012):
+// O(1) endpoint bound -> LB_Keogh(query, candidate) -> LB_Keogh
+// reversed -> early-abandoning banded DTW. Substrate of the NN-DTWB
+// baseline (Table 1): "DTW with the best warping window" searches band
+// widths on the training set; the cascade keeps both the LOOCV search
+// and classification tractable.
+//
+// Every bound is checked against the caller's best-so-far in sqrt space,
+// and a candidate is skipped only when a bound proves DTW >= cutoff — so
+// a nearest-neighbor search through DtwCascade returns bit-identical
+// neighbors and distances to one running full DTW (asserted by
+// dtw_cascade_test).
 
 #ifndef RPM_DISTANCE_DTW_H_
 #define RPM_DISTANCE_DTW_H_
@@ -27,6 +36,9 @@ double Dtw(ts::SeriesView a, ts::SeriesView b,
 
 /// Upper/lower envelope of `s` for a band half-width `window`
 /// (Keogh & Ratanamahatana 2005). upper[i] = max(s[i-w..i+w]).
+/// Computed with Lemire's monotonic-deque streaming max/min in O(n)
+/// independent of the window; values are exact selections from `s`, so
+/// the result matches the naive per-position scan bit for bit.
 struct Envelope {
   ts::Series upper;
   ts::Series lower;
@@ -35,8 +47,31 @@ Envelope MakeEnvelope(ts::SeriesView s, std::size_t window);
 
 /// LB_Keogh lower bound of DTW(query, candidate) given the candidate's
 /// precomputed envelope. Requires equal lengths; returns the sqrt of the
-/// accumulated squared out-of-envelope mass.
+/// accumulated squared out-of-envelope mass. The envelope must have been
+/// built with a window >= the DTW band for the bound to hold.
 double LbKeogh(ts::SeriesView query, const Envelope& candidate_envelope);
+
+/// Squared-space LB_Keogh (no final sqrt); same accumulation order.
+double LbKeoghSquared(ts::SeriesView query,
+                      const Envelope& candidate_envelope);
+
+/// O(1) lower bound on DTW(a, b)^2 from the band-independent endpoint
+/// alignments: any warping path matches a.front() with b.front() and
+/// a.back() with b.back() (the two coincide when both series have one
+/// point, in which case the larger single term is used).
+double EndpointLowerBoundSquared(ts::SeriesView a, ts::SeriesView b);
+
+/// LB-cascaded DTW: runs the endpoint bound, then LB_Keogh in both
+/// directions (when the matching envelope is supplied and lengths are
+/// equal), and falls through to early-abandoning banded DTW. Returns
+/// +inf as soon as any bound proves DTW(a, b) >= cutoff; otherwise the
+/// exact Dtw(a, b, window, cutoff) value. Either envelope pointer may be
+/// null to skip that direction; envelopes must have been built with
+/// `window`.
+double DtwCascade(ts::SeriesView a, ts::SeriesView b,
+                  const Envelope* a_envelope, const Envelope* b_envelope,
+                  std::size_t window,
+                  double cutoff = std::numeric_limits<double>::infinity());
 
 }  // namespace rpm::distance
 

@@ -39,6 +39,28 @@ double NormalizedEuclidean(ts::SeriesView a, ts::SeriesView b) {
                    static_cast<double>(a.size()));
 }
 
+double NormalizedEuclideanBounded(ts::SeriesView a, ts::SeriesView b,
+                                  double cutoff) {
+  if (a.empty()) return 0.0;
+  const double n = static_cast<double>(a.size());
+  double acc = 0.0;
+  std::size_t i = 0;
+  for (std::size_t block = 16; i < a.size();) {
+    const std::size_t stop = std::min(a.size(), i + block);
+    for (; i < stop; ++i) {
+      const double d = a[i] - b[i];
+      acc += d * d;
+    }
+    // The partial sum is a floating-point-monotone lower bound of the
+    // final sum, and sqrt/divide preserve ordering, so this check can
+    // only fire when the unbounded result would be >= cutoff.
+    if (std::sqrt(acc / n) >= cutoff) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  return std::sqrt(acc / n);
+}
+
 BestMatch FindBestMatch(ts::SeriesView pattern, ts::SeriesView haystack) {
   // Thin wrapper over the batched kernel: the contexts are rebuilt per
   // call, which is exactly the redundant work BatchMatcher amortizes —

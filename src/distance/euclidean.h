@@ -30,6 +30,15 @@ double SquaredEuclideanEarlyAbandon(ts::SeriesView a, ts::SeriesView b,
 /// needs because representative patterns vary in length.
 double NormalizedEuclidean(ts::SeriesView a, ts::SeriesView b);
 
+/// NormalizedEuclidean for callers that only act on values strictly below
+/// `cutoff`: abandons and returns +inf once the partial sum alone proves
+/// the result >= cutoff. The accumulation order matches
+/// NormalizedEuclidean and partial sums of non-negative terms are
+/// monotone in floating point, so `result < cutoff` decides identically
+/// to the unbounded form, and any finite return value is bit-identical.
+double NormalizedEuclideanBounded(ts::SeriesView a, ts::SeriesView b,
+                                  double cutoff);
+
 /// Result of a best-match scan.
 struct BestMatch {
   /// Start offset of the closest window in the haystack; npos when the

@@ -7,6 +7,10 @@
 #if defined(__SSE2__)
 #include <emmintrin.h>
 #endif
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define RPM_DOT_AVX2_DISPATCH 1
+#endif
 
 #include "ts/znorm.h"
 
@@ -14,12 +18,13 @@ namespace rpm::distance {
 namespace {
 
 // Dot product with four fixed partial sums combined as
-// (s0 + s1) + (s2 + s3): the association is spelled out, so the scalar
-// and SSE2 paths produce bit-identical results (the compiler cannot
-// reassociate a strict FP reduction itself, which also means the scalar
-// loop would otherwise serialize on the single accumulator's add
-// latency).
-inline double Dot(const double* a, const double* b, std::size_t n) {
+// (s0 + s1) + (s2 + s3): the association is spelled out, so the scalar,
+// SSE2, and AVX2 paths produce bit-identical results (the compiler
+// cannot reassociate a strict FP reduction itself, which also means the
+// scalar loop would otherwise serialize on the single accumulator's add
+// latency). Element i mod 4 always accumulates into partial sum s(i mod
+// 4), whichever path runs.
+inline double DotBase(const double* a, const double* b, std::size_t n) {
 #if defined(__SSE2__)
   __m128d va = _mm_setzero_pd();  // lanes {s0, s1}
   __m128d vb = _mm_setzero_pd();  // lanes {s2, s3}
@@ -52,6 +57,49 @@ inline double Dot(const double* a, const double* b, std::size_t n) {
 #endif
 }
 
+#if defined(RPM_DOT_AVX2_DISPATCH)
+// One ymm register holds the same four partial sums {s0, s1, s2, s3}, so
+// the per-lane accumulation and the final combine are identical to the
+// base path — only the instruction count halves. Explicit mul-then-add
+// intrinsics (never FMA, which rounds once instead of twice) keep every
+// intermediate bit-identical. The target attribute compiles this one
+// function for AVX2 while the rest of the build stays baseline x86-64;
+// callers dispatch on a one-time cpuid check.
+// always_inline keeps the AVX2 scan free of per-window call overhead
+// (the scan runs this tens of millions of times); legal because every
+// direct caller is itself compiled for AVX2.
+__attribute__((target("avx2"), always_inline)) inline double DotAvx2Impl(
+    const double* a, const double* b, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();  // lanes {s0, s1, s2, s3}
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  alignas(32) double s[4];
+  _mm256_store_pd(s, acc);
+  for (; i < n; ++i) s[0] += a[i] * b[i];
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+// Out-of-line wrapper for the baseline-ISA dispatcher, which cannot
+// inline AVX2 code into itself.
+__attribute__((target("avx2"))) double DotAvx2(const double* a,
+                                               const double* b,
+                                               std::size_t n) {
+  return DotAvx2Impl(a, b, n);
+}
+
+const bool kHaveAvx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+
+inline double Dot(const double* a, const double* b, std::size_t n) {
+#if defined(RPM_DOT_AVX2_DISPATCH)
+  if (kHaveAvx2) return DotAvx2(a, b, n);
+#endif
+  return DotBase(a, b, n);
+}
+
 }  // namespace
 
 PatternContext::PatternContext(ts::SeriesView pattern)
@@ -63,17 +111,6 @@ PatternContext::PatternContext(ts::SeriesView pattern)
     sum += v;
     sum_sq += v * v;
   }
-  order.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    order[i] = static_cast<std::uint32_t>(i);
-  }
-  // Largest-|z| points first: against a z-normalized window they
-  // contribute the biggest squared terms, so the early-abandon sum
-  // crosses the best-so-far threshold soonest (UCR-suite reordering).
-  std::sort(order.begin(), order.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              return std::abs(values[a]) > std::abs(values[b]);
-            });
 }
 
 SeriesContext::SeriesContext(ts::SeriesView series) : data_(series) {
@@ -107,8 +144,154 @@ void SeriesContext::WindowMoments(std::size_t pos, std::size_t len,
   *inv_sigma = sigma < ts::kFlatThreshold ? 1.0 : 1.0 / sigma;
 }
 
-BestMatch BatchedBestMatch(const PatternContext& pattern,
-                           const SeriesContext& series) {
+namespace {
+
+#if defined(RPM_DOT_AVX2_DISPATCH)
+// AVX2 variant of the scan body for n >= 2: window moments and the
+// endpoint lower bound are computed for four consecutive positions per
+// iteration. Per-lane arithmetic applies exactly the operations of the
+// scalar loop in the same order (explicit mul/add/sub/sqrt intrinsics,
+// never FMA), so every lane value is bit-identical to what the scalar
+// code computes for that position. The vector prune uses the best-so-far
+// as of the block start — a threshold at least as permissive as the
+// scalar loop's running one — and every surviving lane is re-gated with
+// the scalar rule (`lb >= best_sq * sig2` with the *current* best)
+// before its dot product, so the sequence of best-updates, and hence the
+// result, is identical to the scalar scan by induction.
+__attribute__((target("avx2"))) BestMatch BestMatchScanAvx2(
+    const PatternContext& pattern, const SeriesContext& series,
+    double seed_sq, bool first_hit) {
+  BestMatch best;
+  const std::size_t n = pattern.size();
+  const std::size_t m = series.size();
+
+  const double* hay = series.data().data();
+  const double* prefix = series.PrefixData();
+  const double* prefix_sq = series.PrefixSqData();
+  const double* pat = pattern.values.data();
+  const double nd = static_cast<double>(n);
+  const double inv_n = pattern.inv_n;
+  const double p_first = pat[0];
+  const double p_last = pat[n - 1];
+  const double sum_p = pattern.sum;
+  const double psq = pattern.sum_sq;
+  double best_sq = seed_sq;
+
+  const __m256d vinv_n = _mm256_set1_pd(inv_n);
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vflat = _mm256_set1_pd(ts::kFlatThreshold);
+  const __m256d vp_first = _mm256_set1_pd(p_first);
+  const __m256d vp_last = _mm256_set1_pd(p_last);
+
+  std::size_t pos = 0;
+  for (; pos + 3 + n <= m; pos += 4) {
+    // Moments for positions pos..pos+3: consecutive windows read
+    // consecutive prefix entries, so the loads are plain unaligned loads.
+    const __m256d vsum = _mm256_sub_pd(_mm256_loadu_pd(prefix + pos + n),
+                                       _mm256_loadu_pd(prefix + pos));
+    const __m256d vsum_sq =
+        _mm256_sub_pd(_mm256_loadu_pd(prefix_sq + pos + n),
+                      _mm256_loadu_pd(prefix_sq + pos));
+    const __m256d vmu = _mm256_mul_pd(vsum, vinv_n);
+    const __m256d vvar = _mm256_max_pd(
+        vzero, _mm256_sub_pd(_mm256_mul_pd(vsum_sq, vinv_n),
+                             _mm256_mul_pd(vmu, vmu)));
+    __m256d vsigma = _mm256_sqrt_pd(vvar);
+    // Flat-window rule per lane: sigma < threshold -> 1.0.
+    vsigma = _mm256_blendv_pd(vsigma, vone,
+                              _mm256_cmp_pd(vsigma, vflat, _CMP_LT_OQ));
+    const __m256d vsig2 = _mm256_mul_pd(vsigma, vsigma);
+    const __m256d vthresh = _mm256_mul_pd(_mm256_set1_pd(best_sq), vsig2);
+
+    const __m256d vd_first = _mm256_sub_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(hay + pos), vmu),
+        _mm256_mul_pd(vp_first, vsigma));
+    __m256d vlb = _mm256_mul_pd(vd_first, vd_first);
+    const __m256d vd_last = _mm256_sub_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(hay + pos + n - 1), vmu),
+        _mm256_mul_pd(vp_last, vsigma));
+    vlb = _mm256_add_pd(vlb, _mm256_mul_pd(vd_last, vd_last));
+
+    const int keep = _mm256_movemask_pd(
+        _mm256_cmp_pd(vlb, vthresh, _CMP_LT_OQ));
+    if (keep == 0) continue;  // Whole block pruned — the common case.
+
+    alignas(32) double mu_l[4];
+    alignas(32) double sigma_l[4];
+    alignas(32) double sig2_l[4];
+    alignas(32) double sum_sq_l[4];
+    alignas(32) double lb_l[4];
+    _mm256_store_pd(mu_l, vmu);
+    _mm256_store_pd(sigma_l, vsigma);
+    _mm256_store_pd(sig2_l, vsig2);
+    _mm256_store_pd(sum_sq_l, vsum_sq);
+    _mm256_store_pd(lb_l, vlb);
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((keep & (1 << lane)) == 0) continue;
+      // Scalar re-gate with the *current* best: the vector mask was
+      // computed against the block-start best, which may have improved.
+      if (lb_l[lane] >= best_sq * sig2_l[lane]) continue;
+      const std::size_t p = pos + static_cast<std::size_t>(lane);
+      const double dot = DotAvx2Impl(hay + p, pat, n);
+      const double csq =
+          std::max(0.0, sum_sq_l[lane] - nd * mu_l[lane] * mu_l[lane]);
+      const double d2s = std::max(
+          0.0, csq - 2.0 * sigma_l[lane] * (dot - mu_l[lane] * sum_p) +
+                   psq * sig2_l[lane]);
+      if (d2s < best_sq * sig2_l[lane]) {
+        best_sq = d2s / sig2_l[lane];
+        best.position = p;
+        if (first_hit) {
+          best.distance = std::sqrt(best_sq * inv_n);
+          return best;
+        }
+      }
+    }
+  }
+
+  // Scalar tail: the last < 4 positions, same code as the scalar scan.
+  for (; pos + n <= m; ++pos) {
+    const double sum = series.WindowSum(pos, n);
+    const double sum_sq = series.WindowSumSq(pos, n);
+    const double mu = sum * inv_n;
+    const double var = std::max(0.0, sum_sq * inv_n - mu * mu);
+    double sigma = std::sqrt(var);
+    if (sigma < ts::kFlatThreshold) sigma = 1.0;
+    const double sig2 = sigma * sigma;
+    const double thresh = best_sq * sig2;
+    const double d_first = (hay[pos] - mu) - p_first * sigma;
+    double lb = d_first * d_first;
+    const double d_last = (hay[pos + n - 1] - mu) - p_last * sigma;
+    lb += d_last * d_last;
+    if (lb >= thresh) continue;
+    const double dot = Dot(hay + pos, pat, n);
+    const double csq = std::max(0.0, sum_sq - nd * mu * mu);
+    const double d2s = std::max(
+        0.0, csq - 2.0 * sigma * (dot - mu * sum_p) + psq * sig2);
+    if (d2s < thresh) {
+      best_sq = d2s / sig2;
+      best.position = pos;
+      if (first_hit) break;
+    }
+  }
+  if (best.position != BestMatch::npos) {
+    best.distance = std::sqrt(best_sq * inv_n);
+  }
+  return best;
+}
+#endif  // RPM_DOT_AVX2_DISPATCH
+
+// Shared scan for the plain and cutoff-seeded entry points. `seed_sq` is
+// the initial best-so-far in length-scaled squared space (n * distance^2);
+// +inf reproduces the exhaustive scan. Returns the sentinel when no
+// window improved on the seed. With `first_hit` the scan returns at the
+// first window that improves on the seed — only meaningful together
+// with a finite seed, for callers that test existence rather than read
+// the minimum.
+BestMatch BestMatchScan(const PatternContext& pattern,
+                        const SeriesContext& series, double seed_sq,
+                        bool first_hit = false) {
   BestMatch best;  // Explicit sentinel: npos position, infinite distance.
   const std::size_t n = pattern.size();
   if (n == 0 || series.size() < n) return best;
@@ -116,11 +299,18 @@ BestMatch BatchedBestMatch(const PatternContext& pattern,
     // Every single-point window is exactly flat (z-value 0), so all
     // positions tie at distance |p| and the first window wins — going
     // through the prefix sums would instead see cancellation noise.
-    best.position = 0;
     const double p = pattern.values[0];
+    if (!(p * p < seed_sq)) return best;
+    best.position = 0;
     best.distance = std::sqrt(p * p * pattern.inv_n);
     return best;
   }
+#if defined(RPM_DOT_AVX2_DISPATCH)
+  // Bit-identical AVX2 body (see BestMatchScanAvx2); n >= 2 holds here.
+  if (kHaveAvx2) {
+    return BestMatchScanAvx2(pattern, series, seed_sq, first_hit);
+  }
+#endif
 
   const double* hay = series.data().data();
   const double* pat = pattern.values.data();
@@ -130,7 +320,7 @@ BestMatch BatchedBestMatch(const PatternContext& pattern,
   const double p_last = pat[n - 1];
   const double sum_p = pattern.sum;
   const double psq = pattern.sum_sq;
-  double best_sq = std::numeric_limits<double>::infinity();
+  double best_sq = seed_sq;
 
   for (std::size_t pos = 0; pos + n <= series.size(); ++pos) {
     const double sum = series.WindowSum(pos, n);
@@ -172,10 +362,48 @@ BestMatch BatchedBestMatch(const PatternContext& pattern,
     if (d2s < thresh) {
       best_sq = d2s / sig2;
       best.position = pos;
+      if (first_hit) break;
     }
   }
-  best.distance = std::sqrt(best_sq * inv_n);
+  if (best.position != BestMatch::npos) {
+    best.distance = std::sqrt(best_sq * inv_n);
+  }
   return best;
+}
+
+}  // namespace
+
+BestMatch BatchedBestMatch(const PatternContext& pattern,
+                           const SeriesContext& series) {
+  return BestMatchScan(pattern, series,
+                       std::numeric_limits<double>::infinity());
+}
+
+BestMatch BatchedBestMatch(const PatternContext& pattern,
+                           const SeriesContext& series, double cutoff) {
+  if (std::isinf(cutoff)) return BestMatchScan(pattern, series, cutoff);
+  // Seed in the scan's length-scaled squared space: distance < cutoff
+  // iff n * distance^2 < n * cutoff^2 (the scan compares the exact same
+  // accumulated quantity), so only provably-not-better windows are
+  // skipped.
+  const double seed_sq =
+      cutoff * cutoff * static_cast<double>(pattern.size());
+  return BestMatchScan(pattern, series, seed_sq);
+}
+
+bool BatchedMatchBelow(const PatternContext& pattern,
+                       const SeriesContext& series, double cutoff) {
+  if (std::isinf(cutoff)) {
+    return BestMatchScan(pattern, series, cutoff).position !=
+           BestMatch::npos;
+  }
+  // A window improves on the cutoff seed iff its distance is < cutoff,
+  // so the first improvement already decides the predicate — no need to
+  // keep scanning for the minimum like the seeded best-match does.
+  const double seed_sq =
+      cutoff * cutoff * static_cast<double>(pattern.size());
+  return BestMatchScan(pattern, series, seed_sq, /*first_hit=*/true)
+             .position != BestMatch::npos;
 }
 
 BatchMatcher::BatchMatcher(const std::vector<ts::Series>& patterns) {

@@ -10,9 +10,10 @@
 // split — so the redundant work dominates end-to-end runtime.
 //
 // This engine splits the state by lifetime:
-//  * PatternContext — the z-normalized pattern, its sort order, and its
+//  * PatternContext — the z-normalized pattern, its moments, and its
 //    end-point values, computed once per pattern and reused against every
-//    series.
+//    series. (The closed-form kernel never walks points in sorted order,
+//    so no per-pattern sort exists anywhere anymore.)
 //  * SeriesContext — prefix-sum / prefix-sum-of-squares arrays over the
 //    haystack, so the mean and stddev of *any* window of *any* length
 //    come from two O(1) lookups; built once per series and shared by all
@@ -51,10 +52,6 @@ struct PatternContext {
 
   /// The (z-normalized) pattern values.
   ts::Series values;
-  /// Indices sorted by |value| descending — the UCR-suite early-abandon
-  /// order, computed once instead of per call. The closed-form kernel
-  /// only falls back to it for the ordered refinement scan.
-  std::vector<std::uint32_t> order;
   /// 1 / |pattern| (0 when empty), for length normalization.
   double inv_n = 0.0;
   /// Sum and sum of squares of the pattern values (for a z-normalized
@@ -90,6 +87,11 @@ class SeriesContext {
     return prefix_sq_[pos + len] - prefix_sq_[pos];
   }
 
+  /// Raw prefix arrays (size() + 1 entries each) for kernels that batch
+  /// window-moment computation across consecutive positions.
+  const double* PrefixData() const { return prefix_.data(); }
+  const double* PrefixSqData() const { return prefix_sq_.data(); }
+
  private:
   ts::SeriesView data_;
   std::vector<double> prefix_;     // prefix_[i] = sum of data[0..i)
@@ -104,6 +106,25 @@ class SeriesContext {
 /// not rely on pre-checking sizes.
 BestMatch BatchedBestMatch(const PatternContext& pattern,
                            const SeriesContext& series);
+
+/// Cutoff-seeded variant for callers that only act on matches strictly
+/// below `cutoff` (e.g. the tau test of similar-candidate removal): the
+/// scan starts with best-so-far = cutoff, so the end-point lower bound
+/// prunes windows that cannot beat it without running their dot product.
+/// Returns the exact best match when its distance is below the cutoff,
+/// and the unfound sentinel (npos, +inf) otherwise — so `result.distance
+/// < cutoff` decides identically to the unseeded scan.
+BestMatch BatchedBestMatch(const PatternContext& pattern,
+                           const SeriesContext& series, double cutoff);
+
+/// Existence test: true iff the closest match of `pattern` in `series`
+/// is strictly below `cutoff`. Decides identically to
+/// `BatchedBestMatch(pattern, series).distance < cutoff`, but stops at
+/// the first window proven below the cutoff instead of scanning on for
+/// the minimum — the right primitive for threshold tests that never
+/// read the distance itself.
+bool BatchedMatchBelow(const PatternContext& pattern,
+                       const SeriesContext& series, double cutoff);
 
 /// A set of pattern contexts built once and matched against many series.
 class BatchMatcher {

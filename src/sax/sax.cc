@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <map>
+#include <cstdint>
 #include <mutex>
 #include <stdexcept>
 
+#include "ts/parallel.h"
 #include "ts/znorm.h"
 
 namespace rpm::sax {
@@ -61,17 +62,23 @@ const std::vector<double>& GaussianBreakpoints(int alphabet) {
     throw std::invalid_argument("SAX alphabet size must be in [2, 26], got " +
                                 std::to_string(alphabet));
   }
-  static std::map<int, std::vector<double>> cache;
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(alphabet);
-  if (it != cache.end()) return it->second;
-  std::vector<double> bps(static_cast<std::size_t>(alphabet) - 1);
-  for (int i = 1; i < alphabet; ++i) {
-    bps[static_cast<std::size_t>(i) - 1] =
-        InverseNormalCdf(static_cast<double>(i) / alphabet);
-  }
-  return cache.emplace(alphabet, std::move(bps)).first->second;
+  // One fixed slot per legal alphabet size, initialized once: after the
+  // first call for a size, lookups are a lock-free array index (callers
+  // like the symbol-binning loops hit this once per word, so a mutex +
+  // map here used to show up in profiles).
+  static std::array<std::vector<double>, kMaxAlphabet - kMinAlphabet + 1>
+      cache;
+  static std::array<std::once_flag, kMaxAlphabet - kMinAlphabet + 1> once;
+  const auto slot = static_cast<std::size_t>(alphabet - kMinAlphabet);
+  std::call_once(once[slot], [&] {
+    std::vector<double> bps(static_cast<std::size_t>(alphabet) - 1);
+    for (int i = 1; i < alphabet; ++i) {
+      bps[static_cast<std::size_t>(i) - 1] =
+          InverseNormalCdf(static_cast<double>(i) / alphabet);
+    }
+    cache[slot] = std::move(bps);
+  });
+  return cache[slot];
 }
 
 ts::Series Paa(ts::SeriesView values, std::size_t segments) {
@@ -110,18 +117,29 @@ ts::Series Paa(ts::SeriesView values, std::size_t segments) {
   return out;
 }
 
-char Symbol(double value, int alphabet) {
-  const auto& bps = GaussianBreakpoints(alphabet);
+namespace {
+
+// Symbol binning against an already-fetched breakpoint table; the loops
+// below hoist the table fetch out of their per-value iterations.
+inline char SymbolFromBreakpoints(double value,
+                                  const std::vector<double>& bps) {
   const auto it = std::upper_bound(bps.begin(), bps.end(), value);
   return static_cast<char>('a' + (it - bps.begin()));
+}
+
+}  // namespace
+
+char Symbol(double value, int alphabet) {
+  return SymbolFromBreakpoints(value, GaussianBreakpoints(alphabet));
 }
 
 std::string SaxWord(ts::SeriesView znormed, std::size_t paa_size,
                     int alphabet) {
   const ts::Series paa = Paa(znormed, paa_size);
+  const auto& bps = GaussianBreakpoints(alphabet);
   std::string word(paa_size, 'a');
   for (std::size_t i = 0; i < paa_size; ++i) {
-    word[i] = Symbol(paa[i], alphabet);
+    word[i] = SymbolFromBreakpoints(paa[i], bps);
   }
   return word;
 }
@@ -148,6 +166,148 @@ std::vector<SaxRecord> DiscretizeSlidingWindow(ts::SeriesView series,
       continue;  // Record only the first of a run of identical words.
     }
     out.push_back(SaxRecord{std::move(word), pos});
+  }
+  return out;
+}
+
+WindowMatrix SlidingWindows(ts::SeriesView series, std::size_t window,
+                            bool znormalize, std::size_t num_threads) {
+  WindowMatrix out;
+  out.window = window;
+  if (window == 0 || series.size() < window) return out;
+  out.count = series.size() - window + 1;
+  out.data.resize(out.count * window);
+  ts::ParallelFor(out.count, num_threads, [&](std::size_t pos) {
+    double* row = out.data.data() + pos * window;
+    const double* src = series.data() + pos;
+    if (!znormalize) {
+      std::copy_n(src, window, row);
+      return;
+    }
+    // Same flat-window rule and accumulation order as ZNormalizeInPlace,
+    // with the mean pass shared between the mean and stddev. The moments
+    // are read straight off the source window (identical values in
+    // identical order), so the row is written exactly once — normalized —
+    // instead of copy-then-normalize-in-place.
+    const ts::SeriesView view(src, window);
+    const double mu = ts::Mean(view);
+    const double sigma = ts::StdDev(view, mu);
+    if (sigma < ts::kFlatThreshold) {
+      for (std::size_t i = 0; i < window; ++i) row[i] = src[i] - mu;
+      return;
+    }
+    for (std::size_t i = 0; i < window; ++i) row[i] = (src[i] - mu) / sigma;
+  });
+  return out;
+}
+
+namespace {
+
+// Precomputed point -> segment coverage for the fractional-boundary PAA
+// (the `segments < n` branch of Paa). The overlap weights depend only on
+// (n, segments), so PaaRows builds them once and shares the read-only
+// plan across every window row instead of re-deriving the divisions and
+// boundary tests per row. The build mirrors Paa's loop expressions
+// exactly and PaaApply accumulates contributions in the same (j outer,
+// segment inner) order, so the per-row output is bit-identical to Paa.
+struct PaaPlan {
+  std::vector<std::size_t> first;    // per point: first covered segment
+  std::vector<std::size_t> count;    // per point: covered segment count
+  std::vector<std::size_t> offset;   // per point: start into `overlap`
+  std::vector<double> overlap;       // concatenated coverage weights
+  std::vector<double> weight;        // per segment: total coverage
+};
+
+PaaPlan BuildPaaPlan(std::size_t n, std::size_t segments) {
+  PaaPlan plan;
+  plan.first.resize(n);
+  plan.count.resize(n);
+  plan.offset.resize(n);
+  plan.weight.assign(segments, 0.0);
+  const double seg_width = static_cast<double>(n) / segments;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lo = static_cast<double>(j);
+    const double hi = lo + 1.0;
+    auto first = static_cast<std::size_t>(lo / seg_width);
+    first = std::min(first, segments - 1);
+    plan.first[j] = first;
+    plan.offset[j] = plan.overlap.size();
+    std::size_t covered = 0;
+    for (std::size_t s = first; s < segments; ++s) {
+      const double seg_lo = s * seg_width;
+      const double seg_hi = seg_lo + seg_width;
+      const double overlap = std::min(hi, seg_hi) - std::max(lo, seg_lo);
+      if (overlap <= 0.0) break;
+      plan.overlap.push_back(overlap);
+      plan.weight[s] += overlap;
+      ++covered;
+    }
+    plan.count[j] = covered;
+  }
+  return plan;
+}
+
+void PaaApply(ts::SeriesView values, std::size_t segments,
+              const PaaPlan& plan, double* out) {
+  std::fill_n(out, segments, 0.0);
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    const double v = values[j];
+    const double* ov = plan.overlap.data() + plan.offset[j];
+    std::size_t s = plan.first[j];
+    for (std::size_t c = 0; c < plan.count[j]; ++c, ++s) {
+      out[s] += v * ov[c];
+    }
+  }
+  for (std::size_t s = 0; s < segments; ++s) {
+    if (plan.weight[s] > 0.0) out[s] /= plan.weight[s];
+  }
+}
+
+}  // namespace
+
+PaaMatrix PaaRows(const WindowMatrix& windows, std::size_t paa_size,
+                  std::size_t num_threads) {
+  PaaMatrix out;
+  out.paa_size = paa_size;
+  out.count = windows.count;
+  out.data.resize(out.count * paa_size);  // Value-initialized to 0.0.
+  const std::size_t n = windows.window;
+  if (out.count == 0 || paa_size == 0 || n == 0) return out;
+  if (paa_size >= n) {
+    // Upsample branch of Paa: each output point takes the covering input
+    // point; nothing to precompute.
+    ts::ParallelFor(out.count, num_threads, [&](std::size_t i) {
+      const ts::SeriesView row = windows.Row(i);
+      double* dst = out.data.data() + i * paa_size;
+      for (std::size_t s = 0; s < paa_size; ++s) {
+        dst[s] = row[s * n / paa_size];
+      }
+    });
+    return out;
+  }
+  const PaaPlan plan = BuildPaaPlan(n, paa_size);
+  ts::ParallelFor(out.count, num_threads, [&](std::size_t i) {
+    PaaApply(windows.Row(i), paa_size, plan,
+             out.data.data() + i * paa_size);
+  });
+  return out;
+}
+
+std::vector<SaxRecord> RecordsFromPaa(const PaaMatrix& paa, int alphabet,
+                                      bool numerosity_reduction) {
+  std::vector<SaxRecord> out;
+  out.reserve(paa.count);
+  const auto& bps = GaussianBreakpoints(alphabet);
+  std::string word(paa.paa_size, 'a');
+  for (std::size_t i = 0; i < paa.count; ++i) {
+    const ts::SeriesView row = paa.Row(i);
+    for (std::size_t s = 0; s < paa.paa_size; ++s) {
+      word[s] = SymbolFromBreakpoints(row[s], bps);
+    }
+    if (numerosity_reduction && !out.empty() && out.back().word == word) {
+      continue;  // Record only the first of a run of identical words.
+    }
+    out.push_back(SaxRecord{word, i});
   }
   return out;
 }

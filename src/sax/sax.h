@@ -64,6 +64,49 @@ struct SaxOptions {
 std::vector<SaxRecord> DiscretizeSlidingWindow(ts::SeriesView series,
                                                const SaxOptions& options);
 
+// --- Staged discretization -------------------------------------------------
+// DiscretizeSlidingWindow factored into its three data-parallel stages so
+// the parameter-selection TrainingCache can memoize each layer: the window
+// matrix is shared by every (paa, alphabet) pair at a fixed window, the
+// PAA matrix by every alphabet at a fixed (window, paa). Each stage applies
+// exactly the per-window operations of the streaming path, so composing
+// them reproduces DiscretizeSlidingWindow bit for bit (asserted by
+// training_cache_test).
+
+/// Stage 1: every sliding window of `series` as a row of a row-major
+/// `count x window` matrix, z-normalized per row when requested. `count`
+/// is 0 when the series is shorter than the window. Rows are independent
+/// and filled on the persistent pool when `num_threads > 1`.
+struct WindowMatrix {
+  std::size_t window = 0;
+  std::size_t count = 0;
+  ts::Series data;  ///< count * window values, row-major
+
+  ts::SeriesView Row(std::size_t i) const {
+    return ts::SeriesView(data.data() + i * window, window);
+  }
+};
+WindowMatrix SlidingWindows(ts::SeriesView series, std::size_t window,
+                            bool znormalize, std::size_t num_threads = 1);
+
+/// Stage 2: PAA of every row; row-major `count x paa_size`.
+struct PaaMatrix {
+  std::size_t paa_size = 0;
+  std::size_t count = 0;
+  ts::Series data;  ///< count * paa_size values, row-major
+
+  ts::SeriesView Row(std::size_t i) const {
+    return ts::SeriesView(data.data() + i * paa_size, paa_size);
+  }
+};
+PaaMatrix PaaRows(const WindowMatrix& windows, std::size_t paa_size,
+                  std::size_t num_threads = 1);
+
+/// Stage 3: symbolizes every PAA row and applies numerosity reduction.
+/// Row i's offset is i (rows are consecutive window positions).
+std::vector<SaxRecord> RecordsFromPaa(const PaaMatrix& paa, int alphabet,
+                                      bool numerosity_reduction);
+
 /// Classic SAX MINDIST lower bound between two equal-length words, scaled
 /// for original subsequence length `n` (the words must come from the same
 /// paa_size/alphabet). Used by the Fast Shapelets baseline.

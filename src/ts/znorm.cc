@@ -12,10 +12,13 @@ double Mean(SeriesView values) {
 }
 
 double StdDev(SeriesView values) {
+  return StdDev(values, Mean(values));
+}
+
+double StdDev(SeriesView values, double mean) {
   if (values.empty()) return 0.0;
-  const double mu = Mean(values);
   double acc = 0.0;
-  for (double v : values) acc += (v - mu) * (v - mu);
+  for (double v : values) acc += (v - mean) * (v - mean);
   return std::sqrt(acc / static_cast<double>(values.size()));
 }
 
@@ -28,7 +31,7 @@ Series ZNormalize(SeriesView values) {
 void ZNormalizeInPlace(Series& values) {
   if (values.empty()) return;
   const double mu = Mean(values);
-  const double sigma = StdDev(values);
+  const double sigma = StdDev(values, mu);
   if (sigma < kFlatThreshold) {
     for (double& v : values) v -= mu;
     return;

@@ -19,6 +19,12 @@ double Mean(SeriesView values);
 /// Population standard deviation of `values`; 0.0 for an empty span.
 double StdDev(SeriesView values);
 
+/// StdDev with the mean already known. The accumulation is identical to
+/// the one-argument form, so passing `Mean(values)` gives a bit-identical
+/// result while skipping the redundant mean pass — the form the
+/// sliding-window discretization hot loop uses.
+double StdDev(SeriesView values, double mean);
+
 /// Returns a z-normalized copy: (x - mean) / stddev.
 /// Flat inputs (stddev < kFlatThreshold) are mean-centered only.
 Series ZNormalize(SeriesView values);

@@ -1,0 +1,227 @@
+// Golden equivalence tests for the LB-cascaded DTW path: the Lemire
+// envelopes must match the naive per-position scan exactly, every bound
+// must actually lower-bound DTW, and a 1NN search through DtwCascade
+// must return bit-identical neighbors and distances to an exhaustive
+// full-DTW scan across band widths — including the degenerate band=0
+// and band >= length cases. Carries the `training` ctest label.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "distance/dtw.h"
+#include "ts/rng.h"
+#include "ts/znorm.h"
+
+namespace rpm::distance {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ts::Series RandomWalk(std::size_t n, ts::Rng& rng) {
+  ts::Series s(n);
+  double v = 0.0;
+  for (auto& x : s) {
+    v += rng.Gaussian(0.0, 1.0);
+    x = v;
+  }
+  ts::ZNormalizeInPlace(s);
+  return s;
+}
+
+Envelope NaiveEnvelope(ts::SeriesView s, std::size_t window) {
+  const std::size_t n = s.size();
+  Envelope env;
+  env.upper.resize(n);
+  env.lower.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= window ? i - window : 0;
+    const std::size_t hi = std::min(n - 1, i + window);
+    double mx = s[lo];
+    double mn = s[lo];
+    for (std::size_t j = lo + 1; j <= hi; ++j) {
+      mx = std::max(mx, s[j]);
+      mn = std::min(mn, s[j]);
+    }
+    env.upper[i] = mx;
+    env.lower[i] = mn;
+  }
+  return env;
+}
+
+TEST(LemireEnvelope, MatchesNaiveScanExactly) {
+  ts::Rng rng(17);
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                        std::size_t{64}, std::size_t{129}}) {
+    const ts::Series s = RandomWalk(n, rng);
+    for (std::size_t w : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                          n / 2, n, n + 10, kUnconstrained}) {
+      const Envelope fast = MakeEnvelope(s, w);
+      const Envelope naive = NaiveEnvelope(s, std::min(w, n - 1));
+      EXPECT_EQ(fast.upper, naive.upper) << "n=" << n << " w=" << w;
+      EXPECT_EQ(fast.lower, naive.lower) << "n=" << n << " w=" << w;
+    }
+  }
+}
+
+TEST(LemireEnvelope, ConstantAndMonotoneSeries) {
+  const ts::Series flat(10, 2.5);
+  const Envelope env = MakeEnvelope(flat, 3);
+  EXPECT_EQ(env.upper, flat);
+  EXPECT_EQ(env.lower, flat);
+
+  ts::Series ramp(12);
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = static_cast<double>(i);
+  }
+  const Envelope renv = MakeEnvelope(ramp, 2);
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    EXPECT_DOUBLE_EQ(renv.upper[i], ramp[std::min(ramp.size() - 1, i + 2)]);
+    EXPECT_DOUBLE_EQ(renv.lower[i], ramp[i >= 2 ? i - 2 : 0]);
+  }
+}
+
+TEST(Bounds, EndpointAndKeoghLowerBoundDtw) {
+  ts::Rng rng(23);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t n = 16 + static_cast<std::size_t>(rep) * 5;
+    const ts::Series a = RandomWalk(n, rng);
+    const ts::Series b = RandomWalk(n, rng);
+    for (std::size_t w : {std::size_t{0}, std::size_t{2}, n / 10, n}) {
+      const double d = Dtw(a, b, w);
+      EXPECT_LE(std::sqrt(EndpointLowerBoundSquared(a, b)), d + 1e-9);
+      const Envelope env_b = MakeEnvelope(b, w);
+      const Envelope env_a = MakeEnvelope(a, w);
+      EXPECT_LE(std::sqrt(LbKeoghSquared(a, env_b)), d + 1e-9);
+      EXPECT_LE(std::sqrt(LbKeoghSquared(b, env_a)), d + 1e-9);
+    }
+  }
+}
+
+TEST(Bounds, LbKeoghSquaredMatchesSqrtVariant) {
+  ts::Rng rng(5);
+  const ts::Series a = RandomWalk(50, rng);
+  const ts::Series b = RandomWalk(50, rng);
+  const Envelope env = MakeEnvelope(b, 5);
+  EXPECT_DOUBLE_EQ(LbKeogh(a, env), std::sqrt(LbKeoghSquared(a, env)));
+}
+
+TEST(DtwCascade, ExactWhenNoCutoff) {
+  ts::Rng rng(31);
+  const ts::Series a = RandomWalk(40, rng);
+  const ts::Series b = RandomWalk(40, rng);
+  for (std::size_t w : {std::size_t{0}, std::size_t{4}, std::size_t{40},
+                        kUnconstrained}) {
+    const Envelope env_a = MakeEnvelope(a, w == kUnconstrained ? 40 : w);
+    const Envelope env_b = MakeEnvelope(b, w == kUnconstrained ? 40 : w);
+    EXPECT_DOUBLE_EQ(DtwCascade(a, b, &env_a, &env_b, w), Dtw(a, b, w));
+  }
+}
+
+TEST(DtwCascade, PrunesOnlyProvablyWorseCandidates) {
+  // When the cascade returns +inf under a cutoff, the true distance must
+  // be >= that cutoff; when it returns a finite value, it must be exact.
+  ts::Rng rng(41);
+  for (int rep = 0; rep < 30; ++rep) {
+    const ts::Series a = RandomWalk(32, rng);
+    const ts::Series b = RandomWalk(32, rng);
+    const std::size_t w = static_cast<std::size_t>(rep % 5) * 3;
+    const Envelope env_a = MakeEnvelope(a, w);
+    const Envelope env_b = MakeEnvelope(b, w);
+    const double exact = Dtw(a, b, w);
+    const double cutoff = exact * (rep % 2 == 0 ? 0.9 : 1.1);
+    const double got = DtwCascade(a, b, &env_a, &env_b, w, cutoff);
+    if (std::isinf(got)) {
+      EXPECT_GE(exact, cutoff);
+    } else {
+      EXPECT_DOUBLE_EQ(got, exact);
+    }
+  }
+}
+
+// 1NN search: cascade vs exhaustive full DTW must agree on the neighbor
+// index AND the distance, for every band including the degenerate ones.
+struct NnResult {
+  std::size_t index;
+  double distance;
+};
+
+NnResult NnFullDtw(ts::SeriesView q, const std::vector<ts::Series>& refs,
+                   std::size_t w) {
+  NnResult r{0, kInf};
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const double d = Dtw(q, refs[i], w);  // no cutoff, no bounds
+    if (d < r.distance) r = NnResult{i, d};
+  }
+  return r;
+}
+
+NnResult NnCascade(ts::SeriesView q, const Envelope& q_env,
+                   const std::vector<ts::Series>& refs,
+                   const std::vector<Envelope>& ref_envs, std::size_t w) {
+  NnResult r{0, kInf};
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const double d =
+        DtwCascade(q, refs[i], &q_env, &ref_envs[i], w, r.distance);
+    if (d < r.distance) r = NnResult{i, d};
+  }
+  return r;
+}
+
+TEST(DtwCascade, NearestNeighborMatchesFullDtwAcrossBands) {
+  ts::Rng rng(77);
+  const std::size_t len = 48;
+  std::vector<ts::Series> refs;
+  for (int i = 0; i < 30; ++i) refs.push_back(RandomWalk(len, rng));
+
+  // Bands: degenerate 0 (Euclidean), narrow, 10 %, half, >= length, and
+  // fully unconstrained.
+  const std::size_t bands[] = {0,       2,   len / 10, len / 2,
+                               len + 5, len, kUnconstrained};
+  for (const std::size_t w : bands) {
+    std::vector<Envelope> ref_envs;
+    for (const auto& r : refs) ref_envs.push_back(MakeEnvelope(r, w));
+    for (int qi = 0; qi < 10; ++qi) {
+      const ts::Series q = RandomWalk(len, rng);
+      const Envelope q_env = MakeEnvelope(q, w);
+      const NnResult exact = NnFullDtw(q, refs, w);
+      const NnResult fast = NnCascade(q, q_env, refs, ref_envs, w);
+      EXPECT_EQ(fast.index, exact.index) << "band=" << w << " q=" << qi;
+      EXPECT_EQ(fast.distance, exact.distance)
+          << "band=" << w << " q=" << qi;  // bit-identical, not NEAR
+    }
+  }
+}
+
+TEST(DtwCascade, UnequalLengthsSkipKeoghButStayExact) {
+  ts::Rng rng(88);
+  const ts::Series a = RandomWalk(30, rng);
+  const ts::Series b = RandomWalk(44, rng);
+  const Envelope env_a = MakeEnvelope(a, 4);
+  const Envelope env_b = MakeEnvelope(b, 4);
+  EXPECT_DOUBLE_EQ(DtwCascade(a, b, &env_a, &env_b, 4), Dtw(a, b, 4));
+  // With a cutoff, pruning may only claim provably-worse candidates.
+  const double exact = Dtw(a, b, 4);
+  const double got = DtwCascade(a, b, &env_a, &env_b, 4, exact * 0.5);
+  if (std::isinf(got)) {
+    EXPECT_GE(exact, exact * 0.5);
+  } else {
+    EXPECT_DOUBLE_EQ(got, exact);
+  }
+}
+
+TEST(DtwCascade, NullEnvelopesAndEmptyInputs) {
+  ts::Rng rng(99);
+  const ts::Series a = RandomWalk(20, rng);
+  const ts::Series b = RandomWalk(20, rng);
+  EXPECT_DOUBLE_EQ(DtwCascade(a, b, nullptr, nullptr, 3), Dtw(a, b, 3));
+  const ts::Series empty;
+  EXPECT_DOUBLE_EQ(DtwCascade(empty, empty, nullptr, nullptr, 0), 0.0);
+  EXPECT_TRUE(std::isinf(DtwCascade(a, empty, nullptr, nullptr, 0)));
+}
+
+}  // namespace
+}  // namespace rpm::distance

@@ -188,6 +188,43 @@ TEST(BatchedBestMatch, EmptyPatternAndEmptyHaystack) {
   EXPECT_FALSE(distance::BatchedBestMatch(pctx, empty_ctx).found());
 }
 
+TEST(BatchedMatchBelow, DecidesIdenticallyToUnseededScan) {
+  // The existence test stops at the first sub-cutoff window; it must
+  // nevertheless agree with `exact distance < cutoff` for cutoffs below,
+  // at, and above the true best over many random instances.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const ts::Series hay = RandomWalk(180, 50 + seed);
+    const ts::Series pattern = ZNormalizedPattern(6 + 3 * seed, 300 + seed);
+    const distance::PatternContext pctx(pattern);
+    const distance::SeriesContext sctx(hay);
+    const double exact = distance::BatchedBestMatch(pctx, sctx).distance;
+    for (double cutoff : {exact * 0.5, exact * 0.999, exact * 1.001,
+                          exact * 2.0, 0.0, 1e6}) {
+      EXPECT_EQ(distance::BatchedMatchBelow(pctx, sctx, cutoff),
+                exact < cutoff)
+          << "seed " << seed << " cutoff " << cutoff;
+    }
+    // At the exact boundary the decision must match the cutoff-seeded
+    // best-match (same seed construction), whatever side of the ulp the
+    // squared-space round trip lands on.
+    EXPECT_EQ(distance::BatchedMatchBelow(pctx, sctx, exact),
+              distance::BatchedBestMatch(pctx, sctx, exact).found())
+        << "seed " << seed;
+  }
+}
+
+TEST(BatchedMatchBelow, SentinelCasesNeverReportAMatch) {
+  const ts::Series hay = RandomWalk(10, 60);
+  const distance::SeriesContext hay_ctx(hay);
+  const distance::PatternContext too_long(ZNormalizedPattern(32, 61));
+  EXPECT_FALSE(distance::BatchedMatchBelow(too_long, hay_ctx, 1e9));
+  const distance::PatternContext empty{};
+  EXPECT_FALSE(distance::BatchedMatchBelow(empty, hay_ctx, 1e9));
+  const double inf = std::numeric_limits<double>::infinity();
+  const distance::PatternContext pctx(ZNormalizedPattern(4, 62));
+  EXPECT_TRUE(distance::BatchedMatchBelow(pctx, hay_ctx, inf));
+}
+
 TEST(BatchMatcher, MatchAllHandlesMixedLengthsMidBatch) {
   // A too-long pattern in the middle of the batch must yield the sentinel
   // at its slot without disturbing its neighbours.

@@ -82,6 +82,32 @@ TEST(Paa, UpsamplingReplicates) {
   EXPECT_DOUBLE_EQ(p[3], 2.0);
 }
 
+TEST(PaaRowsTest, BitIdenticalToPerRowPaa) {
+  // PaaRows shares one precomputed coverage plan across rows; every row
+  // must equal the standalone Paa result bit-for-bit, across downsample,
+  // exact-division, and upsample regimes.
+  ts::Rng rng(404);
+  ts::Series series(160);
+  for (auto& v : series) v = rng.Gaussian(0.0, 1.0);
+  for (std::size_t window : {7u, 16u, 30u}) {
+    const WindowMatrix windows = SlidingWindows(series, window, true, 1);
+    for (std::size_t paa : {2u, 4u, 7u, 16u, 40u}) {
+      const PaaMatrix rows = PaaRows(windows, paa, 1);
+      ASSERT_EQ(rows.count, windows.count);
+      for (std::size_t i = 0; i < windows.count; ++i) {
+        const ts::Series expect = Paa(windows.Row(i), paa);
+        const ts::SeriesView got = rows.Row(i);
+        ASSERT_EQ(got.size(), expect.size());
+        for (std::size_t s = 0; s < paa; ++s) {
+          ASSERT_EQ(got[s], expect[s])
+              << "window " << window << " paa " << paa << " row " << i
+              << " seg " << s;
+        }
+      }
+    }
+  }
+}
+
 TEST(SymbolMapping, RespectsBreakpoints) {
   EXPECT_EQ(Symbol(-2.0, 4), 'a');
   EXPECT_EQ(Symbol(-0.5, 4), 'b');

@@ -1,0 +1,207 @@
+// Equivalence and behavior tests for the cross-combo discretization
+// cache: every cached path must reproduce sax::DiscretizeSlidingWindow
+// bit for bit, layers must be shared at the right granularity, the LRU
+// byte bound must hold, and parameter selection with the cache enabled
+// must pick exactly the parameters the uncached path picks. Carries the
+// `training` ctest label so the pool/cache interplay runs under TSan.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/options.h"
+#include "core/parameter_selection.h"
+#include "core/training_cache.h"
+#include "sax/sax.h"
+#include "ts/generators.h"
+#include "ts/parallel.h"
+#include "ts/rng.h"
+
+namespace rpm::core {
+namespace {
+
+ts::Series MakeSeries(std::size_t n, std::uint64_t seed) {
+  ts::Rng rng(seed);
+  ts::Series s(n);
+  double v = 0.0;
+  for (auto& x : s) {
+    v += rng.Gaussian(0.0, 1.0);
+    x = v;
+  }
+  return s;
+}
+
+TEST(StagedDiscretization, ComposesToStreamingPath) {
+  const ts::Series s = MakeSeries(300, 3);
+  for (bool znorm : {true, false}) {
+    for (bool numerosity : {true, false}) {
+      for (std::size_t w : {std::size_t{8}, std::size_t{25}}) {
+        for (std::size_t paa : {std::size_t{3}, std::size_t{7}}) {
+          for (int alphabet : {3, 6}) {
+            sax::SaxOptions opt;
+            opt.window = w;
+            opt.paa_size = paa;
+            opt.alphabet = alphabet;
+            opt.znormalize = znorm;
+            opt.numerosity_reduction = numerosity;
+            const auto windows = sax::SlidingWindows(s, w, znorm);
+            const auto rows = sax::PaaRows(windows, paa);
+            const auto staged =
+                sax::RecordsFromPaa(rows, alphabet, numerosity);
+            EXPECT_EQ(staged, sax::DiscretizeSlidingWindow(s, opt))
+                << "w=" << w << " paa=" << paa << " a=" << alphabet
+                << " z=" << znorm << " nr=" << numerosity;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(StagedDiscretization, ThreadedStagesAreIdentical) {
+  const ts::Series s = MakeSeries(400, 9);
+  const auto seq = sax::SlidingWindows(s, 30, true, 1);
+  const auto par = sax::SlidingWindows(s, 30, true, 8);
+  EXPECT_EQ(seq.data, par.data);
+  EXPECT_EQ(sax::PaaRows(seq, 5, 1).data, sax::PaaRows(par, 5, 8).data);
+}
+
+TEST(TrainingCache, MatchesDirectDiscretization) {
+  const ts::Series s = MakeSeries(500, 11);
+  TrainingCache cache;
+  for (std::size_t w : {std::size_t{10}, std::size_t{40}}) {
+    for (std::size_t paa : {std::size_t{4}, std::size_t{8}}) {
+      for (int alphabet : {3, 5, 9}) {
+        sax::SaxOptions opt;
+        opt.window = w;
+        opt.paa_size = paa;
+        opt.alphabet = alphabet;
+        const auto cached = cache.Discretize(s, opt);
+        EXPECT_EQ(*cached, sax::DiscretizeSlidingWindow(s, opt))
+            << "w=" << w << " paa=" << paa << " a=" << alphabet;
+      }
+    }
+  }
+}
+
+TEST(TrainingCache, SharesLayersAtTheRightGranularity) {
+  const ts::Series s = MakeSeries(200, 21);
+  TrainingCache cache;
+  sax::SaxOptions opt;
+  opt.window = 20;
+  opt.paa_size = 5;
+  opt.alphabet = 4;
+
+  cache.Discretize(s, opt);
+  const auto after_first = cache.stats();
+  // Cold call misses all three layers.
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_EQ(after_first.entries, 3u);
+
+  // Same triple again: records-level hit, nothing recomputed.
+  cache.Discretize(s, opt);
+  EXPECT_EQ(cache.stats().hits, after_first.hits + 1);
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  // New alphabet at the same (window, paa): PAA rows are reused.
+  opt.alphabet = 7;
+  cache.Discretize(s, opt);
+  EXPECT_EQ(cache.stats().entries, 4u);  // only a new records entry
+
+  // New paa at the same window: the window matrix is reused.
+  opt.paa_size = 9;
+  cache.Discretize(s, opt);
+  EXPECT_EQ(cache.stats().entries, 6u);  // new PAA rows + records
+
+  // A different series must not collide with any existing entry.
+  const ts::Series other = MakeSeries(200, 22);
+  const auto records = cache.Discretize(other, opt);
+  EXPECT_EQ(*records, sax::DiscretizeSlidingWindow(other, opt));
+  EXPECT_EQ(cache.stats().entries, 9u);
+}
+
+TEST(TrainingCache, EvictsLruButStaysCorrect) {
+  const ts::Series s = MakeSeries(600, 31);
+  // Budget far below one window matrix: every call recomputes, results
+  // must still be exact and the resident size bounded.
+  TrainingCache cache(4096);
+  sax::SaxOptions opt;
+  opt.window = 50;
+  for (int alphabet = 3; alphabet <= 8; ++alphabet) {
+    opt.alphabet = alphabet;
+    const auto cached = cache.Discretize(s, opt);
+    EXPECT_EQ(*cached, sax::DiscretizeSlidingWindow(s, opt));
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // The bound may be exceeded only by the most recent insertion chain.
+  EXPECT_LE(cache.stats().entries, 3u);
+}
+
+TEST(TrainingCache, ZeroWindowAndShortSeries) {
+  TrainingCache cache;
+  sax::SaxOptions opt;
+  opt.window = 100;
+  const ts::Series tiny = MakeSeries(10, 5);
+  EXPECT_TRUE(cache.Discretize(tiny, opt)->empty());
+  opt.window = 0;
+  EXPECT_TRUE(cache.Discretize(tiny, opt)->empty());
+}
+
+TEST(TrainingCache, ConcurrentLookupsAreConsistent) {
+  const ts::Series s = MakeSeries(300, 41);
+  TrainingCache cache;
+  std::vector<sax::SaxOptions> combos;
+  for (std::size_t w : {std::size_t{10}, std::size_t{20}}) {
+    for (std::size_t paa : {std::size_t{4}, std::size_t{6}}) {
+      for (int alphabet : {3, 5}) {
+        sax::SaxOptions opt;
+        opt.window = w;
+        opt.paa_size = paa;
+        opt.alphabet = alphabet;
+        combos.push_back(opt);
+      }
+    }
+  }
+  // Hammer the cache from the pool, repeating each combo several times so
+  // hits, misses, and eviction-free races all occur.
+  const std::size_t reps = 8;
+  std::vector<std::vector<sax::SaxRecord>> out(combos.size() * reps);
+  ts::ParallelFor(out.size(), 8, [&](std::size_t i) {
+    out[i] = *cache.Discretize(s, combos[i % combos.size()]);
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i],
+              sax::DiscretizeSlidingWindow(s, combos[i % combos.size()]));
+  }
+}
+
+// End-to-end: parameter selection with the cache on and off must choose
+// exactly the same per-class SAX parameters and evaluate the same combos.
+TEST(TrainingCache, ParameterSelectionUnchangedByCache) {
+  const ts::Dataset train = ts::MakeCbf(8, 1, 64, 7).train;
+
+  RpmOptions with_cache;
+  with_cache.search = ParameterSearch::kDirect;
+  with_cache.direct_max_evaluations = 8;
+  with_cache.param_splits = 2;
+  with_cache.param_folds = 2;
+  RpmOptions without_cache = with_cache;
+  without_cache.training_cache_bytes = 0;
+
+  const ParameterSelectionResult a = SelectSaxParameters(train, with_cache);
+  const ParameterSelectionResult b =
+      SelectSaxParameters(train, without_cache);
+  EXPECT_EQ(a.combos_evaluated, b.combos_evaluated);
+  ASSERT_EQ(a.sax_by_class.size(), b.sax_by_class.size());
+  for (const auto& [label, sax] : a.sax_by_class) {
+    const auto it = b.sax_by_class.find(label);
+    ASSERT_NE(it, b.sax_by_class.end());
+    EXPECT_EQ(sax.window, it->second.window) << "label=" << label;
+    EXPECT_EQ(sax.paa_size, it->second.paa_size) << "label=" << label;
+    EXPECT_EQ(sax.alphabet, it->second.alphabet) << "label=" << label;
+  }
+}
+
+}  // namespace
+}  // namespace rpm::core
