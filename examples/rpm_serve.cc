@@ -28,6 +28,7 @@
 #include <cstring>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -144,24 +145,32 @@ bool WriteAll(int fd, const std::string& data) {
 }
 
 // Reads newline-terminated requests and answers each with one response
-// line; the connection closes on QUIT, EOF, or a write error.
+// line; the connection closes on QUIT, EOF, or a write error. Framing
+// (partial reads, many lines per read, a bounded line length) is
+// LineAssembler's job — a client that streams an endless unterminated
+// line gets an explicit error instead of growing this process.
 void ServeConnection(rpm::serve::InferenceServer* server, int fd) {
-  std::string buffer;
+  rpm::serve::LineAssembler assembler;
   char chunk[4096];
-  for (;;) {
-    const std::size_t newline = buffer.find('\n');
-    if (newline == std::string::npos) {
+  bool open = true;
+  while (open) {
+    std::string line;
+    const auto status = assembler.NextLine(&line);
+    if (status == rpm::serve::LineAssembler::LineStatus::kNone) {
       const ssize_t n = ::read(fd, chunk, sizeof(chunk));
       if (n <= 0) break;
-      buffer.append(chunk, static_cast<std::size_t>(n));
+      assembler.Append(std::string_view(chunk, static_cast<std::size_t>(n)));
       continue;
     }
-    std::string line = buffer.substr(0, newline);
-    buffer.erase(0, newline + 1);
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    const std::string response = server->HandleLine(line);
+    std::string response;
+    if (status == rpm::serve::LineAssembler::LineStatus::kOversized) {
+      response = "ERR BAD_REQUEST line exceeds " +
+                 std::to_string(assembler.max_line()) + " bytes";
+    } else {
+      response = server->HandleLine(line);
+    }
     if (!WriteAll(fd, response + "\n")) break;
-    if (response == "OK bye") break;
+    if (response == "OK bye") open = false;
   }
   ::close(fd);
 }

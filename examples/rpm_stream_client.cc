@@ -1,0 +1,258 @@
+// Streaming classification demo: drives the STREAM_* protocol verbs
+// (docs/SERVING.md, "Streaming") against an RPM inference server.
+//
+// Two modes:
+//
+//  * In-process (default): trains a small CBF model, registers it with an
+//    embedded InferenceServer, then replays the generated test split as
+//    one unbounded feed — chunked into irregular pieces the way a socket
+//    would deliver them — printing each rolling decision as it is
+//    emitted. Runs standalone; this is the smoke-test path.
+//
+//  * Socket (--port N [--host H] --model NAME): the same conversation
+//    over TCP against a running `rpm_serve`, which must already have
+//    NAME loaded.
+//
+//   rpm_stream_client [--window N] [--hop N] [--chunk N]
+//                     [--early-frac F --early-margin M]
+//                     [--port N [--host H] --model NAME]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rpm.h"
+#include "serve/server.h"
+#include "ts/generators.h"
+
+namespace {
+
+struct CliOptions {
+  std::size_t window = 128;
+  std::size_t hop = 16;
+  std::size_t chunk = 97;  // deliberately not a divisor of anything
+  double early_fraction = 0.0;
+  double early_margin = 0.5;
+  int port = 0;  // 0 selects the in-process mode
+  std::string host = "127.0.0.1";
+  std::string model = "cbf";
+};
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: rpm_stream_client [--window N] [--hop N] [--chunk N]\n"
+               "                         [--early-frac F --early-margin M]\n"
+               "                         [--port N [--host H] --model NAME]\n");
+  std::exit(2);
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions cli;
+  auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) Usage();
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--window") {
+      cli.window = static_cast<std::size_t>(std::atol(need(i++)));
+    } else if (arg == "--hop") {
+      cli.hop = static_cast<std::size_t>(std::atol(need(i++)));
+    } else if (arg == "--chunk") {
+      cli.chunk = static_cast<std::size_t>(std::atol(need(i++)));
+    } else if (arg == "--early-frac") {
+      cli.early_fraction = std::atof(need(i++));
+    } else if (arg == "--early-margin") {
+      cli.early_margin = std::atof(need(i++));
+    } else if (arg == "--port") {
+      cli.port = std::atoi(need(i++));
+    } else if (arg == "--host") {
+      cli.host = need(i++);
+    } else if (arg == "--model") {
+      cli.model = need(i++);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      Usage();
+    }
+  }
+  if (cli.window == 0 || cli.chunk == 0) Usage();
+  return cli;
+}
+
+// The unbounded feed: generated CBF test instances laid end to end. Real
+// deployments feed sensor samples; the concatenation stands in for a
+// signal whose regime changes every `length` samples.
+std::vector<double> BuildFeed(const rpm::ts::Dataset& test) {
+  std::vector<double> feed;
+  for (const auto& instance : test) {
+    feed.insert(feed.end(), instance.values.begin(), instance.values.end());
+  }
+  return feed;
+}
+
+std::string FormatCsv(const double* values, std::size_t n) {
+  std::string csv;
+  char buf[32];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), i == 0 ? "%.6g" : ",%.6g", values[i]);
+    csv += buf;
+  }
+  return csv;
+}
+
+// ---- Transport: one request line in, one response line out ----
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual std::string Request(const std::string& line) = 0;
+};
+
+class InProcessTransport : public Transport {
+ public:
+  explicit InProcessTransport(rpm::serve::InferenceServer* server)
+      : server_(server) {}
+  std::string Request(const std::string& line) override {
+    return server_->HandleLine(line);
+  }
+
+ private:
+  rpm::serve::InferenceServer* server_;
+};
+
+class SocketTransport : public Transport {
+ public:
+  SocketTransport(const std::string& host, int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+            0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~SocketTransport() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  std::string Request(const std::string& line) override {
+    const std::string out = line + "\n";
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
+      if (n <= 0) return "ERR SHUTDOWN connection lost";
+      off += static_cast<std::size_t>(n);
+    }
+    std::string reply;
+    char c = 0;
+    while (true) {
+      const ssize_t n = ::read(fd_, &c, 1);
+      if (n <= 0) return "ERR SHUTDOWN connection lost";
+      if (c == '\n') break;
+      reply += c;
+    }
+    if (!reply.empty() && reply.back() == '\r') reply.pop_back();
+    return reply;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = ParseArgs(argc, argv);
+
+  // In-process mode owns its server; socket mode only owns the transport.
+  rpm::serve::InferenceServer server;
+  std::unique_ptr<Transport> transport;
+  if (cli.port == 0) {
+    const rpm::ts::DatasetSplit split = rpm::ts::MakeCbf(10, 12, 128, 778);
+    rpm::core::RpmOptions opt;
+    opt.search = rpm::core::ParameterSearch::kFixed;
+    opt.fixed_sax.window = 32;
+    opt.fixed_sax.paa_size = 5;
+    opt.fixed_sax.alphabet = 4;
+    rpm::core::RpmClassifier clf(opt);
+    clf.Train(split.train);
+    std::fprintf(stderr, "[stream_client] trained %s: %zu patterns\n",
+                 split.name.c_str(), clf.patterns().size());
+    server.AddModel(cli.model, std::move(clf));
+    transport = std::make_unique<InProcessTransport>(&server);
+  } else {
+    auto socket_transport =
+        std::make_unique<SocketTransport>(cli.host, cli.port);
+    if (!socket_transport->ok()) {
+      std::fprintf(stderr, "[stream_client] cannot connect to %s:%d\n",
+                   cli.host.c_str(), cli.port);
+      return 1;
+    }
+    transport = std::move(socket_transport);
+  }
+
+  const rpm::ts::DatasetSplit feed_split =
+      rpm::ts::MakeCbf(1, 12, 128, 4242);
+  const std::vector<double> feed = BuildFeed(feed_split.test);
+  std::fprintf(stderr, "[stream_client] feed: %zu samples\n", feed.size());
+
+  char open_cmd[160];
+  std::snprintf(open_cmd, sizeof(open_cmd),
+                "STREAM_OPEN %s %zu %zu %.3f %.3f", cli.model.c_str(),
+                cli.window, cli.hop, cli.early_fraction, cli.early_margin);
+  const std::string open_reply = transport->Request(open_cmd);
+  std::printf("%s\n", open_reply.c_str());
+  if (open_reply.rfind("OK stream ", 0) != 0) return 1;
+  std::string id = open_reply.substr(10);
+  id = id.substr(0, id.find(' '));
+
+  std::size_t decisions = 0;
+  std::size_t offset = 0;
+  while (offset < feed.size()) {
+    const std::size_t n = std::min(cli.chunk, feed.size() - offset);
+    const std::string reply = transport->Request(
+        "STREAM_FEED " + id + " " + FormatCsv(feed.data() + offset, n));
+    if (reply.rfind("OK fed ", 0) != 0) {
+      std::fprintf(stderr, "[stream_client] feed failed: %s\n",
+                   reply.c_str());
+      return 1;
+    }
+    // "OK fed <accepted> decisions=<d> ..." — advance by what the server
+    // stored; a short count is backpressure and we simply re-offer.
+    const std::size_t accepted =
+        static_cast<std::size_t>(std::atol(reply.c_str() + 7));
+    const std::size_t dpos = reply.find("decisions=");
+    const long emitted = std::atol(reply.c_str() + dpos + 10);
+    if (emitted > 0) {
+      decisions += static_cast<std::size_t>(emitted);
+      std::printf("%s\n", reply.c_str());
+    }
+    if (accepted == 0) {
+      std::fprintf(stderr, "[stream_client] stalled (ring full)\n");
+      return 1;
+    }
+    offset += accepted;
+  }
+
+  std::printf("%s\n", transport->Request("STREAM_CLOSE " + id).c_str());
+  std::printf("%s\n", transport->Request("STATS").c_str());
+  if (decisions == 0) {
+    std::fprintf(stderr, "[stream_client] no decisions emitted\n");
+    return 1;
+  }
+  return 0;
+}

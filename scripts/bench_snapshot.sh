@@ -4,6 +4,9 @@
 #                       kernel timings with exactness checksums)
 #   BENCH_table2.json   table2_runtime --json  (suite sweep: per-dataset
 #                       LS/FS/RPM totals and per-method train sums)
+#   BENCH_stream.json   stream_bench           (streaming scorer:
+#                       samples/sec/session + decision p50/p95, single
+#                       and 8 concurrent sessions)
 #
 # Usage: scripts/bench_snapshot.sh [build-dir]   (default: build)
 #
@@ -18,7 +21,8 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 
 if [[ ! -x "${build_dir}/bench/micro_kernels" ||
-      ! -x "${build_dir}/bench/table2_runtime" ]]; then
+      ! -x "${build_dir}/bench/table2_runtime" ||
+      ! -x "${build_dir}/bench/stream_bench" ]]; then
   echo "bench binaries missing under ${build_dir}/bench;" \
        "configure with -DRPM_BUILD_BENCHMARKS=ON and build first" >&2
   exit 1
@@ -27,6 +31,7 @@ fi
 cd "${repo_root}"
 "${build_dir}/bench/micro_kernels" --json
 "${build_dir}/bench/table2_runtime" --json
+"${build_dir}/bench/stream_bench"
 
 echo "snapshot written: ${repo_root}/BENCH_kernels.json," \
-     "${repo_root}/BENCH_table2.json"
+     "${repo_root}/BENCH_table2.json, ${repo_root}/BENCH_stream.json"

@@ -2,10 +2,13 @@
 # Builds the thread-sanitized configuration and runs the concurrency
 # surface: the thread-pool/matcher tests, the cross-thread determinism
 # tests, the training-path equivalence suites (clustering, DTW cascade,
-# training cache — everything carrying the `training` ctest label), and
-# the serving-layer suites (registry hot reload, batching queue, server
-# hammering). Any data race in the pool, the parallel transform paths,
-# the training cache, or the serve path fails the script.
+# training cache — everything carrying the `training` ctest label), the
+# serving-layer suites (registry hot reload, batching queue, server
+# hammering, connection framing), and the streaming suites (session
+# manager under concurrent feeds, eviction racing feeds, shutdown racing
+# feeds — everything carrying the `stream` ctest label). Any data race in
+# the pool, the parallel transform paths, the training cache, the serve
+# path, or the stream session manager fails the script.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -24,11 +27,15 @@ cmake --build "${build_dir}" -j
 # halt_on_error makes ctest report races as hard failures.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R 'ThreadPool|ParallelFor|ParallelDeterminism|BatchedBestMatch|BatchMatcher|SeriesContext|ModelRegistry|BatchingQueue|InferenceServer|ServeConcurrency'
+  -R 'ThreadPool|ParallelFor|ParallelDeterminism|BatchedBestMatch|BatchMatcher|SeriesContext|ModelRegistry|BatchingQueue|InferenceServer|ServeConcurrency|LineAssembler'
 
 # Training-path suites (cluster_linkage, dtw_cascade, training_cache):
 # includes the concurrent TrainingCache lookups and the pool-shared
 # iterative-split tests.
 ctest --test-dir "${build_dir}" --output-on-failure -L training
+
+# Streaming suites: 8 sessions fed from 8 threads while models hot-reload
+# and the evictor runs, plus Shutdown racing active feeds.
+ctest --test-dir "${build_dir}" --output-on-failure -L stream
 
 echo "TSan check passed."

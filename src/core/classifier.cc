@@ -124,6 +124,21 @@ std::size_t ClassificationEngine::num_patterns() const {
   return clf_->patterns().size();
 }
 
+std::vector<double> ClassificationEngine::Row(ts::SeriesView series) const {
+  if (!engine_.has_value()) {
+    throw std::logic_error("ClassificationEngine::Row: no feature space");
+  }
+  return engine_->Row(series);
+}
+
+int ClassificationEngine::PredictRow(std::span<const double> row) const {
+  if (!engine_.has_value()) {
+    throw std::logic_error(
+        "ClassificationEngine::PredictRow: no feature space");
+  }
+  return clf_->feature_classifier()->Predict(row);
+}
+
 int ClassificationEngine::Classify(ts::SeriesView series) const {
   if (!engine_.has_value()) return clf_->majority_label();
   return clf_->feature_classifier()->Predict(engine_->Row(series));

@@ -150,6 +150,25 @@ class ClassificationEngine {
 
   std::size_t num_patterns() const;
 
+  /// False for a majority-class fallback model: no pattern space exists,
+  /// Row/PredictRow must not be called and Classify returns the majority
+  /// label unconditionally.
+  bool has_feature_space() const { return engine_.has_value(); }
+
+  /// The K-dim pattern-distance row of one series (the transform the
+  /// feature classifier consumes). Requires has_feature_space(). Exposed
+  /// so callers that need both the row and the label — e.g. the streaming
+  /// scorer's confidence margin — pay the pattern scan once.
+  std::vector<double> Row(ts::SeriesView series) const;
+
+  /// Feature-classifier prediction on a row produced by Row(). Requires
+  /// has_feature_space(). PredictRow(Row(s)) == Classify(s).
+  int PredictRow(std::span<const double> row) const;
+
+  /// The classifier the engine was built over (patterns, class labels,
+  /// majority fallback).
+  const RpmClassifier& classifier() const { return *clf_; }
+
  private:
   const RpmClassifier* clf_;
   /// Engaged unless the classifier is a majority-class fallback.

@@ -138,10 +138,11 @@ void SeriesContext::WindowMoments(std::size_t pos, std::size_t len,
   const double inv_len = 1.0 / static_cast<double>(len);
   const double sum = prefix_[pos + len] - prefix_[pos];
   const double sum_sq = prefix_sq_[pos + len] - prefix_sq_[pos];
-  *mu = sum * inv_len;
-  const double var = std::max(0.0, sum_sq * inv_len - *mu * *mu);
-  const double sigma = std::sqrt(var);
-  *inv_sigma = sigma < ts::kFlatThreshold ? 1.0 : 1.0 / sigma;
+  // Shared sum-to-moments recurrence (flat rule folds into sigma = 1.0,
+  // so the inverse is the legacy inv_sigma in both branches).
+  double sigma = 0.0;
+  ts::WindowMomentsFromSums(sum, sum_sq, inv_len, mu, &sigma);
+  *inv_sigma = 1.0 / sigma;
 }
 
 namespace {
@@ -254,10 +255,9 @@ __attribute__((target("avx2"))) BestMatch BestMatchScanAvx2(
   for (; pos + n <= m; ++pos) {
     const double sum = series.WindowSum(pos, n);
     const double sum_sq = series.WindowSumSq(pos, n);
-    const double mu = sum * inv_n;
-    const double var = std::max(0.0, sum_sq * inv_n - mu * mu);
-    double sigma = std::sqrt(var);
-    if (sigma < ts::kFlatThreshold) sigma = 1.0;
+    double mu = 0.0;
+    double sigma = 0.0;
+    ts::WindowMomentsFromSums(sum, sum_sq, inv_n, &mu, &sigma);
     const double sig2 = sigma * sigma;
     const double thresh = best_sq * sig2;
     const double d_first = (hay[pos] - mu) - p_first * sigma;
@@ -325,12 +325,12 @@ BestMatch BestMatchScan(const PatternContext& pattern,
   for (std::size_t pos = 0; pos + n <= series.size(); ++pos) {
     const double sum = series.WindowSum(pos, n);
     const double sum_sq = series.WindowSumSq(pos, n);
-    const double mu = sum * inv_n;
-    const double var = std::max(0.0, sum_sq * inv_n - mu * mu);
-    double sigma = std::sqrt(var);
-    // Flat-window rule: sigma below the threshold means mean-center only,
-    // the same convention the legacy kernel applies.
-    if (sigma < ts::kFlatThreshold) sigma = 1.0;
+    // Shared moments recurrence, including the flat-window rule (sigma
+    // below the threshold means mean-center only, the same convention
+    // the legacy kernel applies).
+    double mu = 0.0;
+    double sigma = 0.0;
+    ts::WindowMomentsFromSums(sum, sum_sq, inv_n, &mu, &sigma);
     const double sig2 = sigma * sigma;
     // All comparisons happen in sigma-scaled space (everything multiplied
     // by sigma^2), which keeps the whole window free of divisions; the

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <sstream>
@@ -7,8 +8,45 @@
 
 namespace rpm::serve {
 
+void LineAssembler::Append(std::string_view data) {
+  while (!data.empty()) {
+    const std::size_t nl = data.find('\n');
+    const std::string_view segment = data.substr(0, nl);
+    if (!discarding_) {
+      if (partial_.size() + segment.size() > max_line_) {
+        partial_.clear();
+        partial_.shrink_to_fit();
+        discarding_ = true;
+      } else {
+        partial_.append(segment);
+      }
+    }
+    if (nl == std::string_view::npos) return;  // rest arrives later
+    if (discarding_) {
+      ready_.push_back(Item{true, std::string()});
+      discarding_ = false;
+    } else {
+      if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+      ready_.push_back(Item{false, std::move(partial_)});
+      partial_.clear();
+    }
+    data.remove_prefix(nl + 1);
+  }
+}
+
+LineAssembler::LineStatus LineAssembler::NextLine(std::string* line) {
+  if (ready_.empty()) return LineStatus::kNone;
+  Item item = std::move(ready_.front());
+  ready_.pop_front();
+  if (item.oversized) return LineStatus::kOversized;
+  *line = std::move(item.line);
+  return LineStatus::kLine;
+}
+
 InferenceServer::InferenceServer(ServerOptions options)
-    : options_(options), queue_(options.batching, &stats_) {}
+    : options_(options),
+      queue_(options.batching, &stats_),
+      streams_(options.streaming, &stream_sink_) {}
 
 InferenceServer::~InferenceServer() { Shutdown(); }
 
@@ -51,7 +89,35 @@ ClassifyResult InferenceServer::Classify(const std::string& model,
   return Classify(model, std::move(values), options_.default_timeout);
 }
 
-void InferenceServer::Shutdown() { queue_.Shutdown(); }
+stream::StreamSessionManager::OpenResult InferenceServer::OpenStream(
+    const std::string& model, stream::StreamOptions options) {
+  ModelHandle handle = registry_.Get(model);
+  if (handle == nullptr) {
+    stats_.RecordNotFound();
+    stream::StreamSessionManager::OpenResult result;
+    result.error = "no model named '" + model + "'";
+    return result;
+  }
+  stream::StreamModel pinned;
+  pinned.engine = &handle->engine;
+  pinned.owner = std::move(handle);
+  return streams_.Open(std::move(pinned), options);
+}
+
+stream::StreamSessionManager::FeedResult InferenceServer::FeedStream(
+    const std::string& id, ts::SeriesView values) {
+  return streams_.Feed(id, values);
+}
+
+stream::StreamSessionManager::CloseResult InferenceServer::CloseStream(
+    const std::string& id) {
+  return streams_.Close(id);
+}
+
+void InferenceServer::Shutdown() {
+  streams_.Shutdown();
+  queue_.Shutdown();
+}
 
 namespace {
 
@@ -146,6 +212,91 @@ std::string InferenceServer::HandleLine(const std::string& line) {
       return Err("NOT_FOUND", "no model named '" + name + "'");
     }
     return Err(StatusName(result.status), "");
+  }
+  if (cmd == "STREAM_OPEN") {
+    std::string name;
+    long window = 0;
+    if (!(in >> name >> window) || window <= 0) {
+      return Err("BAD_REQUEST",
+                 "usage: STREAM_OPEN <model> <window> [hop] [early_frac] "
+                 "[early_margin]");
+    }
+    stream::StreamOptions opts;
+    opts.window = static_cast<std::size_t>(window);
+    long hop = 0;
+    if (in >> hop) {
+      if (hop < 0) return Err("BAD_REQUEST", "hop must be non-negative");
+      opts.hop = static_cast<std::size_t>(hop);
+    }
+    double early_fraction = 0.0;
+    if (in >> early_fraction) opts.early_fraction = early_fraction;
+    double early_margin = 0.0;
+    if (in >> early_margin) opts.early_margin = early_margin;
+    const auto result = OpenStream(name, opts);
+    if (!result.ok) {
+      if (result.error.rfind("no model", 0) == 0) {
+        return Err("NOT_FOUND", result.error);
+      }
+      if (result.error == "too many open streams") {
+        return Err("OVERLOADED", result.error);
+      }
+      if (result.error == "shutting down") {
+        return Err("SHUTDOWN", result.error);
+      }
+      return Err("BAD_REQUEST", result.error);
+    }
+    // Echo the normalized geometry (hop defaulting happened in Open).
+    return "OK stream " + result.id + " window=" + std::to_string(window) +
+           " hop=" + std::to_string(opts.hop == 0 ? opts.window : opts.hop);
+  }
+  if (cmd == "STREAM_FEED") {
+    std::string id;
+    std::string csv;
+    if (!(in >> id >> csv)) {
+      return Err("BAD_REQUEST", "usage: STREAM_FEED <id> <v1,v2,...>");
+    }
+    ts::Series values;
+    if (!ParseValues(csv, &values)) {
+      return Err("BAD_REQUEST", "malformed values '" + csv + "'");
+    }
+    const auto result =
+        FeedStream(id, ts::SeriesView(values.data(), values.size()));
+    if (result.status == stream::StreamSessionManager::FeedStatus::kNotFound) {
+      return Err("NOT_FOUND", "no stream named '" + id + "'");
+    }
+    if (result.status == stream::StreamSessionManager::FeedStatus::kShutdown) {
+      return Err("SHUTDOWN", "");
+    }
+    std::string out = "OK fed " + std::to_string(result.accepted) +
+                      " decisions=" + std::to_string(result.decisions.size());
+    char item[96];
+    for (const auto& d : result.decisions) {
+      std::snprintf(item, sizeof(item), " %llu:%d:%.3f",
+                    static_cast<unsigned long long>(d.window_index), d.label,
+                    d.margin);
+      out += item;
+      if (d.early) out += ":early";
+    }
+    return out;
+  }
+  if (cmd == "STREAM_CLOSE") {
+    std::string id;
+    if (!(in >> id)) return Err("BAD_REQUEST", "usage: STREAM_CLOSE <id>");
+    const auto result = CloseStream(id);
+    if (!result.found) {
+      return Err("NOT_FOUND", "no stream named '" + id + "'");
+    }
+    const stream::StreamSummary& s = result.summary;
+    return "OK closed " + id + " samples=" + std::to_string(s.samples) +
+           " windows=" + std::to_string(s.windows_scored) +
+           " decisions=" + std::to_string(s.decisions) +
+           " early=" + std::to_string(s.early_decisions);
+  }
+  if (cmd == "STREAMS") {
+    const std::vector<std::string> ids = streams_.Ids();
+    std::string out = "OK " + std::to_string(ids.size());
+    for (const auto& id : ids) out += ' ' + id;
+    return out;
   }
   return Err("BAD_REQUEST", "unknown command '" + cmd + "'");
 }

@@ -10,21 +10,40 @@
 //   STATS                               -> OK <one-line JSON>
 //   QUIT                                -> OK bye
 //
+// Streaming verbs (src/stream) ride the same line protocol; session ids
+// name server-side per-stream state, so these lines ARE stateful across
+// a connection's lifetime (any connection may drive any session):
+//
+//   STREAM_OPEN <model> <window> [hop] [early_frac] [early_margin]
+//                                       -> OK stream <id> window=W hop=H
+//   STREAM_FEED <id> <v1,v2,...>        -> OK fed <n> decisions=<d>
+//                                            [<k>:<label>:<margin>[:early]...]
+//   STREAM_CLOSE <id>                   -> OK closed <id> samples=...
+//                                            windows=... decisions=... early=...
+//   STREAMS                             -> OK <n> <id...>
+//
+// STREAM_FEED may accept fewer samples than offered (backpressure: the
+// session ring is full); the producer re-offers the remainder.
+//
 // Failures answer "ERR <CODE> <detail>", where CODE is one of TIMEOUT,
-// OVERLOADED, NOT_FOUND, SHUTDOWN, BAD_REQUEST. The protocol carries no
-// connection state, so HandleLine is safe to call from any number of
-// connection threads concurrently.
+// OVERLOADED, NOT_FOUND, SHUTDOWN, BAD_REQUEST. Apart from stream
+// sessions the protocol carries no connection state, so HandleLine is
+// safe to call from any number of connection threads concurrently.
 
 #ifndef RPM_SERVE_SERVER_H_
 #define RPM_SERVE_SERVER_H_
 
 #include <chrono>
+#include <deque>
 #include <future>
 #include <string>
+#include <string_view>
 
 #include "serve/batching_queue.h"
 #include "serve/model_registry.h"
 #include "serve/server_stats.h"
+#include "stream/session_manager.h"
+#include "stream/stream_scorer.h"
 
 namespace rpm::serve {
 
@@ -32,6 +51,46 @@ struct ServerOptions {
   BatchingOptions batching;
   /// Deadline applied to CLASSIFY requests that don't carry their own.
   std::chrono::milliseconds default_timeout{1000};
+  /// Stream session limits (max sessions, idle eviction, reaper cadence).
+  stream::StreamManagerOptions streaming;
+};
+
+/// Reassembles protocol lines from arbitrary read() chunks, with a hard
+/// bound on line length so a client that never sends '\n' (or sends one
+/// gigantic line) cannot grow server memory without limit. Oversized
+/// lines are discarded as they arrive and surface as kOversized exactly
+/// once — at the point where the line would have completed — so the
+/// connection can answer with an explicit error and keep going.
+class LineAssembler {
+ public:
+  static constexpr std::size_t kDefaultMaxLine = std::size_t{1} << 20;
+
+  explicit LineAssembler(std::size_t max_line = kDefaultMaxLine)
+      : max_line_(max_line) {}
+
+  /// Buffers one received chunk (any framing: partial lines, many lines,
+  /// split anywhere — including mid-CRLF).
+  void Append(std::string_view data);
+
+  enum class LineStatus {
+    kNone,       ///< no complete line buffered yet
+    kLine,       ///< *line holds the next line (no '\n', '\r' stripped)
+    kOversized,  ///< a line exceeded max_line and was dropped
+  };
+  /// Pops the next complete line in arrival order.
+  LineStatus NextLine(std::string* line);
+
+  std::size_t max_line() const { return max_line_; }
+
+ private:
+  struct Item {
+    bool oversized;
+    std::string line;
+  };
+  std::size_t max_line_;
+  std::deque<Item> ready_;
+  std::string partial_;
+  bool discarding_ = false;
 };
 
 class InferenceServer {
@@ -67,7 +126,20 @@ class InferenceServer {
   StatsSnapshot Stats() const { return stats_.Snapshot(); }
   ModelRegistry& registry() { return registry_; }
 
-  /// Stops admissions, drains admitted requests. Idempotent.
+  // ---- Streaming API (protocol-independent) ----
+
+  /// Opens a stream session on `model`, pinning the currently loaded
+  /// version for the session's lifetime (hot reloads don't affect it).
+  stream::StreamSessionManager::OpenResult OpenStream(
+      const std::string& model, stream::StreamOptions options);
+  stream::StreamSessionManager::FeedResult FeedStream(
+      const std::string& id, ts::SeriesView values);
+  stream::StreamSessionManager::CloseResult CloseStream(
+      const std::string& id);
+  stream::StreamSessionManager& streams() { return streams_; }
+
+  /// Stops admissions, closes stream sessions, drains admitted requests.
+  /// Idempotent.
   void Shutdown();
 
   // ---- Text protocol ----
@@ -79,10 +151,30 @@ class InferenceServer {
   std::string HandleLine(const std::string& line);
 
  private:
+  /// Forwards stream lifecycle/throughput events into ServerStats.
+  class StreamSink : public stream::StreamStatsSink {
+   public:
+    explicit StreamSink(ServerStats* stats) : stats_(stats) {}
+    void OnOpen() override { stats_->RecordStreamOpen(); }
+    void OnClose() override { stats_->RecordStreamClose(); }
+    void OnEvict() override { stats_->RecordStreamEvict(); }
+    void OnFeed(std::size_t accepted, bool truncated) override {
+      stats_->RecordStreamFeed(accepted, truncated);
+    }
+    void OnDecision(double score_us, bool early) override {
+      stats_->RecordStreamDecision(score_us, early);
+    }
+
+   private:
+    ServerStats* stats_;
+  };
+
   ServerOptions options_;
   ModelRegistry registry_;
   ServerStats stats_;
   BatchingQueue queue_;
+  StreamSink stream_sink_{&stats_};
+  stream::StreamSessionManager streams_;
 };
 
 }  // namespace rpm::serve

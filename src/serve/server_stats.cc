@@ -61,7 +61,8 @@ HistogramSnapshot Histogram::Snapshot() const {
 
 ServerStats::ServerStats()
     : latency_us_(Histogram::Geometric(1.0, 1.35)),
-      batch_occupancy_(Histogram::Linear(1.0)) {}
+      batch_occupancy_(Histogram::Linear(1.0)),
+      stream_score_us_(Histogram::Geometric(1.0, 1.35)) {}
 
 void ServerStats::RecordOk(double latency_us) {
   ok_.fetch_add(1, std::memory_order_relaxed);
@@ -78,6 +79,12 @@ void ServerStats::RecordBatch(std::size_t occupancy) {
   batch_occupancy_.Record(double(occupancy));
 }
 
+void ServerStats::RecordStreamDecision(double score_us, bool early) {
+  stream_decisions_.fetch_add(1, std::memory_order_relaxed);
+  if (early) stream_early_.fetch_add(1, std::memory_order_relaxed);
+  stream_score_us_.Record(score_us);
+}
+
 StatsSnapshot ServerStats::Snapshot() const {
   StatsSnapshot snap;
   snap.admitted = admitted_.load(std::memory_order_relaxed);
@@ -88,19 +95,32 @@ StatsSnapshot ServerStats::Snapshot() const {
   snap.rejected_shutdown =
       rejected_shutdown_.load(std::memory_order_relaxed);
   snap.batches = batches_.load(std::memory_order_relaxed);
+  snap.streams_opened = streams_opened_.load(std::memory_order_relaxed);
+  snap.streams_closed = streams_closed_.load(std::memory_order_relaxed);
+  snap.streams_evicted = streams_evicted_.load(std::memory_order_relaxed);
+  snap.stream_samples = stream_samples_.load(std::memory_order_relaxed);
+  snap.stream_decisions = stream_decisions_.load(std::memory_order_relaxed);
+  snap.stream_early = stream_early_.load(std::memory_order_relaxed);
+  snap.stream_truncated_feeds =
+      stream_truncated_feeds_.load(std::memory_order_relaxed);
   snap.latency_us = latency_us_.Snapshot();
   snap.batch_occupancy = batch_occupancy_.Snapshot();
+  snap.stream_score_us = stream_score_us_.Snapshot();
   return snap;
 }
 
 std::string StatsSnapshot::ToJson() const {
-  char buf[512];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"admitted\":%llu,\"ok\":%llu,\"timeout\":%llu,\"shed\":%llu,"
       "\"not_found\":%llu,\"rejected_shutdown\":%llu,\"batches\":%llu,"
       "\"mean_batch_occupancy\":%.2f,\"latency_us\":{\"p50\":%.1f,"
-      "\"p95\":%.1f,\"p99\":%.1f,\"mean\":%.1f}}",
+      "\"p95\":%.1f,\"p99\":%.1f,\"mean\":%.1f},"
+      "\"streams\":{\"opened\":%llu,\"closed\":%llu,\"evicted\":%llu,"
+      "\"samples\":%llu,\"decisions\":%llu,\"early\":%llu,"
+      "\"truncated_feeds\":%llu,\"score_us\":{\"p50\":%.1f,\"p95\":%.1f,"
+      "\"p99\":%.1f,\"mean\":%.1f}}}",
       static_cast<unsigned long long>(admitted),
       static_cast<unsigned long long>(ok),
       static_cast<unsigned long long>(timeout),
@@ -109,7 +129,16 @@ std::string StatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(rejected_shutdown),
       static_cast<unsigned long long>(batches), batch_occupancy.Mean(),
       latency_us.Percentile(50.0), latency_us.Percentile(95.0),
-      latency_us.Percentile(99.0), latency_us.Mean());
+      latency_us.Percentile(99.0), latency_us.Mean(),
+      static_cast<unsigned long long>(streams_opened),
+      static_cast<unsigned long long>(streams_closed),
+      static_cast<unsigned long long>(streams_evicted),
+      static_cast<unsigned long long>(stream_samples),
+      static_cast<unsigned long long>(stream_decisions),
+      static_cast<unsigned long long>(stream_early),
+      static_cast<unsigned long long>(stream_truncated_feeds),
+      stream_score_us.Percentile(50.0), stream_score_us.Percentile(95.0),
+      stream_score_us.Percentile(99.0), stream_score_us.Mean());
   return std::string(buf);
 }
 

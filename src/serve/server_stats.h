@@ -69,8 +69,16 @@ struct StatsSnapshot {
   std::uint64_t not_found = 0;  ///< unknown model name
   std::uint64_t rejected_shutdown = 0;  ///< submitted after Shutdown
   std::uint64_t batches = 0;    ///< micro-batches dispatched
+  std::uint64_t streams_opened = 0;
+  std::uint64_t streams_closed = 0;
+  std::uint64_t streams_evicted = 0;       ///< idle-reaped sessions
+  std::uint64_t stream_samples = 0;        ///< samples accepted across feeds
+  std::uint64_t stream_decisions = 0;      ///< decisions emitted
+  std::uint64_t stream_early = 0;          ///< of which early
+  std::uint64_t stream_truncated_feeds = 0;  ///< feeds hit backpressure
   HistogramSnapshot latency_us;       ///< submit -> completion, microseconds
   HistogramSnapshot batch_occupancy;  ///< live requests per dispatched batch
+  HistogramSnapshot stream_score_us;  ///< per-window scoring time
 
   /// One-line JSON rendering (the STATS protocol response body).
   std::string ToJson() const;
@@ -94,6 +102,23 @@ class ServerStats {
   }
   void RecordBatch(std::size_t occupancy);
 
+  void RecordStreamOpen() {
+    streams_opened_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordStreamClose() {
+    streams_closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordStreamEvict() {
+    streams_evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordStreamFeed(std::size_t accepted, bool truncated) {
+    stream_samples_.fetch_add(accepted, std::memory_order_relaxed);
+    if (truncated) {
+      stream_truncated_feeds_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void RecordStreamDecision(double score_us, bool early);
+
   StatsSnapshot Snapshot() const;
 
  private:
@@ -104,8 +129,16 @@ class ServerStats {
   std::atomic<std::uint64_t> not_found_{0};
   std::atomic<std::uint64_t> rejected_shutdown_{0};
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> streams_opened_{0};
+  std::atomic<std::uint64_t> streams_closed_{0};
+  std::atomic<std::uint64_t> streams_evicted_{0};
+  std::atomic<std::uint64_t> stream_samples_{0};
+  std::atomic<std::uint64_t> stream_decisions_{0};
+  std::atomic<std::uint64_t> stream_early_{0};
+  std::atomic<std::uint64_t> stream_truncated_feeds_{0};
   Histogram latency_us_;
   Histogram batch_occupancy_;
+  Histogram stream_score_us_;
 };
 
 }  // namespace rpm::serve

@@ -1,0 +1,42 @@
+#include "stream/stream_buffer.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rpm::stream {
+
+StreamBuffer::StreamBuffer(std::size_t capacity) : ring_(capacity) {}
+
+bool StreamBuffer::Push(double v) {
+  if (size() == ring_.size()) return false;
+  ring_[static_cast<std::size_t>(end_ % ring_.size())] = v;
+  ++end_;
+  return true;
+}
+
+std::size_t StreamBuffer::PushSome(ts::SeriesView values) {
+  const std::size_t n = std::min(values.size(), free_space());
+  for (std::size_t i = 0; i < n; ++i) {
+    ring_[static_cast<std::size_t>(end_ % ring_.size())] = values[i];
+    ++end_;
+  }
+  return n;
+}
+
+void StreamBuffer::CopyTo(std::uint64_t start, std::size_t len,
+                          double* out) const {
+  const std::size_t cap = ring_.size();
+  const std::size_t first = static_cast<std::size_t>(start % cap);
+  // At most one wrap: the range is retained, so len <= cap.
+  const std::size_t head = std::min(len, cap - first);
+  std::memcpy(out, ring_.data() + first, head * sizeof(double));
+  if (head < len) {
+    std::memcpy(out + head, ring_.data(), (len - head) * sizeof(double));
+  }
+}
+
+void StreamBuffer::DiscardBefore(std::uint64_t index) {
+  begin_ = std::min(std::max(begin_, index), end_);
+}
+
+}  // namespace rpm::stream

@@ -1,0 +1,73 @@
+// Fixed-capacity ring buffer over an unbounded sample stream.
+//
+// Samples carry monotonically increasing stream indices: the i-th sample
+// ever pushed has index i, forever, regardless of how many times the ring
+// has wrapped. The scorer addresses windows by stream index ([k*hop,
+// k*hop + window)), the buffer maps indices to ring slots, and eviction
+// is explicit — the owner discards prefixes it has proven it will never
+// read again (scored windows, samples past the rolling-stats horizon).
+//
+// Bounded memory is the point: Push refuses samples once the ring is
+// full, which is the backpressure signal the session layer surfaces to
+// producers (accepted < offered) instead of buffering without limit.
+
+#ifndef RPM_STREAM_STREAM_BUFFER_H_
+#define RPM_STREAM_STREAM_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ts/series.h"
+
+namespace rpm::stream {
+
+class StreamBuffer {
+ public:
+  StreamBuffer() = default;
+  /// Ring of `capacity` doubles (capacity > 0); memory is allocated once
+  /// here and never again.
+  explicit StreamBuffer(std::size_t capacity);
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Samples currently retained (end() - begin()).
+  std::size_t size() const { return static_cast<std::size_t>(end_ - begin_); }
+  std::size_t free_space() const { return capacity() - size(); }
+
+  /// Stream index of the oldest retained sample.
+  std::uint64_t begin() const { return begin_; }
+  /// One past the stream index of the newest sample == total samples ever
+  /// pushed.
+  std::uint64_t end() const { return end_; }
+
+  /// Appends one sample; false (sample not stored) when the ring is full.
+  bool Push(double v);
+
+  /// Appends up to free_space() samples from `values`; returns how many
+  /// were stored (a prefix of `values`).
+  std::size_t PushSome(ts::SeriesView values);
+
+  /// The sample with stream index `index`.
+  /// Precondition: begin() <= index < end().
+  double At(std::uint64_t index) const {
+    return ring_[static_cast<std::size_t>(index % ring_.size())];
+  }
+
+  /// Copies the retained range [start, start + len) into `out`
+  /// (contiguous, unwrapped). Precondition: begin() <= start and
+  /// start + len <= end().
+  void CopyTo(std::uint64_t start, std::size_t len, double* out) const;
+
+  /// Drops every sample with stream index < `index` (no-op when `index`
+  /// <= begin(); `index` is clamped to end()).
+  void DiscardBefore(std::uint64_t index);
+
+ private:
+  std::vector<double> ring_;
+  std::uint64_t begin_ = 0;  // oldest retained stream index
+  std::uint64_t end_ = 0;    // total pushed == next index to assign
+};
+
+}  // namespace rpm::stream
+
+#endif  // RPM_STREAM_STREAM_BUFFER_H_

@@ -1,0 +1,241 @@
+#include "stream/stream_scorer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "ts/znorm.h"
+
+namespace rpm::stream {
+
+namespace {
+
+// Sanity bound on window/hop: a corrupt or hostile STREAM_OPEN must not
+// translate into a multi-gigabyte ring allocation.
+constexpr std::size_t kMaxWindow = std::size_t{1} << 22;
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+std::string ValidateStreamOptions(StreamOptions* options) {
+  if (options->window == 0) return "window must be positive";
+  if (options->window > kMaxWindow) return "window too large";
+  if (options->hop == 0) options->hop = options->window;
+  if (options->hop > kMaxWindow) return "hop too large";
+  if (options->early_fraction < 0.0 || options->early_fraction > 1.0) {
+    return "early_fraction must be in [0, 1]";
+  }
+  if (options->early_margin < 0.0 || options->early_margin > 1.0) {
+    return "early_margin must be in [0, 1]";
+  }
+  if (options->capacity == 0) {
+    // Auto: the rolling-stats horizon (window + 1 retained samples) plus
+    // at least one hop of headroom so steady-state feeds never stall.
+    options->capacity =
+        options->window + 1 +
+        std::max({options->hop, options->window, std::size_t{256}});
+  }
+  if (options->capacity < options->window + 2) {
+    return "capacity must exceed window + 1";
+  }
+  return "";
+}
+
+StreamScorer::StreamScorer(const core::ClassificationEngine* engine,
+                           const StreamOptions& options)
+    : engine_(engine),
+      options_(options),
+      buffer_(options.capacity),
+      rolling_(options.window, options.stats_refresh_interval),
+      scratch_(options.window, 0.0) {
+  // Group pattern indices by class once; BestClassMargin walks the groups
+  // on every scored window.
+  const auto& patterns = engine_->classifier().patterns();
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    by_class[patterns[i].class_label].push_back(i);
+  }
+  class_patterns_.reserve(by_class.size());
+  for (auto& [label, indices] : by_class) {
+    class_patterns_.push_back(std::move(indices));
+  }
+}
+
+double StreamScorer::BestClassMargin(const std::vector<double>& row) const {
+  // Per-class best (minimum) pattern distance; the margin is the relative
+  // gap between the two closest classes.
+  double best = std::numeric_limits<double>::infinity();
+  double second = std::numeric_limits<double>::infinity();
+  for (const auto& indices : class_patterns_) {
+    double class_min = std::numeric_limits<double>::infinity();
+    for (const std::size_t i : indices) {
+      class_min = std::min(class_min, row[i]);
+    }
+    if (class_min < best) {
+      second = best;
+      best = class_min;
+    } else if (class_min < second) {
+      second = class_min;
+    }
+  }
+  if (!std::isfinite(second)) return 0.0;  // fewer than two classes
+  if (second <= 0.0) return 0.0;           // two exact matches: no signal
+  const double margin = (second - best) / second;
+  return std::clamp(margin, 0.0, 1.0);
+}
+
+StreamDecision StreamScorer::ScoreWindow(std::uint64_t start,
+                                         std::size_t len) {
+  const Clock::time_point t0 = Clock::now();
+  StreamDecision decision;
+  decision.start = start;
+  decision.length = len;
+  buffer_.CopyTo(start, len, scratch_.data());
+  if (options_.znorm_windows) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    if (len == options_.window) {
+      // Full frontier window: the rolling accumulators cover exactly
+      // [start, start + window) at this instant.
+      sum = rolling_.sum();
+      sum_sq = rolling_.sum_sq();
+    } else {
+      for (std::size_t i = 0; i < len; ++i) {
+        sum += scratch_[i];
+        sum_sq += scratch_[i] * scratch_[i];
+      }
+    }
+    double mu = 0.0;
+    double sigma = 0.0;
+    ts::WindowMomentsFromSums(sum, sum_sq, 1.0 / static_cast<double>(len),
+                              &mu, &sigma);
+    const double inv_sigma = 1.0 / sigma;  // flat rule: sigma == 1.0
+    for (std::size_t i = 0; i < len; ++i) {
+      scratch_[i] = (scratch_[i] - mu) * inv_sigma;
+    }
+  }
+  const ts::SeriesView view(scratch_.data(), len);
+  if (engine_->has_feature_space()) {
+    const std::vector<double> row = engine_->Row(view);
+    decision.label = engine_->PredictRow(row);
+    decision.margin = BestClassMargin(row);
+  } else {
+    decision.label = engine_->classifier().majority_label();
+  }
+  decision.score_us = MicrosSince(t0);
+  return decision;
+}
+
+void StreamScorer::MaybeClassifyEarly(std::vector<StreamDecision>* out) {
+  if (options_.early_fraction <= 0.0 || early_decided_) return;
+  if (!engine_->has_feature_space()) return;
+  const std::uint64_t end = buffer_.end();
+  if (end <= next_start_) return;
+  const std::size_t len = static_cast<std::size_t>(end - next_start_);
+  if (len >= options_.window) return;  // the full window decides
+  const auto min_len = static_cast<std::size_t>(std::ceil(
+      options_.early_fraction * static_cast<double>(options_.window)));
+  if (len < std::max<std::size_t>(2, min_len)) return;
+  if (len == early_attempt_len_) return;  // no new samples since last try
+  early_attempt_len_ = len;
+
+  StreamDecision decision = ScoreWindow(next_start_, len);
+  ++windows_scored_;
+  if (decision.margin < options_.early_margin) return;  // defer
+  decision.window_index = next_index_;
+  decision.early = true;
+  early_decided_ = true;
+  ++decisions_;
+  ++early_decisions_;
+  if (observer_) {
+    observer_(decision, ts::SeriesView(scratch_.data(), decision.length));
+  }
+  out->push_back(std::move(decision));
+}
+
+std::size_t StreamScorer::Feed(ts::SeriesView values,
+                               std::vector<StreamDecision>* out) {
+  const std::size_t window = options_.window;
+  std::size_t accepted = 0;
+  while (accepted < values.size()) {
+    if (buffer_.free_space() == 0) {
+      // Evict everything no future window or rolling refresh can read:
+      // samples before the frontier window start and older than the
+      // rolling-stats horizon (window + 1 trailing samples).
+      const std::uint64_t end = buffer_.end();
+      const std::uint64_t horizon = end > window ? end - window - 1 : 0;
+      buffer_.DiscardBefore(std::min(next_start_, horizon));
+      if (buffer_.free_space() == 0) break;  // backpressure
+    }
+    const double v = values[accepted];
+    buffer_.Push(v);
+    ++accepted;
+
+    const std::uint64_t end = buffer_.end();
+    if (end <= window) {
+      rolling_.Add(v);
+    } else {
+      rolling_.Slide(v, buffer_.At(end - 1 - window));
+      if (rolling_.NeedsRefresh()) {
+        buffer_.CopyTo(end - window, window, scratch_.data());
+        rolling_.Refresh(ts::SeriesView(scratch_.data(), window));
+      }
+    }
+
+    if (end == next_start_ + window) {
+      if (!early_decided_) {
+        StreamDecision decision = ScoreWindow(next_start_, window);
+        decision.window_index = next_index_;
+        ++windows_scored_;
+        ++decisions_;
+        if (observer_) {
+          observer_(decision, ts::SeriesView(scratch_.data(), window));
+        }
+        out->push_back(std::move(decision));
+      }
+      ++next_index_;
+      next_start_ += options_.hop;
+      early_decided_ = false;
+      early_attempt_len_ = 0;
+    }
+  }
+  MaybeClassifyEarly(out);
+  return accepted;
+}
+
+std::vector<StreamDecision> ReplayWindows(
+    const core::ClassificationEngine& engine, ts::SeriesView feed,
+    StreamOptions options, std::vector<ts::Series>* windows) {
+  const std::string error = ValidateStreamOptions(&options);
+  if (!error.empty()) {
+    throw std::invalid_argument("ReplayWindows: " + error);
+  }
+  StreamScorer scorer(&engine, options);
+  if (windows != nullptr) {
+    scorer.set_window_observer(
+        [windows](const StreamDecision&, ts::SeriesView w) {
+          windows->emplace_back(w.begin(), w.end());
+        });
+  }
+  std::vector<StreamDecision> out;
+  std::size_t offset = 0;
+  while (offset < feed.size()) {
+    const std::size_t n =
+        scorer.Feed(feed.subspan(offset), &out);
+    if (n == 0) break;  // ring exhausted under a user-set tiny capacity
+    offset += n;
+  }
+  return out;
+}
+
+}  // namespace rpm::stream

@@ -1,0 +1,156 @@
+// Per-session streaming scorer: turns an unbounded sample feed into a
+// sequence of rolling class decisions.
+//
+// Windows are addressed by hop index k — window k covers stream indices
+// [k*hop, k*hop + window). As samples arrive the scorer
+//
+//  * maintains incremental window moments (ts::RollingStats, one
+//    Add/Slide per sample, exact recompute every
+//    `stats_refresh_interval` samples to bound drift);
+//  * when a window completes, materializes it out of the ring,
+//    z-normalizes it with the rolling moments (same flat-window rule as
+//    the batch path via ts::WindowMomentsFromSums), and scores it
+//    through the model's warm core::ClassificationEngine — the pattern
+//    contexts and the AVX2 best-match scan are exactly the batch
+//    CLASSIFY machinery, re-derived zero times per hop;
+//  * optionally emits a decision *before* the frontier window is full
+//    (early classification): once a prefix of at least
+//    `early_fraction * window` samples scores with a best-class margin
+//    of at least `early_margin`, the hop is decided on the spot and the
+//    full window is skipped when it completes.
+//
+// Determinism: for a fixed sample sequence and options, the decisions
+// are byte-identical regardless of how the feed is chunked — the
+// per-sample state machine never looks at chunk boundaries. (The one
+// exception is early classification, which by design fires at
+// end-of-feed probes and therefore depends on chunking; it is off by
+// default.) This is what the golden streaming-vs-batch tests pin down.
+//
+// Not thread-safe; the session manager serializes feeds per session.
+
+#ifndef RPM_STREAM_STREAM_SCORER_H_
+#define RPM_STREAM_STREAM_SCORER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "stream/stream_buffer.h"
+#include "ts/series.h"
+#include "ts/znorm.h"
+
+namespace rpm::stream {
+
+struct StreamOptions {
+  /// Samples per scored window. Required (> 0).
+  std::size_t window = 0;
+  /// Stride between window starts; 0 defaults to `window` (tumbling).
+  std::size_t hop = 0;
+  /// Z-normalize each window before scoring (UCR instances are
+  /// z-normalized, so raw feeds need this on to match trained models).
+  bool znorm_windows = true;
+  /// Samples between exact rolling-moment recomputes (0 = never). The
+  /// default keeps incremental-vs-exact drift under 1e-9 even on
+  /// far-wandering random-walk feeds; the amortized recompute cost is
+  /// window/interval operations per sample.
+  std::size_t stats_refresh_interval = 1024;
+  /// Fraction of the window a prefix must reach before early
+  /// classification is attempted; 0 disables early decisions.
+  double early_fraction = 0.0;
+  /// Best-class margin (in [0, 1]) a prefix must score to decide early.
+  double early_margin = 0.5;
+  /// Ring capacity in samples; 0 = auto (window + hop + slack). Must
+  /// exceed window + 1 so the rolling stats always have their horizon.
+  std::size_t capacity = 0;
+};
+
+/// Normalizes defaults (hop, capacity) in place and returns an empty
+/// string, or returns a description of why the options are invalid.
+std::string ValidateStreamOptions(StreamOptions* options);
+
+/// One emitted classification.
+struct StreamDecision {
+  std::uint64_t window_index = 0;  ///< hop index k
+  std::uint64_t start = 0;         ///< k * hop (stream sample index)
+  std::size_t length = 0;          ///< samples scored (< window if early)
+  int label = 0;
+  /// Best-class margin from the pattern-distance row, in [0, 1]
+  /// ((d2 - d1) / d2 over per-class minimum distances); 0 when the model
+  /// has patterns from fewer than two classes or no feature space.
+  double margin = 0.0;
+  bool early = false;
+  /// Wall time spent scoring this window, microseconds.
+  double score_us = 0.0;
+};
+
+class StreamScorer {
+ public:
+  /// `engine` must outlive the scorer (the session pins the model).
+  /// `options` must have passed ValidateStreamOptions.
+  StreamScorer(const core::ClassificationEngine* engine,
+               const StreamOptions& options);
+
+  /// Ingests a prefix of `values` (bounded by ring free space after
+  /// eviction — the backpressure bound), scoring every window that
+  /// completes; appends emitted decisions to *out. Returns how many
+  /// samples were accepted; a short count means the producer outran the
+  /// ring and must re-offer the rest.
+  std::size_t Feed(ts::SeriesView values, std::vector<StreamDecision>* out);
+
+  const StreamOptions& options() const { return options_; }
+  std::uint64_t samples() const { return buffer_.end(); }
+  std::uint64_t windows_scored() const { return windows_scored_; }
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t early_decisions() const { return early_decisions_; }
+
+  /// Test/replay hook: observes every scored window *after*
+  /// normalization, exactly as the engine saw it. The view is only valid
+  /// during the call.
+  using WindowObserver =
+      std::function<void(const StreamDecision&, ts::SeriesView)>;
+  void set_window_observer(WindowObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  /// Materializes + normalizes [start, start+len) into scratch_ and
+  /// scores it. Fills everything except window_index/early.
+  StreamDecision ScoreWindow(std::uint64_t start, std::size_t len);
+  void MaybeClassifyEarly(std::vector<StreamDecision>* out);
+  double BestClassMargin(const std::vector<double>& row) const;
+
+  const core::ClassificationEngine* engine_;
+  StreamOptions options_;
+  StreamBuffer buffer_;
+  ts::RollingStats rolling_;
+  /// Representative-pattern indices grouped per class (margin computation).
+  std::vector<std::vector<std::size_t>> class_patterns_;
+  ts::Series scratch_;  // one window, reused every hop
+
+  std::uint64_t next_index_ = 0;  // hop index of the frontier window
+  std::uint64_t next_start_ = 0;  // == next_index_ * hop
+  bool early_decided_ = false;    // frontier hop already decided early
+  std::size_t early_attempt_len_ = 0;  // prefix length at the last attempt
+
+  std::uint64_t windows_scored_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t early_decisions_ = 0;
+  WindowObserver observer_;
+};
+
+/// Offline replay: runs a scorer with the same options over `feed` in a
+/// single Feed call and returns the emitted decisions; when `windows` is
+/// non-null, also captures each scored window post-normalization. This
+/// is the batch-side half of the streaming-equals-batch golden tests and
+/// the bench baseline. (With early classification enabled, decisions
+/// depend on feed chunking, so replay only reproduces a live session's
+/// output when early is off or the chunking matches.)
+std::vector<StreamDecision> ReplayWindows(
+    const core::ClassificationEngine& engine, ts::SeriesView feed,
+    StreamOptions options, std::vector<ts::Series>* windows = nullptr);
+
+}  // namespace rpm::stream
+
+#endif  // RPM_STREAM_STREAM_SCORER_H_

@@ -281,6 +281,61 @@ TEST(InferenceServer, ProtocolRoundTrip) {
   EXPECT_EQ(server.HandleLine("QUIT"), "OK bye");
 }
 
+// ---------------- LineAssembler (connection framing) ----------------
+
+using LineStatus = serve::LineAssembler::LineStatus;
+
+TEST(LineAssembler, ReassemblesPartialReadsAndStripsCrlf) {
+  serve::LineAssembler assembler;
+  std::string line;
+  EXPECT_EQ(assembler.NextLine(&line), LineStatus::kNone);
+  assembler.Append("CLAS");
+  EXPECT_EQ(assembler.NextLine(&line), LineStatus::kNone);
+  assembler.Append("SIFY gp 1,2\r\nSTATS\nQU");
+  ASSERT_EQ(assembler.NextLine(&line), LineStatus::kLine);
+  EXPECT_EQ(line, "CLASSIFY gp 1,2");
+  ASSERT_EQ(assembler.NextLine(&line), LineStatus::kLine);
+  EXPECT_EQ(line, "STATS");
+  EXPECT_EQ(assembler.NextLine(&line), LineStatus::kNone);
+  assembler.Append("IT\n");
+  ASSERT_EQ(assembler.NextLine(&line), LineStatus::kLine);
+  EXPECT_EQ(line, "QUIT");
+}
+
+TEST(LineAssembler, CrlfSplitAcrossChunksStillStripped) {
+  serve::LineAssembler assembler;
+  assembler.Append("PING\r");
+  assembler.Append("\n");
+  std::string line;
+  ASSERT_EQ(assembler.NextLine(&line), LineStatus::kLine);
+  EXPECT_EQ(line, "PING");
+}
+
+TEST(LineAssembler, OversizedLineIsDroppedOnceThenRecovers) {
+  serve::LineAssembler assembler(16);
+  // A line that never fits, streamed in pieces: memory must not grow and
+  // the event must surface exactly once, at the newline.
+  for (int i = 0; i < 1000; ++i) assembler.Append("xxxxxxxxxx");
+  std::string line;
+  EXPECT_EQ(assembler.NextLine(&line), LineStatus::kNone);
+  assembler.Append("tail\nSTATS\n");
+  EXPECT_EQ(assembler.NextLine(&line), LineStatus::kOversized);
+  ASSERT_EQ(assembler.NextLine(&line), LineStatus::kLine);
+  EXPECT_EQ(line, "STATS");
+  EXPECT_EQ(assembler.NextLine(&line), LineStatus::kNone);
+}
+
+TEST(LineAssembler, ExactBoundaryLineStillFits) {
+  serve::LineAssembler assembler(5);
+  assembler.Append("12345\n123456\n1\n");
+  std::string line;
+  ASSERT_EQ(assembler.NextLine(&line), LineStatus::kLine);
+  EXPECT_EQ(line, "12345");
+  EXPECT_EQ(assembler.NextLine(&line), LineStatus::kOversized);
+  ASSERT_EQ(assembler.NextLine(&line), LineStatus::kLine);
+  EXPECT_EQ(line, "1");
+}
+
 TEST(ServeConcurrency, ClientsHammerWhileModelHotReloads) {
   serve::ServerOptions options = FastOptions();
   options.batching.max_linger = microseconds(200);
