@@ -2,7 +2,10 @@
 // status quo — every Classify call rebuilds all K pattern contexts) vs
 // the batched inference server, single-stream and with 16 concurrent
 // clients. Writes BENCH_serve.json with throughput and p50/p99 latency
-// per mode.
+// per mode, and BENCH_serve_metrics.json with the METRICS scrape taken
+// at the end of the run (observability — tracing at the rpm_serve
+// default 1/16 sampling — stays enabled throughout, so the bench
+// numbers measure the instrumented configuration).
 //
 // The serving win measured here is context amortization and micro-
 // batching; on multi-core hosts batch dispatch additionally spreads rows
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "core/rpm.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "ts/generators.h"
 #include "ts/parallel.h"
@@ -132,9 +136,44 @@ void AppendJson(std::string& out, const ModeResult& r) {
   out += buf;
 }
 
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 16);
+  for (const char c : text) {
+    if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool WriteFile(const char* path, const std::string& content) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "%s\n", content.c_str());
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 int main() {
+  // Observability on for the whole run, at the same sampling rate
+  // rpm_serve defaults to: the published numbers are for the
+  // instrumented configuration (acceptance bar: < 3% vs the
+  // pre-observability snapshot).
+  rpm::obs::Tracer::Default().set_sample_every(16);
+  rpm::obs::Tracer::Default().Enable(true);
+
   // A long-pattern model: window near the series length means each
   // representative pattern spans most of the series, so the per-call
   // context rebuild (z-norm copy + O(n log n) sort per pattern) that the
@@ -194,6 +233,9 @@ int main() {
 
   ModeResult single_stream;
   ModeResult clients16;
+  std::string metrics_text;
+  std::string spans_json;
+  std::string stats_json;
   {
     rpm::serve::InferenceServer server(server_options);
     server.AddModel("bench", std::move(clf));
@@ -210,8 +252,13 @@ int main() {
       if (r.throughput_rps() > clients16.throughput_rps()) clients16 = r;
     }
     PrintMode(clients16);
+    stats_json = server.Stats().ToJson();
     std::fprintf(stderr, "[serve_bench] server stats: %s\n",
-                 server.Stats().ToJson().c_str());
+                 stats_json.c_str());
+    // The METRICS scrape and recent spans, captured while the server is
+    // still in scope (its registry dies with it).
+    metrics_text = server.MetricsText();
+    spans_json = server.HandleLine("TRACE 64").substr(3);  // strip "OK "
   }
 
   const double speedup =
@@ -230,13 +277,18 @@ int main() {
   std::snprintf(buf, sizeof(buf), ",\"speedup_16c_vs_per_request\":%.3f}",
                 speedup);
   json += buf;
-  std::FILE* f = std::fopen("BENCH_serve.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
-    return 1;
-  }
-  std::fprintf(f, "%s\n", json.c_str());
-  std::fclose(f);
+  if (!WriteFile("BENCH_serve.json", json)) return 1;
   std::printf("-> BENCH_serve.json\n");
+
+  // The end-of-run observability scrape: the full Prometheus text (as
+  // one escaped string), the final STATS JSON (same registry — the two
+  // must agree), and the most recent sampled spans.
+  std::string metrics_json = "{\"bench\":\"serve_metrics\",";
+  metrics_json += "\"stats\":" + stats_json + ",";
+  metrics_json += "\"spans\":" + spans_json + ",";
+  metrics_json +=
+      "\"prometheus_text\":\"" + JsonEscape(metrics_text) + "\"}";
+  if (!WriteFile("BENCH_serve_metrics.json", metrics_json)) return 1;
+  std::printf("-> BENCH_serve_metrics.json\n");
   return 0;
 }

@@ -8,7 +8,12 @@
 // Usage:
 //   rpm_serve [--port N | --unix PATH] [--model NAME=PATH ...]
 //             [--batch N] [--linger-us N] [--queue N] [--threads N]
-//             [--timeout-ms N]
+//             [--timeout-ms N] [--trace-sample N]
+//
+// Observability: the METRICS verb returns the Prometheus exposition of
+// every serve/stream/matcher metric; TRACE <n> returns recent trace
+// spans as JSON. --trace-sample N records 1 of every N spans (default
+// 16; 0 disables tracing entirely). See docs/OBSERVABILITY.md.
 //
 // Quickstart:
 //   rpm_cli train train.csv gunpoint.model --search fixed --window 25
@@ -33,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/server.h"
 
 namespace {
@@ -45,7 +51,9 @@ void OnSignal(int) { g_stop = 1; }
                "usage: rpm_serve [--port N | --unix PATH] "
                "[--model NAME=PATH ...]\n"
                "                 [--batch N] [--linger-us N] [--queue N] "
-               "[--threads N] [--timeout-ms N]\n");
+               "[--threads N] [--timeout-ms N]\n"
+               "                 [--trace-sample N]   (record 1/N spans; "
+               "0 disables tracing; default 16)\n");
   std::exit(2);
 }
 
@@ -54,6 +62,7 @@ struct ServeCliOptions {
   std::string unix_path;  // non-empty selects a Unix-domain socket
   std::vector<std::pair<std::string, std::string>> models;
   rpm::serve::ServerOptions server;
+  long trace_sample = 16;  // 1/N span sampling; 0 = tracing off
 };
 
 ServeCliOptions ParseArgs(int argc, char** argv) {
@@ -90,6 +99,9 @@ ServeCliOptions ParseArgs(int argc, char** argv) {
     } else if (arg == "--timeout-ms") {
       cli.server.default_timeout =
           std::chrono::milliseconds(std::atol(need(i++)));
+    } else if (arg == "--trace-sample") {
+      cli.trace_sample = std::atol(need(i++));
+      if (cli.trace_sample < 0) Usage();
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       Usage();
@@ -203,6 +215,12 @@ class ConnectionSet {
 
 int main(int argc, char** argv) {
   const ServeCliOptions cli = ParseArgs(argc, argv);
+
+  if (cli.trace_sample > 0) {
+    rpm::obs::Tracer::Default().set_sample_every(
+        static_cast<std::uint32_t>(cli.trace_sample));
+    rpm::obs::Tracer::Default().Enable(true);
+  }
 
   rpm::serve::InferenceServer server(cli.server);
   for (const auto& [name, path] : cli.models) {

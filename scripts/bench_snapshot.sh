@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
 # Records a benchmark snapshot at the repo root:
-#   BENCH_kernels.json  micro_kernels --json   (matcher + DTW-cascade
-#                       kernel timings with exactness checksums)
-#   BENCH_table2.json   table2_runtime --json  (suite sweep: per-dataset
-#                       LS/FS/RPM totals and per-method train sums)
-#   BENCH_stream.json   stream_bench           (streaming scorer:
-#                       samples/sec/session + decision p50/p95, single
-#                       and 8 concurrent sessions)
+#   BENCH_kernels.json        micro_kernels --json  (matcher + DTW-cascade
+#                             kernel timings with exactness checksums)
+#   BENCH_table2.json         table2_runtime --json (suite sweep:
+#                             per-dataset LS/FS/RPM totals and per-method
+#                             train sums)
+#   BENCH_stream.json         stream_bench          (streaming scorer:
+#                             samples/sec/session + decision p50/p95,
+#                             single and 8 concurrent sessions)
+#   BENCH_serve.json          serve_bench           (per-request vs
+#                             batched serving throughput + latency)
+#   BENCH_serve_metrics.json  serve_bench           (end-of-run METRICS
+#                             scrape: Prometheus text, STATS JSON, and
+#                             recent trace spans — the observability
+#                             view of the same run)
 #
 # Usage: scripts/bench_snapshot.sh [build-dir]   (default: build)
 #
@@ -22,7 +29,8 @@ build_dir="${1:-${repo_root}/build}"
 
 if [[ ! -x "${build_dir}/bench/micro_kernels" ||
       ! -x "${build_dir}/bench/table2_runtime" ||
-      ! -x "${build_dir}/bench/stream_bench" ]]; then
+      ! -x "${build_dir}/bench/stream_bench" ||
+      ! -x "${build_dir}/bench/serve_bench" ]]; then
   echo "bench binaries missing under ${build_dir}/bench;" \
        "configure with -DRPM_BUILD_BENCHMARKS=ON and build first" >&2
   exit 1
@@ -32,6 +40,8 @@ cd "${repo_root}"
 "${build_dir}/bench/micro_kernels" --json
 "${build_dir}/bench/table2_runtime" --json
 "${build_dir}/bench/stream_bench"
+"${build_dir}/bench/serve_bench"
 
 echo "snapshot written: ${repo_root}/BENCH_kernels.json," \
-     "${repo_root}/BENCH_table2.json, ${repo_root}/BENCH_stream.json"
+     "${repo_root}/BENCH_table2.json, ${repo_root}/BENCH_stream.json," \
+     "${repo_root}/BENCH_serve.json, ${repo_root}/BENCH_serve_metrics.json"

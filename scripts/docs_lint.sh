@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Documentation lint, run by ctest as the `docs` label (see
+# tests/CMakeLists.txt). Two cross-checks keep the docs honest:
+#
+#  1. Every protocol verb handled in src/serve/server.cc appears in
+#     docs/SERVING.md.
+#  2. Every metric family registered in the sources (rpm_*_total,
+#     rpm_*_microseconds, gauges, ...) appears in docs/OBSERVABILITY.md,
+#     and so does every trace span name recorded via TraceSpan /
+#     MaybeRecord.
+#
+# Run from the repo root (ctest sets WORKING_DIRECTORY accordingly):
+#   scripts/docs_lint.sh
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. protocol verbs ------------------------------------------------
+verbs=$(grep -oE 'cmd == "[A-Z_]+"' src/serve/server.cc |
+        grep -oE '"[A-Z_]+"' | tr -d '"' | sort -u)
+if [ -z "$verbs" ]; then
+  echo "docs_lint: found no verbs in src/serve/server.cc (pattern drift?)"
+  fail=1
+fi
+for verb in $verbs; do
+  if ! grep -q "\b${verb}\b" docs/SERVING.md; then
+    echo "docs_lint: verb ${verb} (src/serve/server.cc) missing from docs/SERVING.md"
+    fail=1
+  fi
+done
+
+# --- 2. metric families ----------------------------------------------
+metrics=$(grep -rhoE '"rpm_(serve|stream|matcher)_[a-z_]+"' src |
+          tr -d '"' | sort -u)
+if [ -z "$metrics" ]; then
+  echo "docs_lint: found no metric names under src/ (pattern drift?)"
+  fail=1
+fi
+for metric in $metrics; do
+  if ! grep -q "${metric}" docs/OBSERVABILITY.md; then
+    echo "docs_lint: metric ${metric} missing from docs/OBSERVABILITY.md"
+    fail=1
+  fi
+done
+
+# --- 3. span names ----------------------------------------------------
+spans=$(
+  {
+    grep -rhoE 'TraceSpan [a-z_]+\("[a-z_.]+"' src |
+      grep -oE '"[a-z_.]+"'
+    grep -rhoE 'MaybeRecord\("[a-z_.]+"' src |
+      grep -oE '"[a-z_.]+"'
+    # Phase spans are table-driven (core/phase_profile.cc).
+    grep -rhoE '"train\.[a-z_]+"' src/core/phase_profile.cc
+  } | tr -d '"' | sort -u
+)
+for span in $spans; do
+  if ! grep -q "${span}" docs/OBSERVABILITY.md; then
+    echo "docs_lint: span ${span} missing from docs/OBSERVABILITY.md"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs_lint: FAILED"
+  exit 1
+fi
+echo "docs_lint: OK ($(echo "$verbs" | wc -w | tr -d ' ') verbs, $(echo "$metrics" | wc -w | tr -d ' ') metrics, $(echo "$spans" | wc -w | tr -d ' ') spans)"

@@ -6,9 +6,11 @@
 # serving-layer suites (registry hot reload, batching queue, server
 # hammering, connection framing), and the streaming suites (session
 # manager under concurrent feeds, eviction racing feeds, shutdown racing
-# feeds — everything carrying the `stream` ctest label). Any data race in
-# the pool, the parallel transform paths, the training cache, the serve
-# path, or the stream session manager fails the script.
+# feeds — everything carrying the `stream` ctest label), and the
+# observability suites (8-thread registry/tracer hammer — the `obs`
+# label). Any data race in the pool, the parallel transform paths, the
+# training cache, the serve path, the stream session manager, or the
+# metric/trace cells fails the script.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -37,5 +39,10 @@ ctest --test-dir "${build_dir}" --output-on-failure -L training
 # Streaming suites: 8 sessions fed from 8 threads while models hot-reload
 # and the evictor runs, plus Shutdown racing active feeds.
 ctest --test-dir "${build_dir}" --output-on-failure -L stream
+
+# Observability suites: 8 threads hammering one registry's counter,
+# gauge, and histogram cells plus one tracer's rings while snapshots and
+# flushes race the writers.
+ctest --test-dir "${build_dir}" --output-on-failure -L obs
 
 echo "TSan check passed."

@@ -17,6 +17,10 @@ constexpr const char* kNames[PhaseProfile::kNumPhases] = {
     "discretization", "grammar", "clustering", "selection",
     "transform",      "svm"};
 
+constexpr const char* kSpanNames[PhaseProfile::kNumPhases] = {
+    "train.discretization", "train.grammar", "train.clustering",
+    "train.selection",      "train.transform", "train.svm"};
+
 }  // namespace
 
 void PhaseProfile::Enable(bool on) {
@@ -48,5 +52,7 @@ std::array<double, PhaseProfile::kNumPhases> PhaseProfile::Totals() {
 }
 
 const char* PhaseProfile::Name(Phase phase) { return kNames[phase]; }
+
+const char* PhaseProfile::SpanName(Phase phase) { return kSpanNames[phase]; }
 
 }  // namespace rpm::core

@@ -1,9 +1,16 @@
 // Opt-in wall-clock accounting for the training-path phases (used by
-// bench/table2_runtime --profile). Disabled it is a single relaxed
-// atomic load per instrumented scope, so the pipeline keeps its normal
-// cost; enabled, each scope adds its elapsed nanoseconds to a global
+// bench/table2_runtime --profile). Disabled it is two relaxed atomic
+// loads per instrumented scope, so the pipeline keeps its normal cost;
+// enabled, each scope adds its elapsed nanoseconds to a global
 // per-phase counter with fetch_add, so instrumented code is free to run
 // inside ParallelFor workers.
+//
+// Each scope is also a trace span: when the process tracer
+// (obs/trace.h) is enabled, the scope's timestamps are forwarded to
+// Tracer::MaybeRecord under the span name "train.<phase>" — the same
+// clock reads serve both accountings, and span sampling applies as
+// usual. This is how training phases appear next to serve/stream spans
+// in the TRACE view.
 //
 // Phases are not disjoint: parameter selection (kSelection) internally
 // re-runs discretization, grammar inference, and clustering for every
@@ -18,6 +25,8 @@
 #include <array>
 #include <chrono>
 #include <cstddef>
+
+#include "obs/trace.h"
 
 namespace rpm::core {
 
@@ -48,22 +57,28 @@ class PhaseProfile {
 
   /// Human-readable phase name ("discretization", ...).
   static const char* Name(Phase phase);
+
+  /// Trace span name ("train.discretization", ...); a static string.
+  static const char* SpanName(Phase phase);
 };
 
-/// RAII scope that charges its lifetime to a phase. The clock is only
-/// read when profiling is enabled at construction time.
+/// RAII scope that charges its lifetime to a phase and emits a trace
+/// span. The clock is only read when profiling or tracing is enabled at
+/// construction time.
 class ScopedPhaseTimer {
  public:
   explicit ScopedPhaseTimer(PhaseProfile::Phase phase)
-      : phase_(phase), armed_(PhaseProfile::enabled()) {
+      : phase_(phase),
+        armed_(PhaseProfile::enabled() || obs::Tracer::Default().enabled()) {
     if (armed_) start_ = std::chrono::steady_clock::now();
   }
   ~ScopedPhaseTimer() {
     if (armed_) {
+      const auto end = std::chrono::steady_clock::now();
       PhaseProfile::Add(
-          phase_, std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start_)
-                      .count());
+          phase_, std::chrono::duration<double>(end - start_).count());
+      obs::Tracer::Default().MaybeRecord(PhaseProfile::SpanName(phase_),
+                                         start_, end);
     }
   }
   ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;

@@ -12,10 +12,41 @@
 #define RPM_DOT_AVX2_DISPATCH 1
 #endif
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ts/znorm.h"
 
 namespace rpm::distance {
 namespace {
+
+// Process-wide matcher counters (obs::DefaultRegistry — the METRICS
+// verb renders them next to the per-server serve/stream metrics).
+// Resolved once; incrementing is one relaxed fetch_add per *scan*
+// (a scan is O(series length x pattern length) work, so the atomic is
+// noise). Never per window.
+struct MatcherMetrics {
+  obs::Counter* scans;
+  obs::Counter* matchall_calls;
+  obs::Counter* windows;
+
+  static const MatcherMetrics& Get() {
+    static const MatcherMetrics m = [] {
+      auto& reg = obs::DefaultRegistry();
+      MatcherMetrics out;
+      out.scans = reg.GetCounter(
+          "rpm_matcher_scans_total",
+          "Pattern-by-series best-match scans (incl. seeded/existence).");
+      out.matchall_calls = reg.GetCounter(
+          "rpm_matcher_matchall_calls_total",
+          "BatchMatcher::MatchAll invocations (one per series transform).");
+      out.windows = reg.GetCounter(
+          "rpm_matcher_scan_windows_total",
+          "Candidate windows covered by best-match scans.");
+      return out;
+    }();
+    return m;
+  }
+};
 
 // Dot product with four fixed partial sums combined as
 // (s0 + s1) + (s2 + s3): the association is spelled out, so the scalar,
@@ -371,16 +402,32 @@ BestMatch BestMatchScan(const PatternContext& pattern,
   return best;
 }
 
+// Candidate windows a scan over this pattern/series pair covers.
+std::size_t ScanWindows(const PatternContext& pattern,
+                        const SeriesContext& series) {
+  return pattern.empty() || pattern.size() > series.size()
+             ? 0
+             : series.size() - pattern.size() + 1;
+}
+
+void CountScan(const PatternContext& pattern, const SeriesContext& series) {
+  const MatcherMetrics& m = MatcherMetrics::Get();
+  m.scans->Increment();
+  m.windows->Increment(ScanWindows(pattern, series));
+}
+
 }  // namespace
 
 BestMatch BatchedBestMatch(const PatternContext& pattern,
                            const SeriesContext& series) {
+  CountScan(pattern, series);
   return BestMatchScan(pattern, series,
                        std::numeric_limits<double>::infinity());
 }
 
 BestMatch BatchedBestMatch(const PatternContext& pattern,
                            const SeriesContext& series, double cutoff) {
+  CountScan(pattern, series);
   if (std::isinf(cutoff)) return BestMatchScan(pattern, series, cutoff);
   // Seed in the scan's length-scaled squared space: distance < cutoff
   // iff n * distance^2 < n * cutoff^2 (the scan compares the exact same
@@ -393,6 +440,7 @@ BestMatch BatchedBestMatch(const PatternContext& pattern,
 
 bool BatchedMatchBelow(const PatternContext& pattern,
                        const SeriesContext& series, double cutoff) {
+  CountScan(pattern, series);
   if (std::isinf(cutoff)) {
     return BestMatchScan(pattern, series, cutoff).position !=
            BestMatch::npos;
@@ -417,6 +465,10 @@ void BatchMatcher::Add(ts::SeriesView pattern) {
 
 std::vector<BestMatch> BatchMatcher::MatchAll(
     const SeriesContext& series) const {
+  MatcherMetrics::Get().matchall_calls->Increment();
+  // Sampled span over the whole K-pattern scan; a relaxed load + branch
+  // when tracing is off.
+  obs::TraceSpan span("matcher.match_all");
   std::vector<BestMatch> out;
   out.reserve(patterns_.size());
   for (const auto& p : patterns_) {

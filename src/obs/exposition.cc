@@ -1,0 +1,139 @@
+#include "obs/exposition.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace rpm::obs {
+
+namespace {
+
+// Shortest round-trippable rendering that still reads as a number
+// ("1.35", "1e+06"); Prometheus accepts any float literal.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string FormatValue(const ScalarSample& s) {
+  if (s.is_counter) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                  std::uint64_t(std::llround(s.value)));
+    return buf;
+  }
+  return FormatDouble(s.value);
+}
+
+// Escapes a HELP text or label value per the exposition format.
+std::string Escape(const std::string& text, bool label_value) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (label_value && c == '"') {
+      out += "\\\"";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += Escape(v, /*label_value=*/true);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// le="..." appended to the cell's own labels for one bucket line.
+std::string RenderBucketLabels(const Labels& labels, const std::string& le) {
+  Labels with = labels;
+  with.emplace_back("le", le);
+  return RenderLabels(with);
+}
+
+void AppendHeader(std::string& out, const std::string& name,
+                  const std::string& help, const char* type,
+                  std::map<std::string, bool>& emitted) {
+  if (emitted[name]) return;
+  emitted[name] = true;
+  out += "# HELP " + name + ' ' + Escape(help, /*label_value=*/false) + '\n';
+  out += "# TYPE " + name + ' ' + type + '\n';
+}
+
+}  // namespace
+
+std::string RenderPrometheus(
+    const std::vector<const RegistrySnapshot*>& snaps) {
+  std::string out;
+  std::map<std::string, bool> emitted;  // HELP/TYPE once per family
+  for (const RegistrySnapshot* snap : snaps) {
+    for (const ScalarSample& s : snap->scalars) {
+      AppendHeader(out, s.name, s.help, s.is_counter ? "counter" : "gauge",
+                   emitted);
+      out += s.name + RenderLabels(s.labels) + ' ' + FormatValue(s) + '\n';
+    }
+    for (const HistogramSample& h : snap->histograms) {
+      AppendHeader(out, h.name, h.help, "histogram", emitted);
+      const HistogramSnapshot& hs = h.snapshot;
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < hs.upper_bounds.size(); ++i) {
+        cumulative += hs.counts[i];
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", cumulative);
+        out += h.name + "_bucket" +
+               RenderBucketLabels(h.labels, FormatDouble(hs.upper_bounds[i])) +
+               buf;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", hs.total);
+      out += h.name + "_bucket" + RenderBucketLabels(h.labels, "+Inf") + buf;
+      out += h.name + "_sum" + RenderLabels(h.labels) + ' ' +
+             FormatDouble(hs.sum) + '\n';
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", hs.total);
+      out += h.name + "_count" + RenderLabels(h.labels) + buf;
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string RenderPrometheus(const RegistrySnapshot& snap) {
+  return RenderPrometheus(std::vector<const RegistrySnapshot*>{&snap});
+}
+
+std::string RenderSpansJson(const std::vector<SpanRecord>& spans) {
+  std::string out = "[";
+  char buf[192];
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"start_us\":%.3f,\"dur_us\":%.3f,"
+                  "\"thread\":%u,\"seq\":%" PRIu64 "}",
+                  s.name, double(s.start_ns) / 1000.0,
+                  double(s.duration_ns) / 1000.0, s.thread, s.seq);
+    out += buf;
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace rpm::obs

@@ -1,0 +1,40 @@
+// Text expositors for the observability layer: the metric registry in
+// Prometheus text exposition format, and recent trace spans as one-line
+// JSON. Both operate on plain-value snapshots, so rendering never holds
+// a registry or ring lock.
+//
+// Prometheus format (v0.0.4 text):
+//   # HELP <name> <help>
+//   # TYPE <name> counter|gauge|histogram
+//   <name>{<labels>} <value>
+//   ...histograms additionally render cumulative <name>_bucket{le="..."}
+//   series ending in le="+Inf", plus <name>_sum and <name>_count.
+// The output ends with a final `# EOF` line (OpenMetrics-style), which
+// the METRICS protocol verb uses as its end-of-response marker.
+
+#ifndef RPM_OBS_EXPOSITION_H_
+#define RPM_OBS_EXPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rpm::obs {
+
+/// Renders one or more registry snapshots (concatenated — callers pass
+/// the server registry plus the process-default registry) as Prometheus
+/// text. Metric names must be unique across the snapshots; ends with
+/// "# EOF\n".
+std::string RenderPrometheus(const std::vector<const RegistrySnapshot*>& snaps);
+std::string RenderPrometheus(const RegistrySnapshot& snap);
+
+/// Renders spans as a one-line JSON array, oldest first:
+///   [{"name":"serve.batch","start_us":12.3,"dur_us":4.5,
+///     "thread":0,"seq":7}, ...]
+std::string RenderSpansJson(const std::vector<SpanRecord>& spans);
+
+}  // namespace rpm::obs
+
+#endif  // RPM_OBS_EXPOSITION_H_

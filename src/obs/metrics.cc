@@ -1,0 +1,195 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpm::obs {
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (total == 0) return 0.0;
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * double(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (double(cumulative) >= rank && counts[i] > 0) {
+      return i < upper_bounds.size()
+                 ? upper_bounds[i]
+                 : (upper_bounds.empty() ? 0.0 : upper_bounds.back());
+    }
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+std::vector<double> Histogram::GeometricBounds(double first, double growth,
+                                               std::size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(std::min(n, kMaxBuckets));
+  double b = first;
+  for (std::size_t i = 0; i < std::min(n, kMaxBuckets); ++i) {
+    bounds.push_back(b);
+    b *= growth;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::LinearBounds(double step, std::size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(std::min(n, kMaxBuckets));
+  for (std::size_t i = 0; i < std::min(n, kMaxBuckets); ++i) {
+    bounds.push_back(step * double(i + 1));
+  }
+  return bounds;
+}
+
+Histogram::Histogram(const std::vector<double>& bounds) {
+  num_bounds_ = std::min(bounds.size(), kMaxBuckets);
+  for (std::size_t i = 0; i < num_bounds_; ++i) bounds_[i] = bounds[i];
+}
+
+void Histogram::Record(double value) {
+  const auto begin = bounds_.begin();
+  const auto it = std::lower_bound(begin, begin + num_bounds_, value);
+  const auto idx = std::size_t(it - begin);  // == num_bounds_: overflow
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  const double milli = std::max(0.0, value) * 1000.0;
+  sum_milli_.fetch_add(std::uint64_t(milli), std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.upper_bounds.assign(bounds_.begin(), bounds_.begin() + num_bounds_);
+  snap.counts.resize(num_bounds_ + 1);
+  for (std::size_t i = 0; i <= num_bounds_; ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    snap.total += snap.counts[i];
+  }
+  snap.sum = double(sum_milli_.load(std::memory_order_relaxed)) / 1000.0;
+  return snap;
+}
+
+double RegistrySnapshot::Scalar(const std::string& name,
+                                const Labels& labels) const {
+  for (const ScalarSample& s : scalars) {
+    if (s.name == name && s.labels == labels) return s.value;
+  }
+  return 0.0;
+}
+
+std::uint64_t RegistrySnapshot::Count(const std::string& name,
+                                      const Labels& labels) const {
+  return std::uint64_t(std::llround(Scalar(name, labels)));
+}
+
+const HistogramSample* RegistrySnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricRegistry::Key(const std::string& name,
+                                const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help,
+                                    const Labels& labels) {
+  std::lock_guard lock(mutex_);
+  const std::string key = Key(name, labels);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    return it->second->counter.get();
+  }
+  auto cell = std::make_unique<Cell>();
+  cell->name = name;
+  cell->help = help;
+  cell->labels = labels;
+  cell->counter = std::make_unique<Counter>();
+  Counter* out = cell->counter.get();
+  index_[key] = cell.get();
+  cells_.push_back(std::move(cell));
+  return out;
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help,
+                                const Labels& labels) {
+  std::lock_guard lock(mutex_);
+  const std::string key = Key(name, labels);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    return it->second->gauge.get();
+  }
+  auto cell = std::make_unique<Cell>();
+  cell->name = name;
+  cell->help = help;
+  cell->labels = labels;
+  cell->gauge = std::make_unique<Gauge>();
+  Gauge* out = cell->gauge.get();
+  index_[key] = cell.get();
+  cells_.push_back(std::move(cell));
+  return out;
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& help,
+                                        const std::vector<double>& bounds,
+                                        const Labels& labels) {
+  std::lock_guard lock(mutex_);
+  const std::string key = Key(name, labels);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    return it->second->histogram.get();
+  }
+  auto cell = std::make_unique<Cell>();
+  cell->name = name;
+  cell->help = help;
+  cell->labels = labels;
+  cell->histogram = std::make_unique<Histogram>(bounds);
+  Histogram* out = cell->histogram.get();
+  index_[key] = cell.get();
+  cells_.push_back(std::move(cell));
+  return out;
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard lock(mutex_);
+  for (const auto& cell : cells_) {
+    if (cell->histogram != nullptr) {
+      HistogramSample h;
+      h.name = cell->name;
+      h.help = cell->help;
+      h.labels = cell->labels;
+      h.snapshot = cell->histogram->Snapshot();
+      snap.histograms.push_back(std::move(h));
+    } else {
+      ScalarSample s;
+      s.name = cell->name;
+      s.help = cell->help;
+      s.labels = cell->labels;
+      if (cell->counter != nullptr) {
+        s.value = double(cell->counter->value());
+        s.is_counter = true;
+      } else {
+        s.value = double(cell->gauge->value());
+      }
+      snap.scalars.push_back(std::move(s));
+    }
+  }
+  return snap;
+}
+
+MetricRegistry& DefaultRegistry() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace rpm::obs

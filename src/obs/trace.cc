@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace rpm::obs {
+
+namespace {
+
+// Process epoch: first obs clock use. Span start times are offsets from
+// this point, so they fit an unsigned 64-bit nanosecond count and are
+// comparable across threads.
+Tracer::Clock::time_point ProcessEpoch() {
+  static const Tracer::Clock::time_point epoch = Tracer::Clock::now();
+  return epoch;
+}
+
+// Per-thread tracer state, cached so the hot path never touches the
+// tracer's ring registry: the ring pointer (rings are owned by the
+// tracer via shared_ptr, so the raw pointer stays valid for the
+// tracer's lifetime — a tracer must outlive the threads that trace
+// through it) and the sampling counter. Keyed by the tracer's unique
+// id, not its address: a short-lived tracer (tests) can be destroyed
+// and another constructed at the same address, and an address-keyed
+// cache would hand the new tracer the dead one's ring.
+struct ThreadTracerState {
+  std::uint64_t tracer_id = 0;
+  void* ring = nullptr;
+  std::uint64_t sample_counter = 0;
+};
+
+thread_local std::vector<ThreadTracerState> t_states;
+
+ThreadTracerState& StateFor(std::uint64_t tracer_id) {
+  for (ThreadTracerState& s : t_states) {
+    if (s.tracer_id == tracer_id) return s;
+  }
+  t_states.push_back(ThreadTracerState{tracer_id, nullptr, 0});
+  return t_states.back();
+}
+
+std::uint64_t NextTracerId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint64_t Tracer::SinceEpochNs(Clock::time_point t) {
+  // The epoch is the first obs clock use; a timestamp captured just
+  // before that (the very first span's start) clamps to 0 instead of
+  // wrapping the unsigned offset.
+  const Clock::time_point epoch = ProcessEpoch();
+  if (t <= epoch) return 0;
+  return std::uint64_t(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch)
+          .count());
+}
+
+Tracer::Tracer() : id_(NextTracerId()) {}
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();  // never destroyed
+  return *tracer;
+}
+
+bool Tracer::ShouldSample() {
+  if (!enabled()) return false;
+  const std::uint32_t n = sample_every();
+  if (n <= 1) return true;
+  ThreadTracerState& state = StateFor(id_);
+  return state.sample_counter++ % n == 0;
+}
+
+Tracer::ThreadRing* Tracer::RingForThisThread() {
+  ThreadTracerState& state = StateFor(id_);
+  if (state.ring == nullptr) {
+    auto ring = std::make_shared<ThreadRing>();
+    ring->ring.reserve(kRingCapacity);
+    std::lock_guard lock(rings_mutex_);
+    ring->thread = std::uint32_t(rings_.size());
+    state.ring = ring.get();
+    rings_.push_back(std::move(ring));
+  }
+  return static_cast<ThreadRing*>(state.ring);
+}
+
+void Tracer::Record(const char* name, Clock::time_point start,
+                    Clock::time_point end) {
+  SpanRecord rec;
+  rec.name = name;
+  rec.start_ns = SinceEpochNs(start);
+  rec.duration_ns =
+      end > start
+          ? std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              end - start)
+                              .count())
+          : 0;
+  rec.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  ThreadRing* ring = RingForThisThread();
+  rec.thread = ring->thread;
+  std::lock_guard lock(ring->mutex);
+  if (ring->ring.size() < kRingCapacity) {
+    ring->ring.push_back(rec);
+  } else {
+    ring->ring[ring->next] = rec;
+  }
+  ring->next = (ring->next + 1) % kRingCapacity;
+}
+
+std::vector<SpanRecord> Tracer::Recent(std::size_t n) const {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard lock(rings_mutex_);
+    rings = rings_;
+  }
+  std::vector<SpanRecord> all;
+  for (const auto& ring : rings) {
+    std::lock_guard lock(ring->mutex);
+    all.insert(all.end(), ring->ring.begin(), ring->ring.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.seq < b.seq;
+            });
+  if (n != 0 && all.size() > n) {
+    all.erase(all.begin(), all.end() - std::ptrdiff_t(n));
+  }
+  return all;
+}
+
+void Tracer::Clear() {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard lock(rings_mutex_);
+    rings = rings_;
+  }
+  for (const auto& ring : rings) {
+    std::lock_guard lock(ring->mutex);
+    ring->ring.clear();
+    ring->next = 0;
+  }
+}
+
+}  // namespace rpm::obs

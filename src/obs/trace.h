@@ -1,0 +1,150 @@
+// Scoped trace spans with per-thread ring buffers and explicit flush.
+//
+// A TraceSpan is an RAII scope that, when tracing is enabled and the
+// span is sampled, records {name, start, duration, thread, seq} into
+// the calling thread's ring buffer on destruction. The rings are only
+// read on an explicit flush (Tracer::Recent — the TRACE protocol verb,
+// test assertions), never concurrently with the hot path except under
+// each ring's own mutex, which the owning thread holds only for the
+// few stores of one record append.
+//
+// Cost model:
+//  * Tracing disabled (the default): constructing a TraceSpan is one
+//    relaxed atomic load and a branch; the destructor is a branch. Hot
+//    paths can therefore carry spans unconditionally.
+//  * Tracing enabled: per-thread sampling (record 1 of every
+//    `sample_every` spans, counted per thread per callsite stream)
+//    keeps the steady-state cost at the same load + a thread-local
+//    counter increment; a *sampled* span additionally pays two
+//    steady_clock reads and one uncontended mutex-protected ring
+//    append.
+//
+// Span names are static strings (string literals at the callsites);
+// the tracer stores the pointers, never copies — a deliberate
+// restriction that keeps recording allocation-free.
+//
+// Subsystems that already read the clock for their own accounting
+// (stream scoring, batch dispatch, phase profiling) use
+// Tracer::MaybeRecord with the timestamps they measured anyway, so
+// enabling tracing adds zero extra clock reads on those paths.
+
+#ifndef RPM_OBS_TRACE_H_
+#define RPM_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rpm::obs {
+
+/// One finished span. `name` points at a static string.
+struct SpanRecord {
+  const char* name = "";
+  std::uint64_t start_ns = 0;     ///< steady time since process epoch
+  std::uint64_t duration_ns = 0;  ///< scope wall time
+  std::uint64_t seq = 0;          ///< global completion order
+  std::uint32_t thread = 0;       ///< tracer-local thread index
+};
+
+class Tracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::size_t kRingCapacity = 1024;  ///< spans per thread
+
+  /// The process-wide tracer every TraceSpan uses by default.
+  static Tracer& Default();
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Master switch; off by default. Off, spans cost one relaxed load.
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Record 1 of every n spans per thread (n == 0 behaves as 1).
+  void set_sample_every(std::uint32_t n) {
+    sample_every_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+  std::uint32_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
+  /// True when this span should be recorded (enabled + sampled). Each
+  /// call advances the calling thread's sample counter.
+  bool ShouldSample();
+
+  /// Appends one record to the calling thread's ring (no sampling —
+  /// the caller already decided). Timestamps are Clock time points.
+  void Record(const char* name, Clock::time_point start,
+              Clock::time_point end);
+
+  /// Sampling + recording in one call, for paths that measured their
+  /// own timestamps anyway. No-op while disabled.
+  void MaybeRecord(const char* name, Clock::time_point start,
+                   Clock::time_point end) {
+    if (ShouldSample()) Record(name, start, end);
+  }
+
+  /// Explicit flush: collects every thread's ring, orders by completion
+  /// (seq), and returns the most recent `n` spans (all when n == 0).
+  std::vector<SpanRecord> Recent(std::size_t n = 0) const;
+
+  /// Drops every buffered span (tests, between bench phases).
+  void Clear();
+
+  /// Nanoseconds from the process epoch to `t` (the epoch is the first
+  /// obs clock use in the process).
+  static std::uint64_t SinceEpochNs(Clock::time_point t);
+
+ private:
+  struct ThreadRing {
+    std::mutex mutex;
+    std::uint32_t thread = 0;
+    std::vector<SpanRecord> ring;  // capacity kRingCapacity, wraps
+    std::size_t next = 0;          // next write slot
+  };
+
+  ThreadRing* RingForThisThread();
+
+  // Distinguishes this tracer in per-thread state caches. Keying those
+  // caches by address would alias a new tracer constructed at a
+  // destroyed one's address (stack reuse in tests).
+  const std::uint64_t id_;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> sample_every_{1};
+  std::atomic<std::uint64_t> seq_{0};
+
+  mutable std::mutex rings_mutex_;
+  std::vector<std::shared_ptr<ThreadRing>> rings_;
+};
+
+/// RAII scoped span writing to Tracer::Default() (or an explicit
+/// tracer). The clock is read only when the span is actually sampled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Tracer& tracer = Tracer::Default())
+      : tracer_(&tracer), name_(name), armed_(tracer.ShouldSample()) {
+    if (armed_) start_ = Tracer::Clock::now();
+  }
+  ~TraceSpan() {
+    if (armed_) tracer_->Record(name_, start_, Tracer::Clock::now());
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  bool armed_;
+  Tracer::Clock::time_point start_;
+};
+
+}  // namespace rpm::obs
+
+#endif  // RPM_OBS_TRACE_H_

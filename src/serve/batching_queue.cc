@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
 #include "ts/parallel.h"
 
 namespace rpm::serve {
@@ -68,6 +69,7 @@ std::future<ClassifyResult> BatchingQueue::Submit(
     req.promise = std::move(promise);
     queue_.push_back(std::move(req));
     stats_->RecordAdmitted();
+    stats_->RecordQueueDepth(queue_.size());
   }
   cv_.notify_all();
   return future;
@@ -110,6 +112,7 @@ std::vector<BatchingQueue::Request> BatchingQueue::ExtractBatch(
       ++it;
     }
   }
+  stats_->RecordQueueDepth(queue_.size());
   return batch;
 }
 
@@ -166,6 +169,10 @@ void BatchingQueue::RunBatch(std::vector<Request> batch) {
       model.engine.ClassifyBatch(values, options_.num_threads);
 
   const auto done_time = Clock::now();
+  // Span over batch classification, reusing the timestamps measured for
+  // latency accounting (no extra clock reads; sampled inside).
+  obs::Tracer::Default().MaybeRecord("serve.batch", dispatch_time,
+                                     done_time);
   stats_->RecordBatch(live.size());
   for (std::size_t i = 0; i < live.size(); ++i) {
     const double lat = MicrosSince(live[i].enqueue_time, done_time);

@@ -1,10 +1,14 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <sstream>
 #include <utility>
+
+#include "obs/exposition.h"
+#include "obs/trace.h"
 
 namespace rpm::serve {
 
@@ -119,6 +123,14 @@ void InferenceServer::Shutdown() {
   queue_.Shutdown();
 }
 
+std::string InferenceServer::MetricsText() const {
+  // One snapshot per registry; the server registry also backs STATS, so
+  // both views of a drained server render identical counts.
+  const obs::RegistrySnapshot server_snap = stats_.registry().Snapshot();
+  const obs::RegistrySnapshot process_snap = obs::DefaultRegistry().Snapshot();
+  return obs::RenderPrometheus({&server_snap, &process_snap});
+}
+
 namespace {
 
 // "1.5,2,-0.25" (or space-separated) -> Series; false on any non-number.
@@ -158,6 +170,22 @@ std::string InferenceServer::HandleLine(const std::string& line) {
 
   if (cmd == "QUIT") return "OK bye";
   if (cmd == "STATS") return "OK " + stats_.Snapshot().ToJson();
+  if (cmd == "METRICS") {
+    // HandleLine responses carry no trailing newline (the socket loop
+    // appends one), so strip the expositor's final '\n'.
+    std::string text = "OK metrics\n" + MetricsText();
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    return text;
+  }
+  if (cmd == "TRACE") {
+    long n = 32;
+    if (in >> n) {
+      if (n <= 0) return Err("BAD_REQUEST", "span count must be positive");
+      n = std::min(n, 1024L);
+    }
+    const auto spans = obs::Tracer::Default().Recent(std::size_t(n));
+    return "OK " + obs::RenderSpansJson(spans);
+  }
   if (cmd == "MODELS") {
     const std::vector<std::string> names = registry_.Names();
     std::string out = "OK " + std::to_string(names.size());

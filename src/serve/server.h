@@ -8,7 +8,19 @@
 //   MODELS                              -> OK <n> <name...>
 //   CLASSIFY <name> <v1,v2,...> [T_MS]  -> OK <label>
 //   STATS                               -> OK <one-line JSON>
+//   METRICS                             -> OK metrics\n<Prometheus text>
+//                                          ...terminated by a "# EOF" line
+//   TRACE [n]                           -> OK <spans JSON array>
 //   QUIT                                -> OK bye
+//
+// METRICS is the one multi-line response in the protocol: the first
+// line is "OK metrics", then the Prometheus exposition of the server's
+// metric registry plus the process-default registry (matcher counters),
+// ending with "# EOF". STATS and METRICS are views of the same
+// obs::MetricRegistry, so their request counts agree once traffic has
+// drained. TRACE returns the most recent n (default 32, max 1024)
+// finished trace spans as one JSON line; tracing must be enabled on the
+// process tracer (rpm_serve --trace-sample) for spans to accumulate.
 //
 // Streaming verbs (src/stream) ride the same line protocol; session ids
 // name server-side per-stream state, so these lines ARE stateful across
@@ -125,6 +137,12 @@ class InferenceServer {
 
   StatsSnapshot Stats() const { return stats_.Snapshot(); }
   ModelRegistry& registry() { return registry_; }
+
+  /// Prometheus text exposition of this server's metric registry plus
+  /// the process-default registry (the METRICS response body). Ends
+  /// with "# EOF\n".
+  std::string MetricsText() const;
+  obs::MetricRegistry& metrics() { return stats_.registry(); }
 
   // ---- Streaming API (protocol-independent) ----
 

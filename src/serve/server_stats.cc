@@ -1,112 +1,127 @@
 #include "serve/server_stats.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 
 namespace rpm::serve {
 
-double HistogramSnapshot::Percentile(double p) const {
-  if (total == 0) return 0.0;
-  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * double(total);
-  std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    cumulative += counts[i];
-    if (double(cumulative) >= rank && counts[i] > 0) {
-      return upper_bounds[i];
-    }
-  }
-  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
-}
+namespace {
 
-Histogram Histogram::Geometric(double first, double growth) {
-  std::array<double, kBuckets> bounds{};
-  double b = first;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    bounds[i] = b;
-    b *= growth;
-  }
-  return Histogram(bounds);
-}
+// Shared metric names (also referenced by ServerStats::FromMetrics and
+// documented in docs/OBSERVABILITY.md).
+constexpr char kAdmitted[] = "rpm_serve_requests_admitted_total";
+constexpr char kRequests[] = "rpm_serve_requests_total";
+constexpr char kBatches[] = "rpm_serve_batches_total";
+constexpr char kQueueDepth[] = "rpm_serve_queue_depth";
+constexpr char kLatency[] = "rpm_serve_request_latency_microseconds";
+constexpr char kOccupancy[] = "rpm_serve_batch_occupancy";
+constexpr char kStreamsOpened[] = "rpm_stream_sessions_opened_total";
+constexpr char kStreamsClosed[] = "rpm_stream_sessions_closed_total";
+constexpr char kStreamsEvicted[] = "rpm_stream_sessions_evicted_total";
+constexpr char kOpenSessions[] = "rpm_stream_open_sessions";
+constexpr char kStreamSamples[] = "rpm_stream_samples_total";
+constexpr char kStreamDecisions[] = "rpm_stream_decisions_total";
+constexpr char kStreamEarly[] = "rpm_stream_early_decisions_total";
+constexpr char kStreamTruncated[] = "rpm_stream_truncated_feeds_total";
+constexpr char kStreamScore[] = "rpm_stream_score_microseconds";
 
-Histogram Histogram::Linear(double step) {
-  std::array<double, kBuckets> bounds{};
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    bounds[i] = step * double(i + 1);
-  }
-  return Histogram(bounds);
-}
+obs::Labels Status(const char* value) { return {{"status", value}}; }
 
-void Histogram::Record(double value) {
-  const auto it =
-      std::lower_bound(bounds_.begin(), bounds_.end() - 1, value);
-  const auto idx = std::size_t(it - bounds_.begin());
-  counts_[idx].fetch_add(1, std::memory_order_relaxed);
-  total_.fetch_add(1, std::memory_order_relaxed);
-  const double milli = std::max(0.0, value) * 1000.0;
-  sum_milli_.fetch_add(std::uint64_t(milli), std::memory_order_relaxed);
-}
+}  // namespace
 
-HistogramSnapshot Histogram::Snapshot() const {
-  HistogramSnapshot snap;
-  snap.counts.resize(kBuckets);
-  snap.upper_bounds.assign(bounds_.begin(), bounds_.end());
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
-    snap.total += snap.counts[i];
-  }
-  snap.sum = double(sum_milli_.load(std::memory_order_relaxed)) / 1000.0;
-  return snap;
+ServerStats::ServerStats() {
+  admitted_ = registry_.GetCounter(kAdmitted,
+                                   "Requests accepted into the queue.");
+  const char* help = "Requests finished, by terminal status.";
+  ok_ = registry_.GetCounter(kRequests, help, Status("ok"));
+  timeout_ = registry_.GetCounter(kRequests, help, Status("timeout"));
+  shed_ = registry_.GetCounter(kRequests, help, Status("shed"));
+  not_found_ = registry_.GetCounter(kRequests, help, Status("not_found"));
+  rejected_shutdown_ =
+      registry_.GetCounter(kRequests, help, Status("rejected_shutdown"));
+  batches_ =
+      registry_.GetCounter(kBatches, "Micro-batches dispatched.");
+  queue_depth_ = registry_.GetGauge(
+      kQueueDepth, "Requests queued, not yet dispatched.");
+  latency_us_ = registry_.GetHistogram(
+      kLatency, "Submit-to-completion request latency in microseconds.",
+      obs::Histogram::GeometricBounds(1.0, 1.35));
+  batch_occupancy_ = registry_.GetHistogram(
+      kOccupancy, "Live requests per dispatched micro-batch.",
+      obs::Histogram::LinearBounds(1.0));
+  streams_opened_ =
+      registry_.GetCounter(kStreamsOpened, "Stream sessions opened.");
+  streams_closed_ = registry_.GetCounter(
+      kStreamsClosed, "Stream sessions closed by the client.");
+  streams_evicted_ = registry_.GetCounter(
+      kStreamsEvicted, "Stream sessions reaped after idle timeout.");
+  open_sessions_ =
+      registry_.GetGauge(kOpenSessions, "Stream sessions currently open.");
+  stream_samples_ = registry_.GetCounter(
+      kStreamSamples, "Samples accepted across all stream feeds.");
+  stream_decisions_ = registry_.GetCounter(
+      kStreamDecisions, "Stream window decisions emitted.");
+  stream_early_ = registry_.GetCounter(
+      kStreamEarly, "Stream decisions emitted before the window filled.");
+  stream_truncated_feeds_ = registry_.GetCounter(
+      kStreamTruncated, "Stream feeds truncated by ring backpressure.");
+  stream_score_us_ = registry_.GetHistogram(
+      kStreamScore, "Per-window stream scoring time in microseconds.",
+      obs::Histogram::GeometricBounds(1.0, 1.35));
 }
-
-ServerStats::ServerStats()
-    : latency_us_(Histogram::Geometric(1.0, 1.35)),
-      batch_occupancy_(Histogram::Linear(1.0)),
-      stream_score_us_(Histogram::Geometric(1.0, 1.35)) {}
 
 void ServerStats::RecordOk(double latency_us) {
-  ok_.fetch_add(1, std::memory_order_relaxed);
-  latency_us_.Record(latency_us);
+  ok_->Increment();
+  latency_us_->Record(latency_us);
 }
 
 void ServerStats::RecordTimeout(double latency_us) {
-  timeout_.fetch_add(1, std::memory_order_relaxed);
-  latency_us_.Record(latency_us);
+  timeout_->Increment();
+  latency_us_->Record(latency_us);
 }
 
 void ServerStats::RecordBatch(std::size_t occupancy) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batch_occupancy_.Record(double(occupancy));
+  batches_->Increment();
+  batch_occupancy_->Record(double(occupancy));
 }
 
 void ServerStats::RecordStreamDecision(double score_us, bool early) {
-  stream_decisions_.fetch_add(1, std::memory_order_relaxed);
-  if (early) stream_early_.fetch_add(1, std::memory_order_relaxed);
-  stream_score_us_.Record(score_us);
+  stream_decisions_->Increment();
+  if (early) stream_early_->Increment();
+  stream_score_us_->Record(score_us);
+}
+
+StatsSnapshot ServerStats::FromMetrics(
+    const obs::RegistrySnapshot& metrics) {
+  StatsSnapshot snap;
+  snap.admitted = metrics.Count(kAdmitted);
+  snap.ok = metrics.Count(kRequests, Status("ok"));
+  snap.timeout = metrics.Count(kRequests, Status("timeout"));
+  snap.shed = metrics.Count(kRequests, Status("shed"));
+  snap.not_found = metrics.Count(kRequests, Status("not_found"));
+  snap.rejected_shutdown =
+      metrics.Count(kRequests, Status("rejected_shutdown"));
+  snap.batches = metrics.Count(kBatches);
+  snap.streams_opened = metrics.Count(kStreamsOpened);
+  snap.streams_closed = metrics.Count(kStreamsClosed);
+  snap.streams_evicted = metrics.Count(kStreamsEvicted);
+  snap.stream_samples = metrics.Count(kStreamSamples);
+  snap.stream_decisions = metrics.Count(kStreamDecisions);
+  snap.stream_early = metrics.Count(kStreamEarly);
+  snap.stream_truncated_feeds = metrics.Count(kStreamTruncated);
+  if (const auto* h = metrics.FindHistogram(kLatency)) {
+    snap.latency_us = h->snapshot;
+  }
+  if (const auto* h = metrics.FindHistogram(kOccupancy)) {
+    snap.batch_occupancy = h->snapshot;
+  }
+  if (const auto* h = metrics.FindHistogram(kStreamScore)) {
+    snap.stream_score_us = h->snapshot;
+  }
+  return snap;
 }
 
 StatsSnapshot ServerStats::Snapshot() const {
-  StatsSnapshot snap;
-  snap.admitted = admitted_.load(std::memory_order_relaxed);
-  snap.ok = ok_.load(std::memory_order_relaxed);
-  snap.timeout = timeout_.load(std::memory_order_relaxed);
-  snap.shed = shed_.load(std::memory_order_relaxed);
-  snap.not_found = not_found_.load(std::memory_order_relaxed);
-  snap.rejected_shutdown =
-      rejected_shutdown_.load(std::memory_order_relaxed);
-  snap.batches = batches_.load(std::memory_order_relaxed);
-  snap.streams_opened = streams_opened_.load(std::memory_order_relaxed);
-  snap.streams_closed = streams_closed_.load(std::memory_order_relaxed);
-  snap.streams_evicted = streams_evicted_.load(std::memory_order_relaxed);
-  snap.stream_samples = stream_samples_.load(std::memory_order_relaxed);
-  snap.stream_decisions = stream_decisions_.load(std::memory_order_relaxed);
-  snap.stream_early = stream_early_.load(std::memory_order_relaxed);
-  snap.stream_truncated_feeds =
-      stream_truncated_feeds_.load(std::memory_order_relaxed);
-  snap.latency_us = latency_us_.Snapshot();
-  snap.batch_occupancy = batch_occupancy_.Snapshot();
-  snap.stream_score_us = stream_score_us_.Snapshot();
-  return snap;
+  return FromMetrics(registry_.Snapshot());
 }
 
 std::string StatsSnapshot::ToJson() const {

@@ -1,66 +1,40 @@
-// Serving metrics: lock-free counters and fixed-bucket histograms.
+// Serving metrics facade over the unified observability registry
+// (obs/metrics.h).
 //
-// Request threads and the batch dispatcher record events with relaxed
-// atomic increments — no locks, no allocation on the hot path — and
-// readers take a point-in-time Snapshot on demand (STATS requests, bench
-// reports). Counters are monotonically increasing; a snapshot taken
-// while writers are active is internally consistent per counter but not
-// across counters, which is the usual contract for serving metrics.
+// ServerStats used to own its own bespoke atomics and histograms; it is
+// now a thin facade that resolves named cells out of an
+// obs::MetricRegistry once at construction and forwards every Record*
+// call to them — still lock-free, no allocation on the hot path. The
+// payoff is a single source of truth: the STATS JSON snapshot and the
+// METRICS Prometheus exposition are both derived from the *same*
+// registry (one Snapshot() can feed both), so request counts can never
+// disagree between the two views.
 //
 // Latency percentiles come from a geometric fixed-bucket histogram
 // (64 buckets, ~26% resolution per bucket over ~1us..~3e8us), batch
-// occupancy from a linear one; percentile values are bucket upper bounds,
-// so they are exact to bucket resolution.
+// occupancy from a linear one; percentile values are bucket upper
+// bounds, so they are exact to bucket resolution.
+//
+// Metric names and units are documented in docs/OBSERVABILITY.md.
 
 #ifndef RPM_SERVE_SERVER_STATS_H_
 #define RPM_SERVE_SERVER_STATS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
-#include <vector>
+
+#include "obs/metrics.h"
 
 namespace rpm::serve {
 
-/// Plain-value copy of one histogram, taken by Snapshot().
-struct HistogramSnapshot {
-  std::vector<std::uint64_t> counts;  ///< per-bucket event counts
-  std::vector<double> upper_bounds;   ///< bucket upper edges (inclusive)
-  std::uint64_t total = 0;            ///< sum of counts
-  double sum = 0.0;                   ///< sum of recorded values
+/// Kept as the historical name; the layout (counts, upper_bounds,
+/// total, sum, Percentile, Mean) is unchanged apart from the explicit
+/// overflow bucket at the end of `counts`.
+using HistogramSnapshot = obs::HistogramSnapshot;
 
-  /// Upper bound of the bucket holding the p-th percentile (p in
-  /// [0, 100]); 0 when empty.
-  double Percentile(double p) const;
-  double Mean() const { return total == 0 ? 0.0 : sum / double(total); }
-};
-
-/// Fixed-bucket histogram with relaxed atomic increments. Bucket bounds
-/// are immutable after construction, so Record is wait-free.
-class Histogram {
- public:
-  static constexpr std::size_t kBuckets = 64;
-
-  /// Buckets [0, first], (first, first*growth], ... (geometric).
-  static Histogram Geometric(double first, double growth);
-  /// Buckets [0, step], (step, 2*step], ... (linear).
-  static Histogram Linear(double step);
-
-  void Record(double value);
-  HistogramSnapshot Snapshot() const;
-
- private:
-  explicit Histogram(std::array<double, kBuckets> bounds) : bounds_(bounds) {}
-
-  std::array<double, kBuckets> bounds_;  // ascending; last bucket catches all
-  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
-  std::atomic<std::uint64_t> total_{0};
-  // Value sum accumulated in integer nanounits to keep the add atomic.
-  std::atomic<std::uint64_t> sum_milli_{0};
-};
-
-/// Point-in-time copy of every serving metric.
+/// Point-in-time copy of every serving metric, shaped for the STATS
+/// JSON response. Derived from an obs::RegistrySnapshot — see
+/// ServerStats::FromMetrics.
 struct StatsSnapshot {
   std::uint64_t admitted = 0;   ///< requests accepted into the queue
   std::uint64_t ok = 0;         ///< completed with a label
@@ -84,61 +58,75 @@ struct StatsSnapshot {
   std::string ToJson() const;
 };
 
-/// The process-wide metric set of one server instance. All recorders are
-/// lock-free and safe to call from any thread.
+/// The metric set of one server instance, registered in a per-server
+/// obs::MetricRegistry. All recorders are lock-free and safe to call
+/// from any thread.
 class ServerStats {
  public:
   ServerStats();
 
-  void RecordAdmitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordAdmitted() { admitted_->Increment(); }
   void RecordOk(double latency_us);
   void RecordTimeout(double latency_us);
-  void RecordShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordNotFound() {
-    not_found_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void RecordRejectedShutdown() {
-    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void RecordShed() { shed_->Increment(); }
+  void RecordNotFound() { not_found_->Increment(); }
+  void RecordRejectedShutdown() { rejected_shutdown_->Increment(); }
   void RecordBatch(std::size_t occupancy);
+  void RecordQueueDepth(std::size_t depth) {
+    queue_depth_->Set(std::int64_t(depth));
+  }
 
   void RecordStreamOpen() {
-    streams_opened_.fetch_add(1, std::memory_order_relaxed);
+    streams_opened_->Increment();
+    open_sessions_->Add(1);
   }
   void RecordStreamClose() {
-    streams_closed_.fetch_add(1, std::memory_order_relaxed);
+    streams_closed_->Increment();
+    open_sessions_->Add(-1);
   }
   void RecordStreamEvict() {
-    streams_evicted_.fetch_add(1, std::memory_order_relaxed);
+    streams_evicted_->Increment();
+    open_sessions_->Add(-1);
   }
   void RecordStreamFeed(std::size_t accepted, bool truncated) {
-    stream_samples_.fetch_add(accepted, std::memory_order_relaxed);
-    if (truncated) {
-      stream_truncated_feeds_.fetch_add(1, std::memory_order_relaxed);
-    }
+    stream_samples_->Increment(accepted);
+    if (truncated) stream_truncated_feeds_->Increment();
   }
   void RecordStreamDecision(double score_us, bool early);
 
   StatsSnapshot Snapshot() const;
 
+  /// Shapes a registry snapshot into the STATS struct. Taking one
+  /// registry snapshot and feeding it to both FromMetrics and the
+  /// Prometheus expositor guarantees STATS and METRICS agree.
+  static StatsSnapshot FromMetrics(const obs::RegistrySnapshot& metrics);
+
+  /// The registry all of this server's cells live in (the METRICS verb
+  /// renders it, together with obs::DefaultRegistry()).
+  obs::MetricRegistry& registry() { return registry_; }
+  const obs::MetricRegistry& registry() const { return registry_; }
+
  private:
-  std::atomic<std::uint64_t> admitted_{0};
-  std::atomic<std::uint64_t> ok_{0};
-  std::atomic<std::uint64_t> timeout_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> not_found_{0};
-  std::atomic<std::uint64_t> rejected_shutdown_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> streams_opened_{0};
-  std::atomic<std::uint64_t> streams_closed_{0};
-  std::atomic<std::uint64_t> streams_evicted_{0};
-  std::atomic<std::uint64_t> stream_samples_{0};
-  std::atomic<std::uint64_t> stream_decisions_{0};
-  std::atomic<std::uint64_t> stream_early_{0};
-  std::atomic<std::uint64_t> stream_truncated_feeds_{0};
-  Histogram latency_us_;
-  Histogram batch_occupancy_;
-  Histogram stream_score_us_;
+  obs::MetricRegistry registry_;
+  obs::Counter* admitted_;
+  obs::Counter* ok_;
+  obs::Counter* timeout_;
+  obs::Counter* shed_;
+  obs::Counter* not_found_;
+  obs::Counter* rejected_shutdown_;
+  obs::Counter* batches_;
+  obs::Gauge* queue_depth_;
+  obs::Counter* streams_opened_;
+  obs::Counter* streams_closed_;
+  obs::Counter* streams_evicted_;
+  obs::Gauge* open_sessions_;
+  obs::Counter* stream_samples_;
+  obs::Counter* stream_decisions_;
+  obs::Counter* stream_early_;
+  obs::Counter* stream_truncated_feeds_;
+  obs::Histogram* latency_us_;
+  obs::Histogram* batch_occupancy_;
+  obs::Histogram* stream_score_us_;
 };
 
 }  // namespace rpm::serve

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "ts/znorm.h"
 
 namespace rpm::stream {
@@ -19,11 +20,6 @@ namespace {
 constexpr std::size_t kMaxWindow = std::size_t{1} << 22;
 
 using Clock = std::chrono::steady_clock;
-
-double MicrosSince(Clock::time_point t0) {
-  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
-      .count();
-}
 
 }  // namespace
 
@@ -132,7 +128,12 @@ StreamDecision StreamScorer::ScoreWindow(std::uint64_t start,
   } else {
     decision.label = engine_->classifier().majority_label();
   }
-  decision.score_us = MicrosSince(t0);
+  // Span over one window scoring, reusing the timestamps already taken
+  // for score_us (sampled inside; a relaxed load when tracing is off).
+  const Clock::time_point t1 = Clock::now();
+  obs::Tracer::Default().MaybeRecord("stream.score_window", t0, t1);
+  decision.score_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
   return decision;
 }
 
