@@ -13,12 +13,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "distance/approximate.h"
 #include "distance/dtw.h"
 #include "distance/euclidean.h"
+#include "distance/isa_dispatch.h"
 #include "distance/matcher.h"
+#include "distance/pattern_store.h"
 #include "grammar/motifs.h"
 #include "grammar/repair.h"
 #include "grammar/sequitur.h"
@@ -156,9 +159,22 @@ BENCHMARK(BM_MotifCandidates)->Range(512, 8192);
 
 // --json workload: 50 patterns (lengths 16..64) matched into 200 series
 // of length 256, the shape of one transform pass over a mid-sized UCR
-// dataset. The legacy kernel re-sorts the pattern and re-derives window
-// moments on every pair; the batched engine builds each context once.
-// Context construction is charged to the batched side.
+// dataset. Three exact kernels are timed on it:
+//   * best_match_per_call — the legacy kernel (re-sorts the pattern and
+//     re-derives window moments on every pair);
+//   * best_match_batched  — the per-pattern batched engine (contexts
+//     prebuilt, one scan per pattern x series);
+//   * best_match_soa      — the length-bucketed SoA store behind
+//     MatchAll (window-major, one moments pass per window block shared
+//     by the bucket), plus one row per ISA tier via ForceIsaTier and one
+//     row per length bucket via MatchBucket.
+// Context/store construction is charged to the side that uses it.
+//
+// checksum_drift is the forced-scalar vs dispatched-tier difference of
+// the summed SoA distances: the tiers are bit-identical by construction,
+// so the drift must be exactly zero and the run aborts otherwise. The
+// naive-vs-SoA gap (different moments algorithm, rounding-level) is kept
+// as the informational legacy_checksum_gap.
 void RunJsonWorkload() {
   constexpr std::size_t kPatterns = 50;
   constexpr std::size_t kSeries = 200;
@@ -179,15 +195,36 @@ void RunJsonWorkload() {
 
   using Clock = std::chrono::steady_clock;
   const auto ops = static_cast<double>(kPatterns * kSeries);
-  // Three interleaved naive/batched passes, keeping the minimum of each:
-  // interleaving exposes both kernels to the same machine conditions and
-  // the minimum is robust against scheduler interference.
+  // Interleaved passes, keeping the minimum of each: interleaving
+  // exposes all kernels to the same machine conditions and the minimum
+  // is robust against scheduler interference.
   constexpr int kReps = 5;
+
+  // One timed SoA pass over the whole workload; returns summed distances.
+  const auto soa_pass = [&](double* ns_out) {
+    double checksum = 0.0;
+    const auto t0 = Clock::now();
+    rpm::distance::BatchMatcher matcher(patterns);
+    rpm::distance::MatchScratch scratch;
+    std::vector<rpm::distance::BestMatch> matches;
+    for (const auto& hay : series) {
+      const rpm::distance::SeriesContext ctx(hay);
+      matcher.MatchAll(ctx, &scratch, &matches);
+      for (const auto& m : matches) checksum += m.distance;
+    }
+    const auto t1 = Clock::now();
+    *ns_out = std::min(
+        *ns_out,
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / ops);
+    return checksum;
+  };
 
   double naive_checksum = 0.0;
   double batched_checksum = 0.0;
+  double soa_checksum = 0.0;
   double naive_ns = std::numeric_limits<double>::infinity();
   double batched_ns = std::numeric_limits<double>::infinity();
+  double soa_ns = std::numeric_limits<double>::infinity();
   for (int rep = 0; rep < kReps; ++rep) {
     naive_checksum = 0.0;
     const auto t0 = Clock::now();
@@ -209,19 +246,93 @@ void RunJsonWorkload() {
     rpm::distance::BatchMatcher matcher(patterns);
     for (const auto& hay : series) {
       const rpm::distance::SeriesContext ctx(hay);
-      for (const auto& m : matcher.MatchAll(ctx)) {
-        batched_checksum += m.distance;
+      for (std::size_t i = 0; i < matcher.size(); ++i) {
+        batched_checksum += matcher.Match(i, ctx).distance;
       }
     }
     const auto t3 = Clock::now();
     batched_ns = std::min(
         batched_ns,
         std::chrono::duration<double, std::nano>(t3 - t2).count() / ops);
+
+    soa_checksum = soa_pass(&soa_ns);
   }
   const double speedup = naive_ns / batched_ns;
-  // Rolling vs prefix sums differ only in rounding, so the summed
-  // distances must agree closely; a visible gap means a kernel bug.
-  const double drift = naive_checksum - batched_checksum;
+  const double soa_speedup = naive_ns / soa_ns;
+  const double soa_vs_batched = batched_ns / soa_ns;
+  // Different moments algorithm (rolling vs prefix sums): rounding-level
+  // gap only; a visible gap means a kernel bug.
+  const double legacy_gap = naive_checksum - soa_checksum;
+
+  // Per-ISA-tier rows: the same SoA pass pinned to each tier the host
+  // can run. Every tier must reproduce the dispatched checksum bit for
+  // bit — that difference is THE checksum_drift, and it must be zero.
+  struct TierRow {
+    const char* name;
+    double ns = std::numeric_limits<double>::infinity();
+    double checksum = 0.0;
+  };
+  std::vector<TierRow> tier_rows;
+  double drift = 0.0;
+  for (rpm::distance::IsaTier tier :
+       {rpm::distance::IsaTier::kScalar, rpm::distance::IsaTier::kAvx2,
+        rpm::distance::IsaTier::kAvx512}) {
+    if (!rpm::distance::IsaTierAvailable(tier)) continue;
+    rpm::distance::ForceIsaTier(tier);
+    TierRow row;
+    row.name = rpm::distance::IsaTierName(tier);
+    for (int rep = 0; rep < kReps; ++rep) {
+      row.checksum = soa_pass(&row.ns);
+    }
+    tier_rows.push_back(row);
+    const double tier_drift = row.checksum - soa_checksum;
+    if (tier_drift != 0.0) drift = tier_drift;
+  }
+  rpm::distance::ResetIsaTier();
+  if (drift != 0.0) {
+    std::fprintf(stderr,
+                 "FATAL: cross-tier checksum drift %.17g — the ISA tiers "
+                 "must be bit-identical\n",
+                 drift);
+    std::exit(1);
+  }
+
+  // Per-bucket rows: each length bucket scanned alone across all series
+  // (store built once, outside the timing). ns_per_op is per pattern x
+  // series, comparable with the aggregate rows.
+  struct BucketRow {
+    std::size_t length;
+    std::size_t padded;
+    std::size_t count;
+    double ns = std::numeric_limits<double>::infinity();
+  };
+  std::vector<BucketRow> bucket_rows;
+  {
+    rpm::distance::BatchMatcher matcher(patterns);
+    const rpm::distance::PatternStore& store = matcher.store();
+    std::vector<rpm::distance::SeriesContext> contexts;
+    contexts.reserve(series.size());
+    for (const auto& hay : series) contexts.emplace_back(hay);
+    std::vector<rpm::distance::BestMatch> out(kPatterns);
+    for (std::size_t b = 0; b < store.num_buckets(); ++b) {
+      const auto info = store.bucket_info(b);
+      BucketRow row{info.length, info.padded, info.patterns,
+                    std::numeric_limits<double>::infinity()};
+      const double bucket_ops =
+          static_cast<double>(info.patterns * series.size());
+      for (int rep = 0; rep < kReps; ++rep) {
+        const auto t0 = Clock::now();
+        for (const auto& ctx : contexts) {
+          store.MatchBucket(b, ctx, out.data());
+        }
+        const auto t1 = Clock::now();
+        row.ns = std::min(
+            row.ns, std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                        bucket_ops);
+      }
+      bucket_rows.push_back(row);
+    }
+  }
 
   // 1NN-DTW workload: 20 queries against a 100-candidate pool, length
   // 128, Sakoe-Chiba band at 10 % of the length. The full kernel runs
@@ -313,26 +424,59 @@ void RunJsonWorkload() {
                "\"series_length\": %zu},\n"
                "  \"dtw_workload\": {\"queries\": %zu, \"pool\": %zu, "
                "\"length\": %zu, \"band\": %zu},\n"
+               "  \"isa_tier\": \"%s\",\n"
                "  \"kernels\": [\n"
                "    {\"name\": \"best_match_per_call\", \"ns_per_op\": %.1f, "
                "\"speedup\": 1.0},\n"
                "    {\"name\": \"best_match_batched\", \"ns_per_op\": %.1f, "
                "\"speedup\": %.2f},\n"
+               "    {\"name\": \"best_match_soa\", \"ns_per_op\": %.1f, "
+               "\"speedup\": %.2f, \"speedup_vs_batched\": %.2f},\n",
+               kPatterns, kSeries, kSeriesLen, kQueries, kPool, kLen, band,
+               rpm::distance::IsaTierName(rpm::distance::CurrentIsaTier()),
+               naive_ns, batched_ns, speedup, soa_ns, soa_speedup,
+               soa_vs_batched);
+  for (const TierRow& row : tier_rows) {
+    std::fprintf(f,
+                 "    {\"name\": \"best_match_soa_%s\", \"ns_per_op\": %.1f, "
+                 "\"speedup\": %.2f},\n",
+                 row.name, row.ns, naive_ns / row.ns);
+  }
+  std::fprintf(f,
                "    {\"name\": \"dtw_full\", \"ns_per_op\": %.1f, "
                "\"speedup\": 1.0},\n"
                "    {\"name\": \"dtw_cascade\", \"ns_per_op\": %.1f, "
                "\"speedup\": %.2f}\n"
                "  ],\n"
+               "  \"soa_buckets\": [\n",
+               full_ns, cascade_ns, dtw_speedup);
+  for (std::size_t b = 0; b < bucket_rows.size(); ++b) {
+    const BucketRow& row = bucket_rows[b];
+    std::fprintf(f,
+                 "    {\"length\": %zu, \"padded\": %zu, \"patterns\": %zu, "
+                 "\"ns_per_op\": %.1f}%s\n",
+                 row.length, row.padded, row.count, row.ns,
+                 b + 1 < bucket_rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
                "  \"checksum_drift\": %.3e,\n"
+               "  \"legacy_checksum_gap\": %.3e,\n"
                "  \"dtw_checksum_drift\": %.3e\n"
                "}\n",
-               kPatterns, kSeries, kSeriesLen, kQueries, kPool, kLen, band,
-               naive_ns, batched_ns, speedup, full_ns, cascade_ns,
-               dtw_speedup, drift, dtw_drift);
+               drift, legacy_gap, dtw_drift);
   std::fclose(f);
-  std::printf("per-call %.1f ns/op, batched %.1f ns/op, speedup %.2fx "
-              "(checksum drift %.3e)\n",
-              naive_ns, batched_ns, speedup, drift);
+  std::printf("per-call %.1f ns/op, batched %.1f ns/op (%.2fx), soa %.1f "
+              "ns/op (%.2fx, %.2fx vs batched)\n",
+              naive_ns, batched_ns, speedup, soa_ns, soa_speedup,
+              soa_vs_batched);
+  for (const TierRow& row : tier_rows) {
+    std::printf("  soa[%s] %.1f ns/op (%.2fx)\n", row.name, row.ns,
+                naive_ns / row.ns);
+  }
+  std::printf("cross-tier checksum drift %.3e (must be 0), legacy gap "
+              "%.3e\n",
+              drift, legacy_gap);
   std::printf("dtw full %.1f ns/op, cascade %.1f ns/op, speedup %.2fx "
               "(checksum drift %.3e) -> BENCH_kernels.json\n",
               full_ns, cascade_ns, dtw_speedup, dtw_drift);

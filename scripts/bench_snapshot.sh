@@ -1,7 +1,17 @@
 #!/usr/bin/env bash
 # Records a benchmark snapshot at the repo root:
 #   BENCH_kernels.json        micro_kernels --json  (matcher + DTW-cascade
-#                             kernel timings with exactness checksums)
+#                             kernel timings with exactness checksums; the
+#                             matcher rows cover the naive per-call scan,
+#                             the per-pattern batched scan, and the
+#                             SoA pattern-store scan — the latter also as
+#                             one best_match_soa_<tier> row per available
+#                             ISA tier (scalar / avx2 / avx512, forced via
+#                             the RPM_FORCE_ISA override) plus a
+#                             soa_buckets array with per-length-bucket
+#                             ns/op. checksum_drift compares the forced
+#                             tiers' summed distances and the run aborts
+#                             unless it is exactly zero)
 #   BENCH_table2.json         table2_runtime --json (suite sweep:
 #                             per-dataset LS/FS/RPM totals and per-method
 #                             train sums)

@@ -131,6 +131,15 @@ std::vector<double> ClassificationEngine::Row(ts::SeriesView series) const {
   return engine_->Row(series);
 }
 
+void ClassificationEngine::RowInto(ts::SeriesView series,
+                                   TransformScratch* scratch,
+                                   std::vector<double>* row) const {
+  if (!engine_.has_value()) {
+    throw std::logic_error("ClassificationEngine::RowInto: no feature space");
+  }
+  engine_->RowInto(series, scratch, row);
+}
+
 int ClassificationEngine::PredictRow(std::span<const double> row) const {
   if (!engine_.has_value()) {
     throw std::logic_error(

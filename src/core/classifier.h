@@ -161,6 +161,12 @@ class ClassificationEngine {
   /// scorer's confidence margin — pay the pattern scan once.
   std::vector<double> Row(ts::SeriesView series) const;
 
+  /// Alloc-free Row for hot loops (the streaming scorer's per-hop path):
+  /// contexts and match buffers persist in `scratch`, the row is written
+  /// into `*row`. Bit-identical to Row. Requires has_feature_space().
+  void RowInto(ts::SeriesView series, TransformScratch* scratch,
+               std::vector<double>* row) const;
+
   /// Feature-classifier prediction on a row produced by Row(). Requires
   /// has_feature_space(). PredictRow(Row(s)) == Classify(s).
   int PredictRow(std::span<const double> row) const;

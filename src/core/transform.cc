@@ -82,24 +82,62 @@ double TransformEngine::Distance(std::size_t i,
   return matcher_.Match(i, ctx).distance;
 }
 
+double TransformEngine::ResolveMatch(std::size_t i,
+                                     const distance::BestMatch& match,
+                                     ts::SeriesView series) const {
+  // Same case order as Distance(): the store answers only the in-range
+  // exact scans; the degenerate cells keep the legacy per-call semantics.
+  const ts::Series& pattern = (*patterns_)[i].values;
+  if (pattern.empty() || series.empty()) return 0.0;
+  if (pattern.size() > series.size()) {
+    return ShrunkPatternDistance(pattern, series);
+  }
+  // In-range pattern: the bucketed scan always finds a window.
+  return match.distance;
+}
+
 std::vector<double> TransformEngine::Row(ts::SeriesView series) const {
+  TransformScratch scratch;
   std::vector<double> row;
-  row.reserve(patterns_->size());
-  const distance::SeriesContext ctx(series);
-  ts::Series rotated;
-  distance::SeriesContext rotated_ctx;
-  if (options_.rotation_invariant) {
-    rotated = ts::RotateAtMidpoint(series);
-    rotated_ctx = distance::SeriesContext(rotated);
-  }
-  for (std::size_t i = 0; i < patterns_->size(); ++i) {
-    double d = Distance(i, ctx);
-    if (options_.rotation_invariant) {
-      d = std::min(d, Distance(i, rotated_ctx));
-    }
-    row.push_back(d);
-  }
+  RowInto(series, &scratch, &row);
   return row;
+}
+
+void TransformEngine::RowInto(ts::SeriesView series, TransformScratch* scratch,
+                              std::vector<double>* row) const {
+  const std::size_t k = patterns_->size();
+  row->clear();
+  row->reserve(k);
+  const bool rotate = options_.rotation_invariant;
+  scratch->ctx.Assign(series);
+  if (rotate) {
+    scratch->rotated = ts::RotateAtMidpoint(series);
+    scratch->rotated_ctx.Assign(scratch->rotated);
+  }
+  if (options_.approximate) {
+    // Approximate mode has no SoA store (it routes through the PAA-coarse
+    // scan); keep the per-pattern loop over the reused contexts.
+    for (std::size_t i = 0; i < k; ++i) {
+      double d = Distance(i, scratch->ctx);
+      if (rotate) d = std::min(d, Distance(i, scratch->rotated_ctx));
+      row->push_back(d);
+    }
+    return;
+  }
+  // Exact mode: one bucketed pass answers all K patterns per context.
+  matcher_.MatchAll(scratch->ctx, &scratch->match_scratch, &scratch->matches);
+  if (rotate) {
+    matcher_.MatchAll(scratch->rotated_ctx, &scratch->match_scratch,
+                      &scratch->rotated_matches);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    double d = ResolveMatch(i, scratch->matches[i], series);
+    if (rotate) {
+      d = std::min(
+          d, ResolveMatch(i, scratch->rotated_matches[i], scratch->rotated));
+    }
+    row->push_back(d);
+  }
 }
 
 ml::FeatureDataset TransformEngine::Apply(const ts::Dataset& data) const {
@@ -108,7 +146,10 @@ ml::FeatureDataset TransformEngine::Apply(const ts::Dataset& data) const {
   out.x.resize(data.size());
   out.y.resize(data.size());
   ts::ParallelFor(data.size(), options_.num_threads, [&](std::size_t i) {
-    out.x[i] = Row(data[i].values);
+    // Warm per-worker buffers: pool threads persist across Apply calls,
+    // so steady-state transforms allocate only the output rows.
+    static thread_local TransformScratch scratch;
+    RowInto(data[i].values, &scratch, &out.x[i]);
     out.y[i] = data[i].label;
   });
   return out;

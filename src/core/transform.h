@@ -29,6 +29,21 @@ struct TransformOptions {
   std::size_t num_threads = 1;
 };
 
+/// Reusable per-call buffers for TransformEngine::RowInto: the series
+/// contexts (prefix sums), the rotated-series copy, and the matcher's
+/// MatchAll scratch. A long-lived scratch makes steady-state rows
+/// allocation-free — the warm-path hook the streaming scorer and the
+/// dataset transform workers keep between calls. Default-constructed
+/// scratch works anywhere; it just starts cold.
+struct TransformScratch {
+  distance::SeriesContext ctx;
+  distance::SeriesContext rotated_ctx;
+  ts::Series rotated;
+  distance::MatchScratch match_scratch;
+  std::vector<distance::BestMatch> matches;
+  std::vector<distance::BestMatch> rotated_matches;
+};
+
 /// Closest-match distance of one pattern inside one series (both directions
 /// of degenerate lengths handled: a pattern longer than the series is
 /// resampled down before matching).
@@ -53,12 +68,24 @@ class TransformEngine {
   /// The K-dim feature row of one series.
   std::vector<double> Row(ts::SeriesView series) const;
 
+  /// Alloc-free form of Row: contexts and match buffers live in
+  /// `scratch`, the row is written into `*row` (cleared first). In exact
+  /// mode all K patterns are matched through one bucketed SoA MatchAll
+  /// pass per context instead of K independent scans; results are
+  /// bit-identical to Row.
+  void RowInto(ts::SeriesView series, TransformScratch* scratch,
+               std::vector<double>* row) const;
+
   /// Transforms a labeled dataset (parallel over options.num_threads;
   /// bit-identical for any thread count).
   ml::FeatureDataset Apply(const ts::Dataset& data) const;
 
  private:
   double Distance(std::size_t i, const distance::SeriesContext& ctx) const;
+  /// Distance of pattern `i` given its MatchAll result against `series`
+  /// (resolves the sentinel/degenerate cases the store cannot answer).
+  double ResolveMatch(std::size_t i, const distance::BestMatch& match,
+                      ts::SeriesView series) const;
 
   const std::vector<RepresentativePattern>* patterns_;
   TransformOptions options_;

@@ -1,0 +1,136 @@
+#include "distance/isa_dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rpm::distance {
+namespace {
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define RPM_ISA_X86_DISPATCH 1
+#endif
+
+bool CpuHasAvx2() {
+#if defined(RPM_ISA_X86_DISPATCH)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#if defined(RPM_ISA_X86_DISPATCH)
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0;
+#else
+  return false;
+#endif
+}
+
+IsaTier BestAvailable() {
+  if (CpuHasAvx512()) return IsaTier::kAvx512;
+  if (CpuHasAvx2()) return IsaTier::kAvx2;
+  return IsaTier::kScalar;
+}
+
+// Startup resolution: best available, clamped by RPM_FORCE_ISA. Logged
+// to stderr exactly once so bench/CI output records the tier.
+IsaTier ResolveStartupTier() {
+  const IsaTier best = BestAvailable();
+  IsaTier tier = best;
+  const char* forced = std::getenv("RPM_FORCE_ISA");
+  bool from_env = false;
+  if (forced != nullptr && forced[0] != '\0') {
+    if (std::strcmp(forced, "scalar") == 0) {
+      tier = IsaTier::kScalar;
+      from_env = true;
+    } else if (std::strcmp(forced, "avx2") == 0) {
+      tier = IsaTier::kAvx2;
+      from_env = true;
+    } else if (std::strcmp(forced, "avx512") == 0) {
+      tier = IsaTier::kAvx512;
+      from_env = true;
+    } else {
+      std::fprintf(stderr,
+                   "[rpm] RPM_FORCE_ISA=%s not recognized "
+                   "(want scalar|avx2|avx512); using %s\n",
+                   forced, IsaTierName(best));
+    }
+    if (from_env && !IsaTierAvailable(tier)) {
+      std::fprintf(stderr,
+                   "[rpm] RPM_FORCE_ISA=%s unavailable on this host; "
+                   "falling back to %s\n",
+                   forced, IsaTierName(best));
+      tier = best;
+      from_env = false;
+    }
+  }
+  std::fprintf(stderr, "[rpm] matcher ISA tier: %s%s\n", IsaTierName(tier),
+               from_env ? " (forced via RPM_FORCE_ISA)" : "");
+  return tier;
+}
+
+// Encoded tier + 1 so 0 means "not yet resolved".
+std::atomic<int> g_tier{0};
+
+// The once-only startup resolution (CPUID + RPM_FORCE_ISA + log line),
+// shared by CurrentIsaTier and ResetIsaTier so a ForceIsaTier call can
+// never masquerade as the startup value.
+IsaTier StartupTier() {
+  static const IsaTier tier = ResolveStartupTier();
+  return tier;
+}
+
+}  // namespace
+
+const char* IsaTierName(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return "scalar";
+    case IsaTier::kAvx2:
+      return "avx2";
+    case IsaTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool IsaTierAvailable(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return true;
+    case IsaTier::kAvx2:
+      return CpuHasAvx2();
+    case IsaTier::kAvx512:
+      return CpuHasAvx512();
+  }
+  return false;
+}
+
+IsaTier CurrentIsaTier() {
+  int enc = g_tier.load(std::memory_order_relaxed);
+  if (enc == 0) {
+    // Resolve once; concurrent first calls resolve the same value, so
+    // the race on who stores first is benign.
+    enc = static_cast<int>(StartupTier()) + 1;
+    int expected = 0;
+    g_tier.compare_exchange_strong(expected, enc, std::memory_order_relaxed);
+    enc = g_tier.load(std::memory_order_relaxed);
+  }
+  return static_cast<IsaTier>(enc - 1);
+}
+
+void ForceIsaTier(IsaTier tier) {
+  StartupTier();  // pin the startup resolution (and its log line) first
+  if (!IsaTierAvailable(tier)) tier = BestAvailable();
+  g_tier.store(static_cast<int>(tier) + 1, std::memory_order_relaxed);
+}
+
+void ResetIsaTier() {
+  g_tier.store(static_cast<int>(StartupTier()) + 1,
+               std::memory_order_relaxed);
+}
+
+}  // namespace rpm::distance

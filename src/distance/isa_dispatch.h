@@ -1,0 +1,48 @@
+// Runtime ISA dispatch for the distance kernels. One process-wide tier
+// is resolved at first use from CPUID, optionally overridden by the
+// RPM_FORCE_ISA environment variable ({scalar, avx2, avx512}) so CI and
+// benches can pin a tier on any host. The resolution is logged to
+// stderr exactly once so a bench or CI log always records which tier
+// produced its numbers.
+//
+// Every tier computes bit-identical results (the kernels share one
+// canonical accumulation order and re-gate vector decisions through the
+// scalar rule), so the tier only ever changes speed — never output.
+// That invariant is what lets the golden matcher tests sweep tiers via
+// ForceIsaTier and assert exact equality.
+
+#ifndef RPM_DISTANCE_ISA_DISPATCH_H_
+#define RPM_DISTANCE_ISA_DISPATCH_H_
+
+namespace rpm::distance {
+
+/// Kernel instruction-set tiers, ordered from most to least portable.
+enum class IsaTier {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Human-readable tier name ("scalar", "avx2", "avx512").
+const char* IsaTierName(IsaTier tier);
+
+/// True when this build *and* this CPU can run `tier`.
+bool IsaTierAvailable(IsaTier tier);
+
+/// The tier the matcher kernels dispatch on: the best available tier,
+/// unless RPM_FORCE_ISA pins a lower one or ForceIsaTier overrides it.
+/// Resolved once (and logged once) on first call; subsequent calls are a
+/// relaxed atomic load.
+IsaTier CurrentIsaTier();
+
+/// Test/bench hook: pin the dispatch tier in-process, bypassing the
+/// environment. Forcing a tier the host cannot run falls back to the
+/// best available one (same clamping RPM_FORCE_ISA gets). Pass
+/// ResetIsaTier() to return to the startup resolution. Not thread-safe
+/// against concurrent scans; call between scans only.
+void ForceIsaTier(IsaTier tier);
+void ResetIsaTier();
+
+}  // namespace rpm::distance
+
+#endif  // RPM_DISTANCE_ISA_DISPATCH_H_

@@ -3,15 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-#if defined(__x86_64__) && defined(__GNUC__)
-#include <immintrin.h>
-#define RPM_DOT_AVX2_DISPATCH 1
-#endif
-
+#include "distance/isa_dispatch.h"
+#include "distance/kernel_common.h"
+#include "distance/pattern_store.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ts/znorm.h"
@@ -28,6 +24,7 @@ struct MatcherMetrics {
   obs::Counter* scans;
   obs::Counter* matchall_calls;
   obs::Counter* windows;
+  obs::Counter* bucket_scans;
 
   static const MatcherMetrics& Get() {
     static const MatcherMetrics m = [] {
@@ -42,93 +39,27 @@ struct MatcherMetrics {
       out.windows = reg.GetCounter(
           "rpm_matcher_scan_windows_total",
           "Candidate windows covered by best-match scans.");
+      out.bucket_scans = reg.GetCounter(
+          "rpm_matcher_bucket_scans_total",
+          "Length-bucket scans executed by the SoA MatchAll path.");
       return out;
     }();
     return m;
   }
 };
 
-// Dot product with four fixed partial sums combined as
-// (s0 + s1) + (s2 + s3): the association is spelled out, so the scalar,
-// SSE2, and AVX2 paths produce bit-identical results (the compiler
-// cannot reassociate a strict FP reduction itself, which also means the
-// scalar loop would otherwise serialize on the single accumulator's add
-// latency). Element i mod 4 always accumulates into partial sum s(i mod
-// 4), whichever path runs.
-inline double DotBase(const double* a, const double* b, std::size_t n) {
-#if defined(__SSE2__)
-  __m128d va = _mm_setzero_pd();  // lanes {s0, s1}
-  __m128d vb = _mm_setzero_pd();  // lanes {s2, s3}
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    va = _mm_add_pd(va, _mm_mul_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
-    vb = _mm_add_pd(
-        vb, _mm_mul_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2)));
-  }
-  double s0 = _mm_cvtsd_f64(va);
-  double s1 = _mm_cvtsd_f64(_mm_unpackhi_pd(va, va));
-  double s2 = _mm_cvtsd_f64(vb);
-  double s3 = _mm_cvtsd_f64(_mm_unpackhi_pd(vb, vb));
-  for (; i < n; ++i) s0 += a[i] * b[i];
-  return (s0 + s1) + (s2 + s3);
-#else
-  double s0 = 0.0;
-  double s1 = 0.0;
-  double s2 = 0.0;
-  double s3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < n; ++i) s0 += a[i] * b[i];
-  return (s0 + s1) + (s2 + s3);
-#endif
-}
-
-#if defined(RPM_DOT_AVX2_DISPATCH)
-// One ymm register holds the same four partial sums {s0, s1, s2, s3}, so
-// the per-lane accumulation and the final combine are identical to the
-// base path — only the instruction count halves. Explicit mul-then-add
-// intrinsics (never FMA, which rounds once instead of twice) keep every
-// intermediate bit-identical. The target attribute compiles this one
-// function for AVX2 while the rest of the build stays baseline x86-64;
-// callers dispatch on a one-time cpuid check.
-// always_inline keeps the AVX2 scan free of per-window call overhead
-// (the scan runs this tens of millions of times); legal because every
-// direct caller is itself compiled for AVX2.
-__attribute__((target("avx2"), always_inline)) inline double DotAvx2Impl(
-    const double* a, const double* b, std::size_t n) {
-  __m256d acc = _mm256_setzero_pd();  // lanes {s0, s1, s2, s3}
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc = _mm256_add_pd(
-        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
-  }
-  alignas(32) double s[4];
-  _mm256_store_pd(s, acc);
-  for (; i < n; ++i) s[0] += a[i] * b[i];
-  return (s[0] + s[1]) + (s[2] + s[3]);
-}
-
-// Out-of-line wrapper for the baseline-ISA dispatcher, which cannot
-// inline AVX2 code into itself.
-__attribute__((target("avx2"))) double DotAvx2(const double* a,
-                                               const double* b,
-                                               std::size_t n) {
-  return DotAvx2Impl(a, b, n);
-}
-
-const bool kHaveAvx2 = __builtin_cpu_supports("avx2") != 0;
-#endif
-
+// The canonical dot kernels (pinned accumulation order shared with the
+// SoA pattern store) live in kernel_common.h; this dispatcher picks the
+// vector form whenever the runtime tier allows it. Forcing the scalar
+// tier (RPM_FORCE_ISA=scalar / ForceIsaTier) therefore pins the whole
+// per-pattern scan, dots included, to baseline ISA.
 inline double Dot(const double* a, const double* b, std::size_t n) {
 #if defined(RPM_DOT_AVX2_DISPATCH)
-  if (kHaveAvx2) return DotAvx2(a, b, n);
+  if (CurrentIsaTier() >= IsaTier::kAvx2) {
+    return internal::DotAvx2(a, b, n);
+  }
 #endif
-  return DotBase(a, b, n);
+  return internal::DotBase(a, b, n);
 }
 
 }  // namespace
@@ -144,7 +75,10 @@ PatternContext::PatternContext(ts::SeriesView pattern)
   }
 }
 
-SeriesContext::SeriesContext(ts::SeriesView series) : data_(series) {
+SeriesContext::SeriesContext(ts::SeriesView series) { Assign(series); }
+
+void SeriesContext::Assign(ts::SeriesView series) {
+  data_ = series;
   const std::size_t m = data_.size();
   prefix_.resize(m + 1);
   prefix_sq_.resize(m + 1);
@@ -265,7 +199,7 @@ __attribute__((target("avx2"))) BestMatch BestMatchScanAvx2(
       // computed against the block-start best, which may have improved.
       if (lb_l[lane] >= best_sq * sig2_l[lane]) continue;
       const std::size_t p = pos + static_cast<std::size_t>(lane);
-      const double dot = DotAvx2Impl(hay + p, pat, n);
+      const double dot = internal::DotAvx2Impl(hay + p, pat, n);
       const double csq =
           std::max(0.0, sum_sq_l[lane] - nd * mu_l[lane] * mu_l[lane]);
       const double d2s = std::max(
@@ -338,7 +272,10 @@ BestMatch BestMatchScan(const PatternContext& pattern,
   }
 #if defined(RPM_DOT_AVX2_DISPATCH)
   // Bit-identical AVX2 body (see BestMatchScanAvx2); n >= 2 holds here.
-  if (kHaveAvx2) {
+  // The AVX-512 tier also lands here: the per-pattern scan has no
+  // 512-bit body (the window-major bucket kernels in pattern_store.cc
+  // are where 8-wide blocks pay off), and AVX-512 hosts run AVX2 code.
+  if (CurrentIsaTier() >= IsaTier::kAvx2) {
     return BestMatchScanAvx2(pattern, series, seed_sq, first_hit);
   }
 #endif
@@ -454,26 +391,85 @@ bool BatchedMatchBelow(const PatternContext& pattern,
              .position != BestMatch::npos;
 }
 
+BatchMatcher::BatchMatcher() = default;
+
 BatchMatcher::BatchMatcher(const std::vector<ts::Series>& patterns) {
   patterns_.reserve(patterns.size());
   for (const auto& p : patterns) patterns_.emplace_back(p);
 }
 
+// Copies/moves transfer the contexts only; the SoA store is derived
+// state and rebuilds lazily in the destination (copying the arena would
+// buy nothing — builds are cold-path).
+BatchMatcher::BatchMatcher(const BatchMatcher& other)
+    : patterns_(other.patterns_) {}
+
+BatchMatcher& BatchMatcher::operator=(const BatchMatcher& other) {
+  if (this != &other) {
+    patterns_ = other.patterns_;
+    store_.reset();
+  }
+  return *this;
+}
+
+BatchMatcher::BatchMatcher(BatchMatcher&& other) noexcept
+    : patterns_(std::move(other.patterns_)),
+      store_(std::move(other.store_)) {}
+
+BatchMatcher& BatchMatcher::operator=(BatchMatcher&& other) noexcept {
+  if (this != &other) {
+    patterns_ = std::move(other.patterns_);
+    store_ = std::move(other.store_);
+  }
+  return *this;
+}
+
+BatchMatcher::~BatchMatcher() = default;
+
 void BatchMatcher::Add(ts::SeriesView pattern) {
   patterns_.emplace_back(pattern);
+  store_.reset();  // single-threaded setup phase; rebuilt on next MatchAll
+}
+
+PatternStore& BatchMatcher::EnsureStore() const {
+  // Adds happen-before any parallel matching (the transform snapshots
+  // the matcher before fanning out), so the only race the lock guards is
+  // several workers arriving at the first lazy build together.
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  if (!store_) {
+    auto built = std::make_unique<PatternStore>();
+    built->Build(patterns_);
+    store_ = std::move(built);
+  }
+  return *store_;
+}
+
+const PatternStore& BatchMatcher::store() const { return EnsureStore(); }
+
+void BatchMatcher::MatchAll(const SeriesContext& series,
+                            MatchScratch* scratch,
+                            std::vector<BestMatch>* out) const {
+  const MatcherMetrics& metrics = MatcherMetrics::Get();
+  metrics.matchall_calls->Increment();
+  // Sampled span over the whole K-pattern scan; a relaxed load + branch
+  // when tracing is off.
+  obs::TraceSpan span("matcher.match_all");
+  // Same per-scan accounting as K individual BatchedBestMatch calls, so
+  // the counters stay comparable across the per-pattern and SoA paths.
+  metrics.scans->Increment(patterns_.size());
+  std::size_t windows = 0;
+  for (const auto& p : patterns_) windows += ScanWindows(p, series);
+  metrics.windows->Increment(windows);
+
+  const std::size_t buckets = EnsureStore().MatchAll(series, scratch, out);
+  metrics.bucket_scans->Increment(buckets);
 }
 
 std::vector<BestMatch> BatchMatcher::MatchAll(
     const SeriesContext& series) const {
-  MatcherMetrics::Get().matchall_calls->Increment();
-  // Sampled span over the whole K-pattern scan; a relaxed load + branch
-  // when tracing is off.
-  obs::TraceSpan span("matcher.match_all");
+  MatchScratch scratch;
   std::vector<BestMatch> out;
-  out.reserve(patterns_.size());
-  for (const auto& p : patterns_) {
-    out.push_back(BatchedBestMatch(p, series));
-  }
+  MatchAll(series, &scratch, &out);
   return out;
 }
 

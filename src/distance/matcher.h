@@ -32,12 +32,25 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "distance/euclidean.h"
 #include "ts/series.h"
 
 namespace rpm::distance {
+
+class PatternStore;
+
+/// Reusable per-call state for the batched MatchAll path (per-pattern
+/// best-so-far in the scan's squared space). Callers on hot paths keep
+/// one scratch alive across calls so steady-state matching allocates
+/// nothing; a default-constructed scratch works for one-off calls.
+struct MatchScratch {
+  std::vector<double> best_sq;
+  std::vector<std::size_t> best_pos;
+};
 
 /// Per-pattern precomputation for the batched scan. The pattern is
 /// copied, so the context owns everything it needs.
@@ -68,6 +81,11 @@ class SeriesContext {
  public:
   SeriesContext() = default;
   explicit SeriesContext(ts::SeriesView series);
+
+  /// Rebuilds the context over a new series, reusing the prefix buffers
+  /// when capacity allows — the alloc-free path for streaming callers
+  /// that re-context every window slide.
+  void Assign(ts::SeriesView series);
 
   ts::SeriesView data() const { return data_; }
   std::size_t size() const { return data_.size(); }
@@ -127,13 +145,28 @@ bool BatchedMatchBelow(const PatternContext& pattern,
                        const SeriesContext& series, double cutoff);
 
 /// A set of pattern contexts built once and matched against many series.
+///
+/// MatchAll runs through a lazily built length-bucketed SoA PatternStore
+/// (pattern_store.h): each bucket scans the series window-major so one
+/// window's moments are shared by every same-length pattern, with
+/// scalar/AVX2/AVX-512 kernels under the runtime ISA dispatcher
+/// (isa_dispatch.h). Results are bit-identical to per-pattern Match on
+/// every tier. The store is rebuilt on first MatchAll after an Add;
+/// concurrent first-builds are serialized internally, so MatchAll stays
+/// safe to call from parallel transform workers.
 class BatchMatcher {
  public:
-  BatchMatcher() = default;
+  BatchMatcher();
   /// Builds one context per pattern (patterns are copied).
   explicit BatchMatcher(const std::vector<ts::Series>& patterns);
+  BatchMatcher(const BatchMatcher& other);
+  BatchMatcher& operator=(const BatchMatcher& other);
+  BatchMatcher(BatchMatcher&& other) noexcept;
+  BatchMatcher& operator=(BatchMatcher&& other) noexcept;
+  ~BatchMatcher();
 
-  /// Appends one pattern.
+  /// Appends one pattern (invalidates the SoA store; it is rebuilt on
+  /// the next MatchAll).
   void Add(ts::SeriesView pattern);
 
   std::size_t size() const { return patterns_.size(); }
@@ -145,12 +178,26 @@ class BatchMatcher {
     return BatchedBestMatch(patterns_[i], series);
   }
 
-  /// Best match of every pattern in the series. Patterns longer than the
-  /// series yield the explicit unfound sentinel at their slot.
+  /// Best match of every pattern in the series, in pattern order.
+  /// Patterns longer than the series yield the explicit unfound sentinel
+  /// at their slot. The scratch/out overload is the alloc-free hot path;
+  /// the returning overload wraps it for one-off callers.
+  void MatchAll(const SeriesContext& series, MatchScratch* scratch,
+                std::vector<BestMatch>* out) const;
   std::vector<BestMatch> MatchAll(const SeriesContext& series) const;
 
+  /// The lazily built SoA store (bench/introspection hook; builds it if
+  /// no MatchAll has run yet).
+  const PatternStore& store() const;
+
  private:
+  PatternStore& EnsureStore() const;
+
   std::vector<PatternContext> patterns_;
+  // Lazily (re)built from patterns_; guarded so concurrent MatchAll
+  // calls racing on the first build stay safe.
+  mutable std::mutex store_mutex_;
+  mutable std::unique_ptr<PatternStore> store_;
 };
 
 }  // namespace rpm::distance

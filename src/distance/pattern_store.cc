@@ -1,0 +1,706 @@
+#include "distance/pattern_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "distance/isa_dispatch.h"
+#include "distance/kernel_common.h"
+#include "ts/znorm.h"
+
+namespace rpm::distance {
+namespace {
+
+constexpr std::size_t kNpos = BestMatch::npos;
+
+// Row stride: length rounded up to 8 doubles so every slab row starts on
+// a 64-byte boundary.
+std::size_t PaddedLength(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+// Everything one bucket scan needs, flattened so the per-ISA kernels
+// share a single signature. `best_sq` / `best_pos` are the per-pattern
+// running state (scan squared space / window position), updated in
+// place; both are `count` entries.
+struct BucketScan {
+  const double* hay;
+  const double* prefix;
+  const double* prefix_sq;
+  std::size_t m;  // series length
+  std::size_t n;  // pattern length (>= 2 here; 1 and 0 are special-cased)
+  double inv_n;
+  const double* slab;  // first pattern row
+  std::size_t stride;  // row stride in doubles
+  std::size_t count;   // patterns in the bucket
+  const double* p_first;
+  const double* p_last;
+  const double* p_sum;
+  const double* p_sum_sq;
+  internal::DotFn dot;
+  double* best_sq;
+  std::size_t* best_pos;
+};
+
+// Scalar bucket kernel, starting at window `pos`: the reference body the
+// vector tiers must reproduce bit for bit, and the tail handler for
+// their trailing < lane-width positions. Window-major: each window's
+// moments and (window - mu) endpoint terms are computed once and shared
+// by every pattern in the bucket; per-pattern decisions follow exactly
+// the per-pattern scalar scan (matcher.cc BestMatchScan), in the same
+// window order, so the sequence of best updates is identical.
+void ScanBucketScalarFrom(const BucketScan& a, std::size_t pos) {
+  const double nd = static_cast<double>(a.n);
+  for (; pos + a.n <= a.m; ++pos) {
+    const double sum = a.prefix[pos + a.n] - a.prefix[pos];
+    const double sum_sq = a.prefix_sq[pos + a.n] - a.prefix_sq[pos];
+    double mu = 0.0;
+    double sigma = 0.0;
+    ts::WindowMomentsFromSums(sum, sum_sq, a.inv_n, &mu, &sigma);
+    const double sig2 = sigma * sigma;
+    // Shared endpoint terms: (hay[pos] - mu) rounds identically whether
+    // hoisted here or recomputed per pattern.
+    const double w_f = a.hay[pos] - mu;
+    const double w_l = a.hay[pos + a.n - 1] - mu;
+    for (std::size_t p = 0; p < a.count; ++p) {
+      const double thresh = a.best_sq[p] * sig2;
+      const double d_first = w_f - a.p_first[p] * sigma;
+      double lb = d_first * d_first;
+      const double d_last = w_l - a.p_last[p] * sigma;
+      lb += d_last * d_last;
+      if (lb >= thresh) continue;
+      const double dot = a.dot(a.hay + pos, a.slab + p * a.stride, a.n);
+      const double csq = std::max(0.0, sum_sq - nd * mu * mu);
+      const double d2s = std::max(
+          0.0, csq - 2.0 * sigma * (dot - mu * a.p_sum[p]) +
+                   a.p_sum_sq[p] * sig2);
+      if (d2s < thresh) {
+        a.best_sq[p] = d2s / sig2;
+        a.best_pos[p] = pos;
+      }
+    }
+  }
+}
+
+#if defined(RPM_DOT_AVX2_DISPATCH)
+
+// AVX2 bucket kernel: four window positions per iteration. The block's
+// moments, endpoint terms and csq are computed once per iteration
+// (per-lane arithmetic identical to the scalar body, explicit
+// mul/add/sub/sqrt, never FMA) and reused by every pattern. The dot
+// products are vectorized ACROSS the four windows: element i of windows
+// pos..pos+3 is the contiguous load hay[pos+i .. pos+i+3], multiplied by
+// the broadcast pattern value row[i], accumulated into partial-sum
+// vector v(i mod 4) — each lane therefore replays the canonical
+// four-partial accumulation order (kernel_common.h) element for element,
+// so the per-lane dot is bit-identical to DotBase on that window. A dot
+// has no side effects, so whenever any lane survives the block-start
+// prune the kernel computes all four lanes' distances; the best-update
+// sweep then applies the scalar loop's exact gates (endpoint lower
+// bound, then d2s < thresh, both against the *current* best) in window
+// order, so the per-pattern sequence of best updates is identical to the
+// scalar body's.
+__attribute__((target("avx2"))) void ScanBucketAvx2(const BucketScan& a) {
+  const std::size_t n = a.n;
+  const std::size_t m = a.m;
+  const __m256d vinv_n = _mm256_set1_pd(a.inv_n);
+  const __m256d vnd = _mm256_set1_pd(static_cast<double>(n));
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vtwo = _mm256_set1_pd(2.0);
+  const __m256d vflat = _mm256_set1_pd(ts::kFlatThreshold);
+
+  alignas(32) double sig2_l[4];
+  alignas(32) double lb_l[4];
+  alignas(32) double d2s_l[4];
+
+  std::size_t pos = 0;
+  for (; pos + 3 + n <= m; pos += 4) {
+    const __m256d vsum = _mm256_sub_pd(_mm256_loadu_pd(a.prefix + pos + n),
+                                       _mm256_loadu_pd(a.prefix + pos));
+    const __m256d vsum_sq =
+        _mm256_sub_pd(_mm256_loadu_pd(a.prefix_sq + pos + n),
+                      _mm256_loadu_pd(a.prefix_sq + pos));
+    const __m256d vmu = _mm256_mul_pd(vsum, vinv_n);
+    const __m256d vvar = _mm256_max_pd(
+        vzero, _mm256_sub_pd(_mm256_mul_pd(vsum_sq, vinv_n),
+                             _mm256_mul_pd(vmu, vmu)));
+    __m256d vsigma = _mm256_sqrt_pd(vvar);
+    vsigma = _mm256_blendv_pd(vsigma, vone,
+                              _mm256_cmp_pd(vsigma, vflat, _CMP_LT_OQ));
+    const __m256d vsig2 = _mm256_mul_pd(vsigma, vsigma);
+    const __m256d vw_f =
+        _mm256_sub_pd(_mm256_loadu_pd(a.hay + pos), vmu);
+    const __m256d vw_l =
+        _mm256_sub_pd(_mm256_loadu_pd(a.hay + pos + n - 1), vmu);
+    // csq = max(0, sum_sq - nd*mu*mu): pattern-independent, hoisted —
+    // the expression tree matches the scalar body's, so each lane rounds
+    // identically.
+    const __m256d vcsq = _mm256_max_pd(
+        vzero, _mm256_sub_pd(vsum_sq,
+                             _mm256_mul_pd(_mm256_mul_pd(vnd, vmu), vmu)));
+
+    for (std::size_t p = 0; p < a.count; ++p) {
+      const __m256d vd_f =
+          _mm256_sub_pd(vw_f, _mm256_mul_pd(_mm256_set1_pd(a.p_first[p]),
+                                            vsigma));
+      __m256d vlb = _mm256_mul_pd(vd_f, vd_f);
+      const __m256d vd_l =
+          _mm256_sub_pd(vw_l, _mm256_mul_pd(_mm256_set1_pd(a.p_last[p]),
+                                            vsigma));
+      vlb = _mm256_add_pd(vlb, _mm256_mul_pd(vd_l, vd_l));
+      const __m256d vthresh =
+          _mm256_mul_pd(_mm256_set1_pd(a.best_sq[p]), vsig2);
+      const int keep =
+          _mm256_movemask_pd(_mm256_cmp_pd(vlb, vthresh, _CMP_LT_OQ));
+      // The best only shrinks within a block, so the block-start
+      // threshold is an upper bound on every later threshold: an
+      // all-lanes prune here means the scalar loop prunes all four
+      // windows too.
+      if (keep == 0) continue;
+
+      // Four windows' dots at once, one per lane. For fixed element i
+      // the four windows read hay[pos+i .. pos+i+3] — one unaligned
+      // load — times the broadcast row[i]; accumulator k takes the
+      // i % 4 == k elements in index order, tail elements fold into v0,
+      // and the partials combine as (s0+s1)+(s2+s3): the pinned order,
+      // per lane.
+      const double* row = a.slab + p * a.stride;
+      const double* hb = a.hay + pos;
+      __m256d v0 = vzero;
+      __m256d v1 = vzero;
+      __m256d v2 = vzero;
+      __m256d v3 = vzero;
+      std::size_t i = 0;
+      for (; i + 4 <= n; i += 4) {
+        v0 = _mm256_add_pd(
+            v0, _mm256_mul_pd(_mm256_loadu_pd(hb + i),
+                              _mm256_set1_pd(row[i])));
+        v1 = _mm256_add_pd(
+            v1, _mm256_mul_pd(_mm256_loadu_pd(hb + i + 1),
+                              _mm256_set1_pd(row[i + 1])));
+        v2 = _mm256_add_pd(
+            v2, _mm256_mul_pd(_mm256_loadu_pd(hb + i + 2),
+                              _mm256_set1_pd(row[i + 2])));
+        v3 = _mm256_add_pd(
+            v3, _mm256_mul_pd(_mm256_loadu_pd(hb + i + 3),
+                              _mm256_set1_pd(row[i + 3])));
+      }
+      for (; i < n; ++i) {
+        v0 = _mm256_add_pd(
+            v0, _mm256_mul_pd(_mm256_loadu_pd(hb + i),
+                              _mm256_set1_pd(row[i])));
+      }
+      const __m256d vdot =
+          _mm256_add_pd(_mm256_add_pd(v0, v1), _mm256_add_pd(v2, v3));
+
+      // d2s = max(0, csq - 2*sigma*(dot - mu*p_sum) + p_sum_sq*sig2),
+      // same expression tree as the scalar body.
+      const __m256d vcross = _mm256_mul_pd(
+          _mm256_mul_pd(vtwo, vsigma),
+          _mm256_sub_pd(vdot, _mm256_mul_pd(vmu,
+                                            _mm256_set1_pd(a.p_sum[p]))));
+      const __m256d vd2s = _mm256_max_pd(
+          vzero,
+          _mm256_add_pd(_mm256_sub_pd(vcsq, vcross),
+                        _mm256_mul_pd(_mm256_set1_pd(a.p_sum_sq[p]),
+                                      vsig2)));
+
+      // Fast path: no lane can update unless it passes both gates with
+      // the sweep-start best — the largest threshold any lane will face,
+      // since the best only shrinks lane to lane.
+      const __m256d vthresh_now =
+          _mm256_mul_pd(_mm256_set1_pd(a.best_sq[p]), vsig2);
+      const int cand = _mm256_movemask_pd(_mm256_and_pd(
+          _mm256_cmp_pd(vlb, vthresh_now, _CMP_LT_OQ),
+          _mm256_cmp_pd(vd2s, vthresh_now, _CMP_LT_OQ)));
+      if (cand == 0) continue;
+      _mm256_store_pd(sig2_l, vsig2);
+      _mm256_store_pd(lb_l, vlb);
+      _mm256_store_pd(d2s_l, vd2s);
+      for (int lane = 0; lane < 4; ++lane) {
+        // The scalar loop's gates against the *current* best (the vector
+        // mask used the block-start best, which may have improved): skip
+        // on the endpoint bound first — exactly the windows the scalar
+        // loop skips — then update on d2s < thresh.
+        const double thresh = a.best_sq[p] * sig2_l[lane];
+        if (lb_l[lane] >= thresh) continue;
+        if (d2s_l[lane] < thresh) {
+          a.best_sq[p] = d2s_l[lane] / sig2_l[lane];
+          a.best_pos[p] = pos + static_cast<std::size_t>(lane);
+        }
+      }
+    }
+  }
+  ScanBucketScalarFrom(a, pos);  // trailing < 4 positions
+}
+
+// AVX-512 bucket kernel: sixteen window positions per iteration as two
+// 8-wide blocks (A at pos, B at pos+8), each with the same across-window
+// dot and re-gate discipline as the AVX2 body. Two blocks per iteration
+// is a latency play: one 8-wide block gives the dot loop four dependent
+// add chains — at 4-cycle vaddpd latency that caps throughput at one
+// accumulate per cycle while the FP ports can retire two. Interleaving a
+// second block doubles the independent chains (and shares each row[i]
+// broadcast between them), saturating the adders. Per-lane arithmetic
+// and the best-update sweep are identical to the 8-wide epilogue body,
+// which handles the trailing 8..15 positions before the scalar tail.
+//
+// GCC 12's avx512fintrin.h initializes _mm512_undefined_pd() as
+// `__Y = __Y`, which -Wmaybe-uninitialized flags inside the inlined
+// sqrt/cmp intrinsics; the value is a don't-care by construction.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// Per-block window state shared by every pattern in the bucket: moments,
+// endpoint terms and csq for the 8 windows starting at `pos`, computed
+// with the scalar body's expression trees (see ScanBucketScalarFrom).
+struct Block512 {
+  __m512d vsum_sq;
+  __m512d vmu;
+  __m512d vsigma;
+  __m512d vsig2;
+  __m512d vw_f;
+  __m512d vw_l;
+  __m512d vcsq;
+};
+
+__attribute__((target("avx512f"), always_inline)) inline Block512
+LoadBlock512(const BucketScan& a, std::size_t pos, __m512d vinv_n,
+             __m512d vnd) {
+  const __m512d vzero = _mm512_setzero_pd();
+  const __m512d vone = _mm512_set1_pd(1.0);
+  const __m512d vflat = _mm512_set1_pd(ts::kFlatThreshold);
+  const std::size_t n = a.n;
+  Block512 b;
+  const __m512d vsum = _mm512_sub_pd(_mm512_loadu_pd(a.prefix + pos + n),
+                                     _mm512_loadu_pd(a.prefix + pos));
+  b.vsum_sq = _mm512_sub_pd(_mm512_loadu_pd(a.prefix_sq + pos + n),
+                            _mm512_loadu_pd(a.prefix_sq + pos));
+  b.vmu = _mm512_mul_pd(vsum, vinv_n);
+  const __m512d vvar = _mm512_max_pd(
+      vzero, _mm512_sub_pd(_mm512_mul_pd(b.vsum_sq, vinv_n),
+                           _mm512_mul_pd(b.vmu, b.vmu)));
+  __m512d vsigma = _mm512_sqrt_pd(vvar);
+  // Flat-window rule per lane: sigma < threshold -> 1.0.
+  const __mmask8 flat = _mm512_cmp_pd_mask(vsigma, vflat, _CMP_LT_OQ);
+  b.vsigma = _mm512_mask_blend_pd(flat, vsigma, vone);
+  b.vsig2 = _mm512_mul_pd(b.vsigma, b.vsigma);
+  b.vw_f = _mm512_sub_pd(_mm512_loadu_pd(a.hay + pos), b.vmu);
+  b.vw_l = _mm512_sub_pd(_mm512_loadu_pd(a.hay + pos + n - 1), b.vmu);
+  b.vcsq = _mm512_max_pd(
+      vzero,
+      _mm512_sub_pd(b.vsum_sq,
+                    _mm512_mul_pd(_mm512_mul_pd(vnd, b.vmu), b.vmu)));
+  return b;
+}
+
+// Endpoint lower bound for pattern p over a block, against the
+// block-start best (conservative: the best only shrinks, so an all-lanes
+// prune is exactly the scalar loop's outcome for these windows).
+__attribute__((target("avx512f"), always_inline)) inline __m512d
+LowerBound512(const Block512& b, double p_first, double p_last) {
+  const __m512d vd_f = _mm512_sub_pd(
+      b.vw_f, _mm512_mul_pd(_mm512_set1_pd(p_first), b.vsigma));
+  __m512d vlb = _mm512_mul_pd(vd_f, vd_f);
+  const __m512d vd_l = _mm512_sub_pd(
+      b.vw_l, _mm512_mul_pd(_mm512_set1_pd(p_last), b.vsigma));
+  return _mm512_add_pd(vlb, _mm512_mul_pd(vd_l, vd_l));
+}
+
+// d2s = max(0, csq - 2*sigma*(dot - mu*p_sum) + p_sum_sq*sig2), the
+// scalar body's expression tree per lane.
+__attribute__((target("avx512f"), always_inline)) inline __m512d
+Distances512(const Block512& b, __m512d vdot, double p_sum,
+             double p_sum_sq) {
+  const __m512d vcross = _mm512_mul_pd(
+      _mm512_mul_pd(_mm512_set1_pd(2.0), b.vsigma),
+      _mm512_sub_pd(vdot, _mm512_mul_pd(b.vmu, _mm512_set1_pd(p_sum))));
+  return _mm512_max_pd(
+      _mm512_setzero_pd(),
+      _mm512_add_pd(_mm512_sub_pd(b.vcsq, vcross),
+                    _mm512_mul_pd(_mm512_set1_pd(p_sum_sq), b.vsig2)));
+}
+
+// Best-update sweep over one block's 8 lanes, in window order, applying
+// the scalar loop's gates against the *current* best (the vector prune
+// used the block-start best, which may have improved): skip on the
+// endpoint bound first — exactly the windows the scalar loop skips —
+// then update on d2s < thresh.
+__attribute__((target("avx512f"), always_inline)) inline void SweepBlock512(
+    const BucketScan& a, std::size_t p, std::size_t pos, const Block512& b,
+    __m512d vlb, __m512d vd2s) {
+  // Fast path: test every lane against the sweep-start best. The best
+  // only shrinks lane to lane, so this threshold is the largest any lane
+  // in the block will face — if no lane passes both gates with it, no
+  // lane can update, exactly as in the scalar loop.
+  const __m512d vthresh =
+      _mm512_mul_pd(_mm512_set1_pd(a.best_sq[p]), b.vsig2);
+  const __mmask8 cand =
+      _mm512_cmp_pd_mask(vlb, vthresh, _CMP_LT_OQ) &
+      _mm512_cmp_pd_mask(vd2s, vthresh, _CMP_LT_OQ);
+  if (cand == 0) return;
+  alignas(64) double sig2_l[8];
+  alignas(64) double lb_l[8];
+  alignas(64) double d2s_l[8];
+  _mm512_store_pd(sig2_l, b.vsig2);
+  _mm512_store_pd(lb_l, vlb);
+  _mm512_store_pd(d2s_l, vd2s);
+  for (int lane = 0; lane < 8; ++lane) {
+    const double thresh = a.best_sq[p] * sig2_l[lane];
+    if (lb_l[lane] >= thresh) continue;
+    if (d2s_l[lane] < thresh) {
+      a.best_sq[p] = d2s_l[lane] / sig2_l[lane];
+      a.best_pos[p] = pos + static_cast<std::size_t>(lane);
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void ScanBucketAvx512(
+    const BucketScan& a) {
+  const std::size_t n = a.n;
+  const std::size_t m = a.m;
+  const __m512d vinv_n = _mm512_set1_pd(a.inv_n);
+  const __m512d vnd = _mm512_set1_pd(static_cast<double>(n));
+  const __m512d vzero = _mm512_setzero_pd();
+
+  std::size_t pos = 0;
+  // Main loop: two 8-wide blocks per iteration.
+  for (; pos + 15 + n <= m; pos += 16) {
+    const Block512 ba = LoadBlock512(a, pos, vinv_n, vnd);
+    const Block512 bb = LoadBlock512(a, pos + 8, vinv_n, vnd);
+    for (std::size_t p = 0; p < a.count; ++p) {
+      const __m512d vlb_a = LowerBound512(ba, a.p_first[p], a.p_last[p]);
+      const __m512d vlb_b = LowerBound512(bb, a.p_first[p], a.p_last[p]);
+      const __m512d vthresh_b = _mm512_set1_pd(a.best_sq[p]);
+      const __mmask8 keep_a = _mm512_cmp_pd_mask(
+          vlb_a, _mm512_mul_pd(vthresh_b, ba.vsig2), _CMP_LT_OQ);
+      const __mmask8 keep_b = _mm512_cmp_pd_mask(
+          vlb_b, _mm512_mul_pd(vthresh_b, bb.vsig2), _CMP_LT_OQ);
+      // Rarely-pruning workloads pay nothing for lumping the two blocks
+      // into one survive-check; prune-heavy ones still skip the dots
+      // whenever all sixteen windows are out.
+      if ((keep_a | keep_b) == 0) continue;
+
+      // Sixteen windows' dots at once: eight independent accumulate
+      // chains (see the AVX2 body for the per-lane order argument),
+      // block A and block B sharing each row[i] broadcast.
+      const double* row = a.slab + p * a.stride;
+      const double* hb = a.hay + pos;
+      __m512d va0 = vzero;
+      __m512d va1 = vzero;
+      __m512d va2 = vzero;
+      __m512d va3 = vzero;
+      __m512d vb0 = vzero;
+      __m512d vb1 = vzero;
+      __m512d vb2 = vzero;
+      __m512d vb3 = vzero;
+      std::size_t i = 0;
+      for (; i + 4 <= n; i += 4) {
+        const __m512d r0 = _mm512_set1_pd(row[i]);
+        const __m512d r1 = _mm512_set1_pd(row[i + 1]);
+        const __m512d r2 = _mm512_set1_pd(row[i + 2]);
+        const __m512d r3 = _mm512_set1_pd(row[i + 3]);
+        va0 = _mm512_add_pd(va0, _mm512_mul_pd(_mm512_loadu_pd(hb + i), r0));
+        vb0 = _mm512_add_pd(
+            vb0, _mm512_mul_pd(_mm512_loadu_pd(hb + i + 8), r0));
+        va1 = _mm512_add_pd(
+            va1, _mm512_mul_pd(_mm512_loadu_pd(hb + i + 1), r1));
+        vb1 = _mm512_add_pd(
+            vb1, _mm512_mul_pd(_mm512_loadu_pd(hb + i + 9), r1));
+        va2 = _mm512_add_pd(
+            va2, _mm512_mul_pd(_mm512_loadu_pd(hb + i + 2), r2));
+        vb2 = _mm512_add_pd(
+            vb2, _mm512_mul_pd(_mm512_loadu_pd(hb + i + 10), r2));
+        va3 = _mm512_add_pd(
+            va3, _mm512_mul_pd(_mm512_loadu_pd(hb + i + 3), r3));
+        vb3 = _mm512_add_pd(
+            vb3, _mm512_mul_pd(_mm512_loadu_pd(hb + i + 11), r3));
+      }
+      for (; i < n; ++i) {
+        const __m512d r0 = _mm512_set1_pd(row[i]);
+        va0 = _mm512_add_pd(va0, _mm512_mul_pd(_mm512_loadu_pd(hb + i), r0));
+        vb0 = _mm512_add_pd(
+            vb0, _mm512_mul_pd(_mm512_loadu_pd(hb + i + 8), r0));
+      }
+      const __m512d vdot_a =
+          _mm512_add_pd(_mm512_add_pd(va0, va1), _mm512_add_pd(va2, va3));
+      const __m512d vdot_b =
+          _mm512_add_pd(_mm512_add_pd(vb0, vb1), _mm512_add_pd(vb2, vb3));
+
+      const __m512d vd2s_a =
+          Distances512(ba, vdot_a, a.p_sum[p], a.p_sum_sq[p]);
+      const __m512d vd2s_b =
+          Distances512(bb, vdot_b, a.p_sum[p], a.p_sum_sq[p]);
+      // Window order: all of block A before any of block B.
+      SweepBlock512(a, p, pos, ba, vlb_a, vd2s_a);
+      SweepBlock512(a, p, pos + 8, bb, vlb_b, vd2s_b);
+    }
+  }
+  // Epilogue: one 8-wide block for the trailing 8..15 positions.
+  for (; pos + 7 + n <= m; pos += 8) {
+    const Block512 ba = LoadBlock512(a, pos, vinv_n, vnd);
+    for (std::size_t p = 0; p < a.count; ++p) {
+      const __m512d vlb = LowerBound512(ba, a.p_first[p], a.p_last[p]);
+      const __mmask8 keep = _mm512_cmp_pd_mask(
+          vlb, _mm512_mul_pd(_mm512_set1_pd(a.best_sq[p]), ba.vsig2),
+          _CMP_LT_OQ);
+      if (keep == 0) continue;
+      const double* row = a.slab + p * a.stride;
+      const double* hb = a.hay + pos;
+      __m512d v0 = vzero;
+      __m512d v1 = vzero;
+      __m512d v2 = vzero;
+      __m512d v3 = vzero;
+      std::size_t i = 0;
+      for (; i + 4 <= n; i += 4) {
+        v0 = _mm512_add_pd(
+            v0, _mm512_mul_pd(_mm512_loadu_pd(hb + i),
+                              _mm512_set1_pd(row[i])));
+        v1 = _mm512_add_pd(
+            v1, _mm512_mul_pd(_mm512_loadu_pd(hb + i + 1),
+                              _mm512_set1_pd(row[i + 1])));
+        v2 = _mm512_add_pd(
+            v2, _mm512_mul_pd(_mm512_loadu_pd(hb + i + 2),
+                              _mm512_set1_pd(row[i + 2])));
+        v3 = _mm512_add_pd(
+            v3, _mm512_mul_pd(_mm512_loadu_pd(hb + i + 3),
+                              _mm512_set1_pd(row[i + 3])));
+      }
+      for (; i < n; ++i) {
+        v0 = _mm512_add_pd(
+            v0, _mm512_mul_pd(_mm512_loadu_pd(hb + i),
+                              _mm512_set1_pd(row[i])));
+      }
+      const __m512d vdot =
+          _mm512_add_pd(_mm512_add_pd(v0, v1), _mm512_add_pd(v2, v3));
+      const __m512d vd2s = Distances512(ba, vdot, a.p_sum[p], a.p_sum_sq[p]);
+      SweepBlock512(a, p, pos, ba, vlb, vd2s);
+    }
+  }
+  ScanBucketScalarFrom(a, pos);  // trailing < 8 positions
+}
+#pragma GCC diagnostic pop
+
+#endif  // RPM_DOT_AVX2_DISPATCH
+
+}  // namespace
+
+PatternStore::PatternStore(const std::vector<ts::Series>& patterns) {
+  std::vector<ts::SeriesView> views;
+  views.reserve(patterns.size());
+  for (const auto& p : patterns) views.emplace_back(p);
+  BuildFromViews(views);
+}
+
+void PatternStore::Build(const std::vector<PatternContext>& patterns) {
+  std::vector<ts::SeriesView> views;
+  views.reserve(patterns.size());
+  for (const auto& p : patterns) views.emplace_back(p.values);
+  BuildFromViews(views);
+}
+
+void PatternStore::BuildFromViews(const std::vector<ts::SeriesView>& patterns) {
+  buckets_.clear();
+  first_.clear();
+  last_.clear();
+  sum_.clear();
+  sum_sq_.clear();
+  orig_index_.clear();
+  num_patterns_ = patterns.size();
+  num_empty_ = 0;
+
+  // Store order: ascending length, insertion order within a length
+  // (stable), empty patterns excluded (their slots stay sentinels).
+  std::vector<std::pair<std::size_t, std::size_t>> order;  // (length, orig)
+  order.reserve(patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (patterns[i].empty()) {
+      ++num_empty_;
+    } else {
+      order.emplace_back(patterns[i].size(), i);
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.first < y.first;
+                   });
+
+  // Lay out buckets and size the arena.
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < order.size();) {
+    const std::size_t n = order[i].first;
+    std::size_t j = i;
+    while (j < order.size() && order[j].first == n) ++j;
+    Bucket b;
+    b.length = n;
+    b.padded = PaddedLength(n);
+    b.first = i;
+    b.count = j - i;
+    b.slab = total;
+    b.inv_n = 1.0 / static_cast<double>(n);
+    total += b.padded * b.count;
+    buckets_.push_back(b);
+    i = j;
+  }
+
+  if (total == 0) {
+    arena_ = {nullptr, nullptr};
+    return;
+  }
+  // Row strides are multiples of 8 doubles, so the byte count is a
+  // multiple of 64 — the aligned_alloc contract.
+  auto* raw = static_cast<double*>(
+      std::aligned_alloc(64, total * sizeof(double)));
+  arena_ = {raw, +[](double* p) { std::free(p); }};
+  std::fill(raw, raw + total, 0.0);  // zero the padding lanes
+
+  const std::size_t stored = order.size();
+  first_.resize(stored);
+  last_.resize(stored);
+  sum_.resize(stored);
+  sum_sq_.resize(stored);
+  orig_index_.resize(stored);
+  for (const Bucket& b : buckets_) {
+    for (std::size_t k = 0; k < b.count; ++k) {
+      const std::size_t slot = b.first + k;
+      const ts::SeriesView p = patterns[order[slot].second];
+      double* row = raw + b.slab + k * b.padded;
+      std::copy(p.begin(), p.end(), row);
+      // Same sequential accumulation as PatternContext, so the sums that
+      // feed the closed-form distance are bit-identical to the
+      // per-pattern engine's.
+      double s = 0.0;
+      double ssq = 0.0;
+      for (const double v : p) {
+        s += v;
+        ssq += v * v;
+      }
+      first_[slot] = p.front();
+      last_[slot] = p.back();
+      sum_[slot] = s;
+      sum_sq_[slot] = ssq;
+      orig_index_[slot] = static_cast<std::uint32_t>(order[slot].second);
+    }
+  }
+}
+
+PatternStore::BucketInfo PatternStore::bucket_info(std::size_t b) const {
+  const Bucket& bucket = buckets_[b];
+  return BucketInfo{bucket.length, bucket.padded, bucket.count};
+}
+
+void PatternStore::ScanBucket(const Bucket& bucket,
+                              const SeriesContext& series, double* best_sq,
+                              std::size_t* best_pos) const {
+  // Callers guarantee 2 <= length <= series.size().
+  BucketScan a;
+  a.hay = series.data().data();
+  a.prefix = series.PrefixData();
+  a.prefix_sq = series.PrefixSqData();
+  a.m = series.size();
+  a.n = bucket.length;
+  a.inv_n = bucket.inv_n;
+  a.slab = arena_.get() + bucket.slab;
+  a.stride = bucket.padded;
+  a.count = bucket.count;
+  a.p_first = first_.data() + bucket.first;
+  a.p_last = last_.data() + bucket.first;
+  a.p_sum = sum_.data() + bucket.first;
+  a.p_sum_sq = sum_sq_.data() + bucket.first;
+  a.best_sq = best_sq;
+  a.best_pos = best_pos;
+
+  const IsaTier tier = CurrentIsaTier();
+#if defined(RPM_DOT_AVX2_DISPATCH)
+  if (tier >= IsaTier::kAvx2) {
+    a.dot = internal::VectorDotForLength(a.n);
+    if (tier == IsaTier::kAvx512 && IsaTierAvailable(IsaTier::kAvx512)) {
+      ScanBucketAvx512(a);
+    } else {
+      ScanBucketAvx2(a);
+    }
+    return;
+  }
+#else
+  (void)tier;
+#endif
+  a.dot = &internal::DotBase;
+  ScanBucketScalarFrom(a, 0);
+}
+
+std::size_t PatternStore::MatchAll(const SeriesContext& series,
+                                   MatchScratch* scratch,
+                                   std::vector<BestMatch>* out) const {
+  out->assign(num_patterns_, BestMatch{});  // all slots start unfound
+  const std::size_t stored = orig_index_.size();
+  if (stored == 0) return 0;
+  const std::size_t m = series.size();
+  std::size_t buckets_scanned = 0;
+
+  scratch->best_sq.assign(stored,
+                          std::numeric_limits<double>::infinity());
+  scratch->best_pos.assign(stored, kNpos);
+  double* best_sq = scratch->best_sq.data();
+  std::size_t* best_pos = scratch->best_pos.data();
+
+  for (const Bucket& b : buckets_) {
+    if (b.length > m || m == 0) continue;  // sentinel slots
+    ++buckets_scanned;
+    if (b.length == 1) {
+      // Every single-point window is exactly flat (z-value 0), so all
+      // positions tie at distance |p| and the first window wins — the
+      // same special case the per-pattern scan applies.
+      for (std::size_t k = 0; k < b.count; ++k) {
+        const double p = *Row(b, k);
+        if (p * p < std::numeric_limits<double>::infinity()) {
+          best_sq[b.first + k] = p * p;
+          best_pos[b.first + k] = 0;
+        }
+      }
+      continue;
+    }
+    ScanBucket(b, series, best_sq + b.first, best_pos + b.first);
+  }
+
+  for (const Bucket& b : buckets_) {
+    for (std::size_t k = 0; k < b.count; ++k) {
+      const std::size_t slot = b.first + k;
+      if (best_pos[slot] == kNpos) continue;
+      BestMatch& bm = (*out)[orig_index_[slot]];
+      bm.position = best_pos[slot];
+      bm.distance = std::sqrt(best_sq[slot] * b.inv_n);
+    }
+  }
+  return buckets_scanned;
+}
+
+void PatternStore::MatchBucket(std::size_t b, const SeriesContext& series,
+                               BestMatch* out) const {
+  const Bucket& bucket = buckets_[b];
+  std::vector<double> best_sq(bucket.count,
+                              std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> best_pos(bucket.count, kNpos);
+  const std::size_t m = series.size();
+  if (bucket.length <= m && m != 0) {
+    if (bucket.length == 1) {
+      for (std::size_t k = 0; k < bucket.count; ++k) {
+        const double p = *Row(bucket, k);
+        if (p * p < std::numeric_limits<double>::infinity()) {
+          best_sq[k] = p * p;
+          best_pos[k] = 0;
+        }
+      }
+    } else {
+      ScanBucket(bucket, series, best_sq.data(), best_pos.data());
+    }
+  }
+  for (std::size_t k = 0; k < bucket.count; ++k) {
+    out[k] = BestMatch{};
+    if (best_pos[k] == kNpos) continue;
+    out[k].position = best_pos[k];
+    out[k].distance = std::sqrt(best_sq[k] * bucket.inv_n);
+  }
+}
+
+}  // namespace rpm::distance

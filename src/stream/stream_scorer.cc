@@ -122,9 +122,11 @@ StreamDecision StreamScorer::ScoreWindow(std::uint64_t start,
   }
   const ts::SeriesView view(scratch_.data(), len);
   if (engine_->has_feature_space()) {
-    const std::vector<double> row = engine_->Row(view);
-    decision.label = engine_->PredictRow(row);
-    decision.margin = BestClassMargin(row);
+    // Warm per-session buffers: contexts, match scratch, and the row
+    // vector persist across hops, so steady-state scoring is alloc-free.
+    engine_->RowInto(view, &row_scratch_, &row_);
+    decision.label = engine_->PredictRow(row_);
+    decision.margin = BestClassMargin(row_);
   } else {
     decision.label = engine_->classifier().majority_label();
   }

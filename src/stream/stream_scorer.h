@@ -128,6 +128,11 @@ class StreamScorer {
   /// Representative-pattern indices grouped per class (margin computation).
   std::vector<std::vector<std::size_t>> class_patterns_;
   ts::Series scratch_;  // one window, reused every hop
+  /// Warm transform state (series contexts, SoA match scratch) and the
+  /// feature row, reused across hops so scoring allocates nothing in
+  /// steady state.
+  core::TransformScratch row_scratch_;
+  std::vector<double> row_;
 
   std::uint64_t next_index_ = 0;  // hop index of the frontier window
   std::uint64_t next_start_ = 0;  // == next_index_ * hop
