@@ -1,44 +1,46 @@
-// Socket front end for the inference server (src/serve): serves the
-// line-oriented protocol (see docs/SERVING.md) over TCP or a Unix-domain
-// socket, one thread per connection. Concurrent connections are what
-// feed the micro-batcher — each CLASSIFY blocks its connection thread
-// until the batch completes, so co-travelling requests share one engine
-// dispatch.
+// Socket front end for the inference server (src/serve), built on the
+// sharded event-driven reactor in src/net: N worker shards, each an
+// epoll loop on its own thread, with connections pinned to shards by
+// consistent hash. Every connection speaks either the line-oriented
+// text protocol or the length-prefixed binary framing (both specced in
+// docs/SERVING.md), negotiated by the connection's first bytes — binary
+// clients open with the 4-byte magic "RPMB".
 //
 // Usage:
 //   rpm_serve [--port N | --unix PATH] [--model NAME=PATH ...]
-//             [--batch N] [--linger-us N] [--queue N] [--threads N]
-//             [--timeout-ms N] [--trace-sample N]
+//             [--shards N] [--batch N] [--linger-us N] [--queue N]
+//             [--threads N] [--timeout-ms N] [--trace-sample N]
+//
+// --shards N runs N reactor shards, each owning its own batching queue
+// and stream-session map; stream sessions opened on a connection live
+// on that connection's shard, so the hot feed path takes no cross-shard
+// locks. Default 1 (single reactor).
 //
 // Observability: the METRICS verb returns the Prometheus exposition of
-// every serve/stream/matcher metric; TRACE <n> returns recent trace
+// every serve/stream/matcher/net metric, including the per-shard
+// rpm_net_* and rpm_*_shard_* families; TRACE <n> returns recent trace
 // spans as JSON. --trace-sample N records 1 of every N spans (default
 // 16; 0 disables tracing entirely). See docs/OBSERVABILITY.md.
 //
 // Quickstart:
 //   rpm_cli train train.csv gunpoint.model --search fixed --window 25
-//   rpm_serve --port 7070 --model gunpoint=gunpoint.model &
+//   rpm_serve --port 7070 --model gunpoint=gunpoint.model --shards 4 &
 //   printf 'CLASSIFY gunpoint 0.1,0.5,...\nSTATS\nQUIT\n' | nc localhost 7070
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <mutex>
 #include <string>
-#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "net/front_end.h"
 #include "obs/trace.h"
+#include "serve/net_handler.h"
 #include "serve/server.h"
 
 namespace {
@@ -50,8 +52,8 @@ void OnSignal(int) { g_stop = 1; }
   std::fprintf(stderr,
                "usage: rpm_serve [--port N | --unix PATH] "
                "[--model NAME=PATH ...]\n"
-               "                 [--batch N] [--linger-us N] [--queue N] "
-               "[--threads N] [--timeout-ms N]\n"
+               "                 [--shards N] [--batch N] [--linger-us N] "
+               "[--queue N] [--threads N] [--timeout-ms N]\n"
                "                 [--trace-sample N]   (record 1/N spans; "
                "0 disables tracing; default 16)\n");
   std::exit(2);
@@ -84,6 +86,10 @@ ServeCliOptions ParseArgs(int argc, char** argv) {
         Usage();
       }
       cli.models.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--shards") {
+      const int n = std::atoi(need(i++));
+      if (n <= 0) Usage();
+      cli.server.num_shards = static_cast<std::size_t>(n);
     } else if (arg == "--batch") {
       cli.server.batching.max_batch_size =
           static_cast<std::size_t>(std::atoi(need(i++)));
@@ -110,107 +116,6 @@ ServeCliOptions ParseArgs(int argc, char** argv) {
   return cli;
 }
 
-int ListenTcp(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(fd, 64) < 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
-
-int ListenUnix(const std::string& path) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    ::close(fd);
-    return -1;
-  }
-  ::unlink(path.c_str());
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(fd, 64) < 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
-
-bool WriteAll(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n <= 0) return false;
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-// Reads newline-terminated requests and answers each with one response
-// line; the connection closes on QUIT, EOF, or a write error. Framing
-// (partial reads, many lines per read, a bounded line length) is
-// LineAssembler's job — a client that streams an endless unterminated
-// line gets an explicit error instead of growing this process.
-void ServeConnection(rpm::serve::InferenceServer* server, int fd) {
-  rpm::serve::LineAssembler assembler;
-  char chunk[4096];
-  bool open = true;
-  while (open) {
-    std::string line;
-    const auto status = assembler.NextLine(&line);
-    if (status == rpm::serve::LineAssembler::LineStatus::kNone) {
-      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-      if (n <= 0) break;
-      assembler.Append(std::string_view(chunk, static_cast<std::size_t>(n)));
-      continue;
-    }
-    std::string response;
-    if (status == rpm::serve::LineAssembler::LineStatus::kOversized) {
-      response = "ERR BAD_REQUEST line exceeds " +
-                 std::to_string(assembler.max_line()) + " bytes";
-    } else {
-      response = server->HandleLine(line);
-    }
-    if (!WriteAll(fd, response + "\n")) break;
-    if (response == "OK bye") open = false;
-  }
-  ::close(fd);
-}
-
-// Open connections, so shutdown can unblock their reads and join.
-class ConnectionSet {
- public:
-  void Spawn(rpm::serve::InferenceServer* server, int fd) {
-    std::lock_guard lock(mutex_);
-    fds_.push_back(fd);
-    threads_.emplace_back(ServeConnection, server, fd);
-  }
-  void ShutdownAll() {
-    {
-      std::lock_guard lock(mutex_);
-      for (int fd : fds_) ::shutdown(fd, SHUT_RDWR);
-    }
-    for (auto& t : threads_) {
-      if (t.joinable()) t.join();
-    }
-  }
-
- private:
-  std::mutex mutex_;
-  std::vector<int> fds_;
-  std::vector<std::thread> threads_;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,37 +140,33 @@ int main(int argc, char** argv) {
     }
   }
 
-  const int listen_fd = cli.unix_path.empty()
-                            ? ListenTcp(cli.port)
-                            : ListenUnix(cli.unix_path);
-  if (listen_fd < 0) {
-    std::fprintf(stderr, "[rpm_serve] cannot listen on %s\n",
-                 cli.unix_path.empty() ? std::to_string(cli.port).c_str()
-                                       : cli.unix_path.c_str());
-    return 1;
-  }
+  rpm::serve::NetHandler handler(&server);
+  rpm::net::FrontEndOptions net_options;
+  net_options.tcp_port = cli.port;
+  net_options.unix_path = cli.unix_path;
+  net_options.num_shards = server.num_shards();
+  net_options.metrics = &server.metrics();
+  rpm::net::FrontEnd front_end(&handler, net_options);
+  if (!front_end.Start()) return 1;
+
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
-  std::fprintf(stderr, "[rpm_serve] listening on %s\n",
-               cli.unix_path.empty()
-                   ? ("localhost:" + std::to_string(cli.port)).c_str()
-                   : cli.unix_path.c_str());
+  std::fprintf(
+      stderr, "[rpm_serve] listening on %s (%zu shard%s)\n",
+      cli.unix_path.empty()
+          ? ("localhost:" + std::to_string(front_end.port())).c_str()
+          : cli.unix_path.c_str(),
+      front_end.num_shards(), front_end.num_shards() == 1 ? "" : "s");
 
-  ConnectionSet connections;
+  // The reactors own all I/O; this thread just waits for the signal.
   while (g_stop == 0) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    connections.Spawn(&server, fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
-  // Graceful drain: unblock every connection, complete admitted requests,
-  // then report the final counters.
-  ::close(listen_fd);
-  if (!cli.unix_path.empty()) ::unlink(cli.unix_path.c_str());
-  connections.ShutdownAll();
+  // Graceful drain: each shard flushes and closes its own connections
+  // (front end), then drains its own queue and sessions (server), so
+  // every admitted request completes and no session closes twice.
+  front_end.Stop();
   server.Shutdown();
   std::fprintf(stderr, "[rpm_serve] final stats: %s\n",
                server.Stats().ToJson().c_str());

@@ -17,7 +17,11 @@
 #                             train sums)
 #   BENCH_stream.json         stream_bench          (streaming scorer:
 #                             samples/sec/session + decision p50/p95,
-#                             single and 8 concurrent sessions)
+#                             single and 8 concurrent sessions, plus a
+#                             shard sweep — 1/2/4/8 server shards, one
+#                             pinned session each, per-shard rows and
+#                             aggregate samples/s with a bit-identical
+#                             decision check against the replay path)
 #   BENCH_serve.json          serve_bench           (per-request vs
 #                             batched serving throughput + latency)
 #   BENCH_serve_metrics.json  serve_bench           (end-of-run METRICS

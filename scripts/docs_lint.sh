@@ -3,7 +3,9 @@
 # tests/CMakeLists.txt). Two cross-checks keep the docs honest:
 #
 #  1. Every protocol verb handled in src/serve/server.cc appears in
-#     docs/SERVING.md.
+#     docs/SERVING.md, and so does every binary-protocol verb listed in
+#     the wire table (kVerbTable in src/net/frame.cc) together with its
+#     wire byte.
 #  2. Every metric family registered in the sources (rpm_*_total,
 #     rpm_*_microseconds, gauges, ...) appears in docs/OBSERVABILITY.md,
 #     and so does every trace span name recorded via TraceSpan /
@@ -31,8 +33,32 @@ for verb in $verbs; do
   fi
 done
 
+# --- 1b. binary-protocol verb table ----------------------------------
+# kVerbTable pins the verb names; frame.h pins the wire bytes. Both must
+# appear in the SERVING.md binary-protocol section: the name anywhere,
+# and the byte as the 0xNN literal from the BinaryVerb enum.
+bin_verbs=$(grep -oE '\{BinaryVerb::k[A-Za-z]+, "[A-Z_]+"\}' src/net/frame.cc |
+            grep -oE '"[A-Z_]+"' | tr -d '"' | sort -u)
+if [ -z "$bin_verbs" ]; then
+  echo "docs_lint: found no binary verbs in src/net/frame.cc (pattern drift?)"
+  fail=1
+fi
+for verb in $bin_verbs; do
+  if ! grep -q "\b${verb}\b" docs/SERVING.md; then
+    echo "docs_lint: binary verb ${verb} (src/net/frame.cc) missing from docs/SERVING.md"
+    fail=1
+  fi
+done
+bin_bytes=$(grep -oE '= 0x[0-9A-F]+,' src/net/frame.h | grep -oE '0x[0-9A-F]+' | sort -u)
+for byte in $bin_bytes; do
+  if ! grep -q "${byte}" docs/SERVING.md; then
+    echo "docs_lint: binary verb byte ${byte} (src/net/frame.h) missing from docs/SERVING.md"
+    fail=1
+  fi
+done
+
 # --- 2. metric families ----------------------------------------------
-metrics=$(grep -rhoE '"rpm_(serve|stream|matcher)_[a-z_]+"' src |
+metrics=$(grep -rhoE '"rpm_(serve|stream|matcher|net)_[a-z_]+"' src |
           tr -d '"' | sort -u)
 if [ -z "$metrics" ]; then
   echo "docs_lint: found no metric names under src/ (pattern drift?)"
@@ -67,4 +93,4 @@ if [ "$fail" -ne 0 ]; then
   echo "docs_lint: FAILED"
   exit 1
 fi
-echo "docs_lint: OK ($(echo "$verbs" | wc -w | tr -d ' ') verbs, $(echo "$metrics" | wc -w | tr -d ' ') metrics, $(echo "$spans" | wc -w | tr -d ' ') spans)"
+echo "docs_lint: OK ($(echo "$verbs" | wc -w | tr -d ' ') verbs, $(echo "$bin_verbs" | wc -w | tr -d ' ') binary verbs, $(echo "$metrics" | wc -w | tr -d ' ') metrics, $(echo "$spans" | wc -w | tr -d ' ') spans)"

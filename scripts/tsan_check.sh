@@ -6,11 +6,13 @@
 # serving-layer suites (registry hot reload, batching queue, server
 # hammering, connection framing), and the streaming suites (session
 # manager under concurrent feeds, eviction racing feeds, shutdown racing
-# feeds — everything carrying the `stream` ctest label), and the
+# feeds — everything carrying the `stream` ctest label), the
 # observability suites (8-thread registry/tracer hammer — the `obs`
-# label). Any data race in the pool, the parallel transform paths, the
-# training cache, the serve path, the stream session manager, or the
-# metric/trace cells fails the script.
+# label), and the network front-end suites (reactor threads, async
+# response re-sequencing, graceful stop racing live connections — the
+# `net` label). Any data race in the pool, the parallel transform paths,
+# the training cache, the serve path, the stream session manager, the
+# metric/trace cells, or the shard reactors fails the script.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -44,6 +46,11 @@ ctest --test-dir "${build_dir}" --output-on-failure -L stream
 # gauge, and histogram cells plus one tracer's rings while snapshots and
 # flushes race the writers.
 ctest --test-dir "${build_dir}" --output-on-failure -L obs
+
+# Network front-end suites: shard reactor threads accepting and serving
+# concurrent connections, dispatcher-thread CLASSIFY responses posted
+# back across threads and re-sequenced, and Stop() racing in-flight I/O.
+ctest --test-dir "${build_dir}" --output-on-failure -L net
 
 echo "TSan check passed."
 

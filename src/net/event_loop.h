@@ -1,0 +1,103 @@
+// Single-threaded epoll reactor: one per worker shard.
+//
+// The loop owns an epoll instance plus an eventfd used both as the
+// cross-thread wakeup for Post() and as the Stop() signal. Readiness is
+// edge-triggered (EPOLLET): fd handlers must drain until EAGAIN on
+// every callback — the connection layer in front_end.cc does exactly
+// that.
+//
+// Threading contract:
+//  * Run() blocks on the caller (the shard thread) until Stop().
+//  * Post(fn) is safe from any thread; fns run on the loop thread in
+//    submission order, after the current epoll batch. Posts enqueued
+//    before Stop() still run (FrontEnd relies on this to flush and
+//    close connections during graceful shutdown); posts after the loop
+//    has exited are destroyed unrun.
+//  * Add/Modify/Remove must be called on the loop thread (or before
+//    Run() starts) — fd bookkeeping is deliberately unlocked.
+//
+// Observability: when given metric cells the loop records one wakeup
+// count, the events-per-wake distribution, and the time spent handling
+// each iteration (epoll_wait blocking time excluded) — the
+// rpm_net_loop_* families in docs/OBSERVABILITY.md.
+
+#ifndef RPM_NET_EVENT_LOOP_H_
+#define RPM_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rpm::net {
+
+class EventLoop {
+ public:
+  /// Optional cells (any may be null); registered by the front end with
+  /// a per-shard label.
+  struct LoopMetrics {
+    obs::Counter* wakeups = nullptr;
+    obs::Histogram* events_per_wake = nullptr;
+    obs::Histogram* iteration_us = nullptr;
+  };
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False if epoll/eventfd creation failed; Run() is then a no-op.
+  bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  void set_metrics(const LoopMetrics& metrics) { metrics_ = metrics; }
+
+  /// Blocks, dispatching events and posted fns, until Stop().
+  void Run();
+
+  /// Thread-safe, idempotent; wakes the loop so Run() returns after the
+  /// pending posted fns have executed.
+  void Stop();
+
+  /// Enqueues `fn` to run on the loop thread. Thread-safe.
+  void Post(std::function<void()> fn);
+  /// Runs inline when already on the loop thread, else Post().
+  void PostOrRun(std::function<void()> fn);
+  bool InLoopThread() const {
+    return loop_thread_.load(std::memory_order_acquire) ==
+           std::this_thread::get_id();
+  }
+
+  using FdHandler = std::function<void(std::uint32_t events)>;
+  /// Registers `fd` for `events` (caller includes EPOLLET for ET).
+  bool Add(int fd, std::uint32_t events, FdHandler handler);
+  bool Modify(int fd, std::uint32_t events);
+  void Remove(int fd);
+
+ private:
+  void Wake();
+  void DrainPosted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  // shared_ptr so a handler removing itself (or a peer) mid-dispatch
+  // stays alive until its callback returns.
+  std::unordered_map<int, std::shared_ptr<FdHandler>> handlers_;
+  LoopMetrics metrics_;
+};
+
+}  // namespace rpm::net
+
+#endif  // RPM_NET_EVENT_LOOP_H_

@@ -1,0 +1,91 @@
+// Consistent-hash ring for pinning connections to worker shards.
+//
+// Each shard contributes `kVirtualNodes` points on a 64-bit ring
+// (FNV-1a of "shard/replica"); a key maps to the first point clockwise
+// from its own hash. The consistency property is what matters for
+// session pinning across resizes: going from N to N±1 shards remaps
+// only ~1/N of the keyspace, so a deployment that scales its shard
+// count relocates few pinned connections (plain modulo would reshuffle
+// almost everything).
+//
+// Header-only and allocation-free after construction; Pick is a binary
+// search over the sorted point table.
+
+#ifndef RPM_NET_HASH_RING_H_
+#define RPM_NET_HASH_RING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpm::net {
+
+/// FNV-1a, the same cheap stable hash everywhere a ring point or a
+/// connection key is hashed (stability across runs is part of the
+/// pinning contract).
+inline std::uint64_t Fnv1a(std::string_view data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// 64-bit finalizer (splitmix64). FNV-1a of short strings (and raw
+/// sequential connection counters) leaves the high bits barely mixed,
+/// but ring placement partitions the full 64-bit space by those high
+/// bits — without a finalizer the vnode points cluster and most keys
+/// land on a couple of shards. Applied to both point and key hashes.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+class ConsistentHashRing {
+ public:
+  static constexpr std::size_t kVirtualNodes = 64;
+
+  explicit ConsistentHashRing(std::size_t num_shards) {
+    if (num_shards == 0) num_shards = 1;
+    points_.reserve(num_shards * kVirtualNodes);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      for (std::size_t r = 0; r < kVirtualNodes; ++r) {
+        const std::string label =
+            std::to_string(s) + '/' + std::to_string(r);
+        points_.push_back({Mix64(Fnv1a(label)), s});
+      }
+    }
+    std::sort(points_.begin(), points_.end());
+  }
+
+  /// Shard owning `key` (first ring point at or after the key's hash,
+  /// wrapping at the top).
+  std::size_t Pick(std::string_view key) const { return PickHash(Fnv1a(key)); }
+  std::size_t PickHash(std::uint64_t hash) const {
+    auto it = std::lower_bound(points_.begin(), points_.end(),
+                               Point{Mix64(hash), 0});
+    if (it == points_.end()) it = points_.begin();
+    return it->shard;
+  }
+
+  std::size_t num_points() const { return points_.size(); }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::size_t shard;
+    bool operator<(const Point& o) const { return hash < o.hash; }
+  };
+  std::vector<Point> points_;
+};
+
+}  // namespace rpm::net
+
+#endif  // RPM_NET_HASH_RING_H_

@@ -47,32 +47,47 @@ BatchingQueue::~BatchingQueue() { Shutdown(); }
 
 std::future<ClassifyResult> BatchingQueue::Submit(
     ModelHandle model, ts::Series values, Clock::time_point deadline) {
-  std::promise<ClassifyResult> promise;
-  std::future<ClassifyResult> future = promise.get_future();
+  auto promise = std::make_shared<std::promise<ClassifyResult>>();
+  std::future<ClassifyResult> future = promise->get_future();
+  SubmitWithCallback(std::move(model), std::move(values), deadline,
+                     [promise](ClassifyResult result) {
+                       promise->set_value(result);
+                     });
+  return future;
+}
+
+void BatchingQueue::SubmitWithCallback(ModelHandle model, ts::Series values,
+                                       Clock::time_point deadline,
+                                       Callback done) {
+  ClassifyResult rejection;
+  bool rejected = false;
   {
     std::unique_lock lock(mutex_);
     if (shutdown_) {
       stats_->RecordRejectedShutdown();
-      promise.set_value({StatusCode::kShutdown, 0, 0.0});
-      return future;
-    }
-    if (queue_.size() >= options_.max_queue_depth) {
+      rejection = {StatusCode::kShutdown, 0, 0.0};
+      rejected = true;
+    } else if (queue_.size() >= options_.max_queue_depth) {
       stats_->RecordShed();
-      promise.set_value({StatusCode::kOverloaded, 0, 0.0});
-      return future;
+      rejection = {StatusCode::kOverloaded, 0, 0.0};
+      rejected = true;
+    } else {
+      Request req;
+      req.model = std::move(model);
+      req.values = std::move(values);
+      req.deadline = deadline;
+      req.enqueue_time = Clock::now();
+      req.done = std::move(done);
+      queue_.push_back(std::move(req));
+      stats_->RecordAdmitted();
+      stats_->RecordQueueDepth(queue_.size());
     }
-    Request req;
-    req.model = std::move(model);
-    req.values = std::move(values);
-    req.deadline = deadline;
-    req.enqueue_time = Clock::now();
-    req.promise = std::move(promise);
-    queue_.push_back(std::move(req));
-    stats_->RecordAdmitted();
-    stats_->RecordQueueDepth(queue_.size());
+  }
+  if (rejected) {
+    done(rejection);  // outside the lock: callbacks may re-enter
+    return;
   }
   cv_.notify_all();
-  return future;
 }
 
 void BatchingQueue::Shutdown() {
@@ -154,7 +169,7 @@ void BatchingQueue::RunBatch(std::vector<Request> batch) {
     if (dispatch_time >= req.deadline) {
       const double lat = MicrosSince(req.enqueue_time, dispatch_time);
       stats_->RecordTimeout(lat);
-      req.promise.set_value({StatusCode::kTimeout, 0, lat});
+      req.done({StatusCode::kTimeout, 0, lat});
     } else {
       live.push_back(std::move(req));
     }
@@ -177,7 +192,7 @@ void BatchingQueue::RunBatch(std::vector<Request> batch) {
   for (std::size_t i = 0; i < live.size(); ++i) {
     const double lat = MicrosSince(live[i].enqueue_time, done_time);
     stats_->RecordOk(lat);
-    live[i].promise.set_value({StatusCode::kOk, labels[i], lat});
+    live[i].done({StatusCode::kOk, labels[i], lat});
   }
 }
 

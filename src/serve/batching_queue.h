@@ -29,6 +29,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <string_view>
@@ -88,6 +89,15 @@ class BatchingQueue {
   std::future<ClassifyResult> Submit(ModelHandle model, ts::Series values,
                                      Clock::time_point deadline);
 
+  /// Completion delivered by callback instead of future — the form the
+  /// event-driven front end needs (no thread parked on a future). `done`
+  /// is invoked exactly once, outside the queue lock: on the submitting
+  /// thread for rejections, on the dispatcher thread otherwise. It must
+  /// not block (it runs inline in the dispatch path).
+  using Callback = std::function<void(ClassifyResult)>;
+  void SubmitWithCallback(ModelHandle model, ts::Series values,
+                          Clock::time_point deadline, Callback done);
+
   /// Stops admissions, drains every admitted request, joins the
   /// dispatcher. Idempotent; also run by the destructor.
   void Shutdown();
@@ -101,7 +111,7 @@ class BatchingQueue {
     ts::Series values;
     Clock::time_point deadline;
     Clock::time_point enqueue_time;
-    std::promise<ClassifyResult> promise;
+    Callback done;
   };
 
   void DispatcherLoop();

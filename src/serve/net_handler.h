@@ -1,0 +1,41 @@
+// Bridge between the sharded network front end (src/net) and the
+// inference server: implements net::RequestHandler for both codecs.
+//
+// Text lines go straight to InferenceServer::HandleLineAsync on the
+// connection's shard. Binary frames are decoded here — this file is the
+// authoritative implementation of the per-verb payload layouts specced
+// in docs/SERVING.md ("Binary protocol") — dispatched to the same
+// server calls, and the results re-encoded as response frames. Both
+// paths answer CLASSIFY asynchronously (from the shard's batching
+// dispatcher), which is why `respond` is a callback.
+//
+// The handler is stateless per request apart from the server pointer,
+// so one instance serves every shard concurrently.
+
+#ifndef RPM_SERVE_NET_HANDLER_H_
+#define RPM_SERVE_NET_HANDLER_H_
+
+#include <string>
+
+#include "net/front_end.h"
+#include "serve/server.h"
+
+namespace rpm::serve {
+
+class NetHandler : public net::RequestHandler {
+ public:
+  /// `server` must outlive the handler (and the front end using it).
+  explicit NetHandler(InferenceServer* server) : server_(server) {}
+
+  void OnTextLine(std::size_t shard, const std::string& line,
+                  Respond respond) override;
+  void OnFrame(std::size_t shard, const net::Frame& frame,
+               Respond respond) override;
+
+ private:
+  InferenceServer* const server_;
+};
+
+}  // namespace rpm::serve
+
+#endif  // RPM_SERVE_NET_HANDLER_H_

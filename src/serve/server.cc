@@ -12,45 +12,84 @@
 
 namespace rpm::serve {
 
-void LineAssembler::Append(std::string_view data) {
-  while (!data.empty()) {
-    const std::size_t nl = data.find('\n');
-    const std::string_view segment = data.substr(0, nl);
-    if (!discarding_) {
-      if (partial_.size() + segment.size() > max_line_) {
-        partial_.clear();
-        partial_.shrink_to_fit();
-        discarding_ = true;
-      } else {
-        partial_.append(segment);
-      }
-    }
-    if (nl == std::string_view::npos) return;  // rest arrives later
-    if (discarding_) {
-      ready_.push_back(Item{true, std::string()});
-      discarding_ = false;
-    } else {
-      if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
-      ready_.push_back(Item{false, std::move(partial_)});
-      partial_.clear();
-    }
-    data.remove_prefix(nl + 1);
-  }
-}
+// One lock domain: a batching queue and a session manager that only
+// this shard's traffic touches, plus the shard-labeled metric cells.
+struct InferenceServer::Shard {
+  /// Forwards stream events to the global ServerStats facade and the
+  /// shard-labeled cells in the same registry, so STATS aggregates and
+  /// METRICS still breaks the numbers down per shard.
+  class Sink : public stream::StreamStatsSink {
+   public:
+    ServerStats* stats = nullptr;
+    obs::Gauge* sessions = nullptr;
+    obs::Counter* feeds = nullptr;
+    obs::Counter* samples = nullptr;
+    obs::Counter* decisions = nullptr;
 
-LineAssembler::LineStatus LineAssembler::NextLine(std::string* line) {
-  if (ready_.empty()) return LineStatus::kNone;
-  Item item = std::move(ready_.front());
-  ready_.pop_front();
-  if (item.oversized) return LineStatus::kOversized;
-  *line = std::move(item.line);
-  return LineStatus::kLine;
-}
+    void OnOpen() override {
+      stats->RecordStreamOpen();
+      sessions->Add(1);
+    }
+    void OnClose() override {
+      stats->RecordStreamClose();
+      sessions->Add(-1);
+    }
+    void OnEvict() override {
+      stats->RecordStreamEvict();
+      sessions->Add(-1);
+    }
+    void OnFeed(std::size_t accepted, bool truncated) override {
+      stats->RecordStreamFeed(accepted, truncated);
+      feeds->Increment();
+      samples->Increment(accepted);
+    }
+    void OnDecision(double score_us, bool early) override {
+      stats->RecordStreamDecision(score_us, early);
+      decisions->Increment();
+    }
+  };
+
+  Sink sink;
+  obs::Counter* requests = nullptr;
+  std::unique_ptr<BatchingQueue> queue;
+  std::unique_ptr<stream::StreamSessionManager> streams;
+};
 
 InferenceServer::InferenceServer(ServerOptions options)
-    : options_(options),
-      queue_(options.batching, &stats_),
-      streams_(options.streaming, &stream_sink_) {}
+    : options_(std::move(options)) {
+  const std::size_t num_shards =
+      options_.num_shards == 0 ? 1 : options_.num_shards;
+  options_.num_shards = num_shards;
+  obs::MetricRegistry& reg = stats_.registry();
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    const obs::Labels labels{{"shard", std::to_string(i)}};
+    shard->sink.stats = &stats_;
+    shard->sink.sessions = reg.GetGauge(
+        "rpm_stream_shard_sessions",
+        "Open stream sessions homed on this shard", labels);
+    shard->sink.feeds = reg.GetCounter(
+        "rpm_stream_shard_feeds_total",
+        "STREAM_FEED calls handled by this shard", labels);
+    shard->sink.samples = reg.GetCounter(
+        "rpm_stream_shard_samples_total",
+        "Samples accepted into this shard's sessions", labels);
+    shard->sink.decisions = reg.GetCounter(
+        "rpm_stream_shard_decisions_total",
+        "Window decisions emitted by this shard's sessions", labels);
+    shard->requests = reg.GetCounter(
+        "rpm_serve_shard_requests_total",
+        "CLASSIFY requests submitted through this shard", labels);
+    shard->queue = std::make_unique<BatchingQueue>(options_.batching, &stats_);
+    stream::StreamManagerOptions stream_opts = options_.streaming;
+    stream_opts.id_start = i + 1;
+    stream_opts.id_stride = num_shards;
+    shard->streams = std::make_unique<stream::StreamSessionManager>(
+        stream_opts, &shard->sink);
+    shards_.push_back(std::move(shard));
+  }
+}
 
 InferenceServer::~InferenceServer() { Shutdown(); }
 
@@ -68,18 +107,34 @@ bool InferenceServer::UnloadModel(const std::string& name) {
   return registry_.Unload(name);
 }
 
-std::future<ClassifyResult> InferenceServer::ClassifyAsync(
-    const std::string& model, ts::Series values,
-    std::chrono::microseconds timeout) {
+void InferenceServer::ClassifyWithCallback(const std::string& model,
+                                           ts::Series values,
+                                           std::chrono::microseconds timeout,
+                                           std::size_t shard,
+                                           BatchingQueue::Callback done) {
+  Shard& s = *shards_[shard % shards_.size()];
+  s.requests->Increment();
   ModelHandle handle = registry_.Get(model);
   if (handle == nullptr) {
     stats_.RecordNotFound();
-    std::promise<ClassifyResult> promise;
-    promise.set_value({StatusCode::kNotFound, 0, 0.0});
-    return promise.get_future();
+    done({StatusCode::kNotFound, 0, 0.0});
+    return;
   }
-  return queue_.Submit(std::move(handle), std::move(values),
-                       BatchingQueue::Clock::now() + timeout);
+  s.queue->SubmitWithCallback(std::move(handle), std::move(values),
+                              BatchingQueue::Clock::now() + timeout,
+                              std::move(done));
+}
+
+std::future<ClassifyResult> InferenceServer::ClassifyAsync(
+    const std::string& model, ts::Series values,
+    std::chrono::microseconds timeout, std::size_t shard) {
+  auto promise = std::make_shared<std::promise<ClassifyResult>>();
+  std::future<ClassifyResult> future = promise->get_future();
+  ClassifyWithCallback(model, std::move(values), timeout, shard,
+                       [promise](ClassifyResult result) {
+                         promise->set_value(result);
+                       });
+  return future;
 }
 
 ClassifyResult InferenceServer::Classify(const std::string& model,
@@ -94,7 +149,8 @@ ClassifyResult InferenceServer::Classify(const std::string& model,
 }
 
 stream::StreamSessionManager::OpenResult InferenceServer::OpenStream(
-    const std::string& model, stream::StreamOptions options) {
+    const std::string& model, stream::StreamOptions options,
+    std::size_t shard) {
   ModelHandle handle = registry_.Get(model);
   if (handle == nullptr) {
     stats_.RecordNotFound();
@@ -105,22 +161,56 @@ stream::StreamSessionManager::OpenResult InferenceServer::OpenStream(
   stream::StreamModel pinned;
   pinned.engine = &handle->engine;
   pinned.owner = std::move(handle);
-  return streams_.Open(std::move(pinned), options);
+  return shards_[shard % shards_.size()]->streams->Open(std::move(pinned),
+                                                        options);
+}
+
+std::size_t InferenceServer::ShardOfStreamId(std::string_view id) const {
+  if (id.size() < 2 || id[0] != 's') return 0;
+  std::uint64_t n = 0;
+  for (const char c : id.substr(1)) {
+    if (c < '0' || c > '9') return 0;
+    n = n * 10 + std::uint64_t(c - '0');
+  }
+  if (n == 0) return 0;
+  // Shard i mints ids i+1, i+1+S, i+1+2S, ... so the inverse is direct.
+  return std::size_t((n - 1) % shards_.size());
 }
 
 stream::StreamSessionManager::FeedResult InferenceServer::FeedStream(
     const std::string& id, ts::SeriesView values) {
-  return streams_.Feed(id, values);
+  return shards_[ShardOfStreamId(id)]->streams->Feed(id, values);
 }
 
 stream::StreamSessionManager::CloseResult InferenceServer::CloseStream(
     const std::string& id) {
-  return streams_.Close(id);
+  return shards_[ShardOfStreamId(id)]->streams->Close(id);
+}
+
+stream::StreamSessionManager& InferenceServer::streams(std::size_t shard) {
+  return *shards_[shard % shards_.size()]->streams;
+}
+
+std::vector<std::string> InferenceServer::StreamIds() const {
+  std::vector<std::string> ids;
+  for (const auto& shard : shards_) {
+    const std::vector<std::string> shard_ids = shard->streams->Ids();
+    ids.insert(ids.end(), shard_ids.begin(), shard_ids.end());
+  }
+  std::sort(ids.begin(), ids.end(),
+            [](const std::string& a, const std::string& b) {
+              // "s<N>" ids: numeric order, not lexicographic.
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  return ids;
 }
 
 void InferenceServer::Shutdown() {
-  streams_.Shutdown();
-  queue_.Shutdown();
+  // Sessions first (stops decisions flowing into stats mid-drain), then
+  // queues; each shard's own pair, so nothing cross-shard is held.
+  for (auto& shard : shards_) shard->streams->Shutdown();
+  for (auto& shard : shards_) shard->queue->Shutdown();
 }
 
 std::string InferenceServer::MetricsText() const {
@@ -164,136 +254,164 @@ std::string Err(std::string_view code, const std::string& detail) {
 }  // namespace
 
 std::string InferenceServer::HandleLine(const std::string& line) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  HandleLineAsync(line, 0, [promise](std::string response) {
+    promise->set_value(std::move(response));
+  });
+  return future.get();
+}
+
+void InferenceServer::HandleLineAsync(
+    const std::string& line, std::size_t shard,
+    std::function<void(std::string)> respond) {
   std::istringstream in(line);
   std::string cmd;
-  if (!(in >> cmd)) return Err("BAD_REQUEST", "empty line");
+  if (!(in >> cmd)) return respond(Err("BAD_REQUEST", "empty line"));
 
-  if (cmd == "QUIT") return "OK bye";
-  if (cmd == "STATS") return "OK " + stats_.Snapshot().ToJson();
+  if (cmd == "QUIT") return respond("OK bye");
+  if (cmd == "STATS") return respond("OK " + stats_.Snapshot().ToJson());
   if (cmd == "METRICS") {
     // HandleLine responses carry no trailing newline (the socket loop
     // appends one), so strip the expositor's final '\n'.
     std::string text = "OK metrics\n" + MetricsText();
     if (!text.empty() && text.back() == '\n') text.pop_back();
-    return text;
+    return respond(std::move(text));
   }
   if (cmd == "TRACE") {
     long n = 32;
     if (in >> n) {
-      if (n <= 0) return Err("BAD_REQUEST", "span count must be positive");
+      if (n <= 0) {
+        return respond(Err("BAD_REQUEST", "span count must be positive"));
+      }
       n = std::min(n, 1024L);
     }
     const auto spans = obs::Tracer::Default().Recent(std::size_t(n));
-    return "OK " + obs::RenderSpansJson(spans);
+    return respond("OK " + obs::RenderSpansJson(spans));
   }
   if (cmd == "MODELS") {
     const std::vector<std::string> names = registry_.Names();
     std::string out = "OK " + std::to_string(names.size());
     for (const auto& n : names) out += ' ' + n;
-    return out;
+    return respond(std::move(out));
   }
   if (cmd == "LOAD") {
     std::string name;
     std::string path;
     if (!(in >> name >> path)) {
-      return Err("BAD_REQUEST", "usage: LOAD <name> <path>");
+      return respond(Err("BAD_REQUEST", "usage: LOAD <name> <path>"));
     }
     try {
       const std::size_t patterns = LoadModel(name, path);
-      return "OK loaded " + name + " patterns=" + std::to_string(patterns);
+      return respond("OK loaded " + name +
+                     " patterns=" + std::to_string(patterns));
     } catch (const std::exception& e) {
-      return Err("BAD_REQUEST", e.what());
+      return respond(Err("BAD_REQUEST", e.what()));
     }
   }
   if (cmd == "UNLOAD") {
     std::string name;
-    if (!(in >> name)) return Err("BAD_REQUEST", "usage: UNLOAD <name>");
-    if (!UnloadModel(name)) {
-      return Err("NOT_FOUND", "no model named '" + name + "'");
+    if (!(in >> name)) {
+      return respond(Err("BAD_REQUEST", "usage: UNLOAD <name>"));
     }
-    return "OK unloaded " + name;
+    if (!UnloadModel(name)) {
+      return respond(Err("NOT_FOUND", "no model named '" + name + "'"));
+    }
+    return respond("OK unloaded " + name);
   }
   if (cmd == "CLASSIFY") {
     std::string name;
     std::string csv;
     if (!(in >> name >> csv)) {
-      return Err("BAD_REQUEST", "usage: CLASSIFY <name> <v1,v2,...> [ms]");
+      return respond(
+          Err("BAD_REQUEST", "usage: CLASSIFY <name> <v1,v2,...> [ms]"));
     }
     std::chrono::microseconds timeout = options_.default_timeout;
     long timeout_ms = 0;
     if (in >> timeout_ms) {
       if (timeout_ms <= 0) {
-        return Err("BAD_REQUEST", "timeout must be positive");
+        return respond(Err("BAD_REQUEST", "timeout must be positive"));
       }
       timeout = std::chrono::milliseconds(timeout_ms);
     }
     ts::Series values;
     if (!ParseValues(csv, &values)) {
-      return Err("BAD_REQUEST", "malformed values '" + csv + "'");
+      return respond(Err("BAD_REQUEST", "malformed values '" + csv + "'"));
     }
-    const ClassifyResult result =
-        Classify(name, std::move(values), timeout);
-    if (result.status == StatusCode::kOk) {
-      return "OK " + std::to_string(result.label);
-    }
-    if (result.status == StatusCode::kNotFound) {
-      return Err("NOT_FOUND", "no model named '" + name + "'");
-    }
-    return Err(StatusName(result.status), "");
+    // The one asynchronous verb: the response is produced when the
+    // micro-batch dispatches, on the shard's dispatcher thread.
+    ClassifyWithCallback(
+        name, std::move(values), timeout, shard,
+        [respond = std::move(respond), name](ClassifyResult result) {
+          if (result.status == StatusCode::kOk) {
+            return respond("OK " + std::to_string(result.label));
+          }
+          if (result.status == StatusCode::kNotFound) {
+            return respond(
+                Err("NOT_FOUND", "no model named '" + name + "'"));
+          }
+          respond(Err(StatusName(result.status), ""));
+        });
+    return;
   }
   if (cmd == "STREAM_OPEN") {
     std::string name;
     long window = 0;
     if (!(in >> name >> window) || window <= 0) {
-      return Err("BAD_REQUEST",
-                 "usage: STREAM_OPEN <model> <window> [hop] [early_frac] "
-                 "[early_margin]");
+      return respond(Err(
+          "BAD_REQUEST",
+          "usage: STREAM_OPEN <model> <window> [hop] [early_frac] "
+          "[early_margin]"));
     }
     stream::StreamOptions opts;
     opts.window = static_cast<std::size_t>(window);
     long hop = 0;
     if (in >> hop) {
-      if (hop < 0) return Err("BAD_REQUEST", "hop must be non-negative");
+      if (hop < 0) {
+        return respond(Err("BAD_REQUEST", "hop must be non-negative"));
+      }
       opts.hop = static_cast<std::size_t>(hop);
     }
     double early_fraction = 0.0;
     if (in >> early_fraction) opts.early_fraction = early_fraction;
     double early_margin = 0.0;
     if (in >> early_margin) opts.early_margin = early_margin;
-    const auto result = OpenStream(name, opts);
+    const auto result = OpenStream(name, opts, shard);
     if (!result.ok) {
       if (result.error.rfind("no model", 0) == 0) {
-        return Err("NOT_FOUND", result.error);
+        return respond(Err("NOT_FOUND", result.error));
       }
       if (result.error == "too many open streams") {
-        return Err("OVERLOADED", result.error);
+        return respond(Err("OVERLOADED", result.error));
       }
       if (result.error == "shutting down") {
-        return Err("SHUTDOWN", result.error);
+        return respond(Err("SHUTDOWN", result.error));
       }
-      return Err("BAD_REQUEST", result.error);
+      return respond(Err("BAD_REQUEST", result.error));
     }
     // Echo the normalized geometry (hop defaulting happened in Open).
-    return "OK stream " + result.id + " window=" + std::to_string(window) +
-           " hop=" + std::to_string(opts.hop == 0 ? opts.window : opts.hop);
+    return respond(
+        "OK stream " + result.id + " window=" + std::to_string(window) +
+        " hop=" + std::to_string(opts.hop == 0 ? opts.window : opts.hop));
   }
   if (cmd == "STREAM_FEED") {
     std::string id;
     std::string csv;
     if (!(in >> id >> csv)) {
-      return Err("BAD_REQUEST", "usage: STREAM_FEED <id> <v1,v2,...>");
+      return respond(
+          Err("BAD_REQUEST", "usage: STREAM_FEED <id> <v1,v2,...>"));
     }
     ts::Series values;
     if (!ParseValues(csv, &values)) {
-      return Err("BAD_REQUEST", "malformed values '" + csv + "'");
+      return respond(Err("BAD_REQUEST", "malformed values '" + csv + "'"));
     }
     const auto result =
         FeedStream(id, ts::SeriesView(values.data(), values.size()));
     if (result.status == stream::StreamSessionManager::FeedStatus::kNotFound) {
-      return Err("NOT_FOUND", "no stream named '" + id + "'");
+      return respond(Err("NOT_FOUND", "no stream named '" + id + "'"));
     }
     if (result.status == stream::StreamSessionManager::FeedStatus::kShutdown) {
-      return Err("SHUTDOWN", "");
+      return respond(Err("SHUTDOWN", ""));
     }
     std::string out = "OK fed " + std::to_string(result.accepted) +
                       " decisions=" + std::to_string(result.decisions.size());
@@ -305,28 +423,31 @@ std::string InferenceServer::HandleLine(const std::string& line) {
       out += item;
       if (d.early) out += ":early";
     }
-    return out;
+    return respond(std::move(out));
   }
   if (cmd == "STREAM_CLOSE") {
     std::string id;
-    if (!(in >> id)) return Err("BAD_REQUEST", "usage: STREAM_CLOSE <id>");
+    if (!(in >> id)) {
+      return respond(Err("BAD_REQUEST", "usage: STREAM_CLOSE <id>"));
+    }
     const auto result = CloseStream(id);
     if (!result.found) {
-      return Err("NOT_FOUND", "no stream named '" + id + "'");
+      return respond(Err("NOT_FOUND", "no stream named '" + id + "'"));
     }
     const stream::StreamSummary& s = result.summary;
-    return "OK closed " + id + " samples=" + std::to_string(s.samples) +
-           " windows=" + std::to_string(s.windows_scored) +
-           " decisions=" + std::to_string(s.decisions) +
-           " early=" + std::to_string(s.early_decisions);
+    return respond("OK closed " + id + " samples=" +
+                   std::to_string(s.samples) +
+                   " windows=" + std::to_string(s.windows_scored) +
+                   " decisions=" + std::to_string(s.decisions) +
+                   " early=" + std::to_string(s.early_decisions));
   }
   if (cmd == "STREAMS") {
-    const std::vector<std::string> ids = streams_.Ids();
+    const std::vector<std::string> ids = StreamIds();
     std::string out = "OK " + std::to_string(ids.size());
     for (const auto& id : ids) out += ' ' + id;
-    return out;
+    return respond(std::move(out));
   }
-  return Err("BAD_REQUEST", "unknown command '" + cmd + "'");
+  respond(Err("BAD_REQUEST", "unknown command '" + cmd + "'"));
 }
 
 }  // namespace rpm::serve

@@ -37,20 +37,38 @@
 // STREAM_FEED may accept fewer samples than offered (backpressure: the
 // session ring is full); the producer re-offers the remainder.
 //
+// The same verbs are also reachable over the length-prefixed binary
+// framing (net/frame.h); serve/net_handler.h is the bridge that decodes
+// binary requests into the calls below and encodes the replies.
+//
 // Failures answer "ERR <CODE> <detail>", where CODE is one of TIMEOUT,
 // OVERLOADED, NOT_FOUND, SHUTDOWN, BAD_REQUEST. Apart from stream
 // sessions the protocol carries no connection state, so HandleLine is
 // safe to call from any number of connection threads concurrently.
+//
+// Sharding: with ServerOptions::num_shards = S > 1 the server holds S
+// independent (BatchingQueue, StreamSessionManager) pairs. A shard is a
+// lock domain: feeds into a session on shard i touch only shard i's
+// session map, so S reactor threads feeding their own shards never
+// contend. Session ids interleave (shard i mints s<i+1>, s<i+1+S>, ...)
+// and encode their home shard — FeedStream/CloseStream route by id, so
+// the id-only API stays shard-oblivious. The model registry and the
+// stats facade remain global: LOAD/UNLOAD are control-plane rare, and
+// STATS must aggregate. Defaults (S = 1) behave exactly like the
+// pre-sharding server.
 
 #ifndef RPM_SERVE_SERVER_H_
 #define RPM_SERVE_SERVER_H_
 
 #include <chrono>
-#include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "net/frame.h"
 #include "serve/batching_queue.h"
 #include "serve/model_registry.h"
 #include "serve/server_stats.h"
@@ -64,46 +82,16 @@ struct ServerOptions {
   /// Deadline applied to CLASSIFY requests that don't carry their own.
   std::chrono::milliseconds default_timeout{1000};
   /// Stream session limits (max sessions, idle eviction, reaper cadence).
+  /// max_sessions is enforced per shard; id_start/id_stride are
+  /// overwritten by the server's shard numbering.
   stream::StreamManagerOptions streaming;
+  /// Independent queue+session lock domains; see the file comment.
+  std::size_t num_shards = 1;
 };
 
-/// Reassembles protocol lines from arbitrary read() chunks, with a hard
-/// bound on line length so a client that never sends '\n' (or sends one
-/// gigantic line) cannot grow server memory without limit. Oversized
-/// lines are discarded as they arrive and surface as kOversized exactly
-/// once — at the point where the line would have completed — so the
-/// connection can answer with an explicit error and keep going.
-class LineAssembler {
- public:
-  static constexpr std::size_t kDefaultMaxLine = std::size_t{1} << 20;
-
-  explicit LineAssembler(std::size_t max_line = kDefaultMaxLine)
-      : max_line_(max_line) {}
-
-  /// Buffers one received chunk (any framing: partial lines, many lines,
-  /// split anywhere — including mid-CRLF).
-  void Append(std::string_view data);
-
-  enum class LineStatus {
-    kNone,       ///< no complete line buffered yet
-    kLine,       ///< *line holds the next line (no '\n', '\r' stripped)
-    kOversized,  ///< a line exceeded max_line and was dropped
-  };
-  /// Pops the next complete line in arrival order.
-  LineStatus NextLine(std::string* line);
-
-  std::size_t max_line() const { return max_line_; }
-
- private:
-  struct Item {
-    bool oversized;
-    std::string line;
-  };
-  std::size_t max_line_;
-  std::deque<Item> ready_;
-  std::string partial_;
-  bool discarding_ = false;
-};
+/// The line reassembler moved to src/net with the rest of the wire
+/// framing; the alias keeps the historical serve:: name working.
+using LineAssembler = net::LineAssembler;
 
 class InferenceServer {
  public:
@@ -128,7 +116,14 @@ class InferenceServer {
   /// dispatched (or it is rejected/timed out).
   std::future<ClassifyResult> ClassifyAsync(
       const std::string& model, ts::Series values,
-      std::chrono::microseconds timeout);
+      std::chrono::microseconds timeout, std::size_t shard = 0);
+
+  /// Callback form for event-driven callers: `done` runs exactly once,
+  /// inline for rejections (not-found, overload, shutdown) or on the
+  /// shard's dispatcher thread after batch dispatch. Must not block.
+  void ClassifyWithCallback(const std::string& model, ts::Series values,
+                            std::chrono::microseconds timeout,
+                            std::size_t shard, BatchingQueue::Callback done);
 
   /// Blocking convenience wrapper around ClassifyAsync.
   ClassifyResult Classify(const std::string& model, ts::Series values,
@@ -137,6 +132,9 @@ class InferenceServer {
 
   StatsSnapshot Stats() const { return stats_.Snapshot(); }
   ModelRegistry& registry() { return registry_; }
+  std::chrono::milliseconds default_timeout() const {
+    return options_.default_timeout;
+  }
 
   /// Prometheus text exposition of this server's metric registry plus
   /// the process-default registry (the METRICS response body). Ends
@@ -146,18 +144,33 @@ class InferenceServer {
 
   // ---- Streaming API (protocol-independent) ----
 
-  /// Opens a stream session on `model`, pinning the currently loaded
-  /// version for the session's lifetime (hot reloads don't affect it).
+  /// Opens a stream session on `model` pinned to `shard`, holding the
+  /// currently loaded version for the session's lifetime (hot reloads
+  /// don't affect it). The returned id encodes the shard, so the
+  /// id-keyed calls below need no shard argument.
   stream::StreamSessionManager::OpenResult OpenStream(
-      const std::string& model, stream::StreamOptions options);
+      const std::string& model, stream::StreamOptions options,
+      std::size_t shard = 0);
+  /// Routed to the session's home shard by id.
   stream::StreamSessionManager::FeedResult FeedStream(
       const std::string& id, ts::SeriesView values);
   stream::StreamSessionManager::CloseResult CloseStream(
       const std::string& id);
-  stream::StreamSessionManager& streams() { return streams_; }
+
+  /// Shard `shard`'s session manager (shard 0 by default, which IS the
+  /// whole streaming state on an unsharded server).
+  stream::StreamSessionManager& streams(std::size_t shard = 0);
+  /// Home shard of a session id ("s<N>" -> (N-1) % num_shards; 0 for
+  /// anything unparseable — the lookup there reports NOT_FOUND).
+  std::size_t ShardOfStreamId(std::string_view id) const;
+  /// Open session ids across every shard, numerically sorted.
+  std::vector<std::string> StreamIds() const;
+  std::size_t num_shards() const { return shards_.size(); }
 
   /// Stops admissions, closes stream sessions, drains admitted requests.
-  /// Idempotent.
+  /// Each shard drains its own queue and closes its own sessions, so
+  /// every admitted request completes and every session closes exactly
+  /// once (STATS: opened == closed + evicted). Idempotent.
   void Shutdown();
 
   // ---- Text protocol ----
@@ -168,31 +181,21 @@ class InferenceServer {
   /// connections form batches.
   std::string HandleLine(const std::string& line);
 
- private:
-  /// Forwards stream lifecycle/throughput events into ServerStats.
-  class StreamSink : public stream::StreamStatsSink {
-   public:
-    explicit StreamSink(ServerStats* stats) : stats_(stats) {}
-    void OnOpen() override { stats_->RecordStreamOpen(); }
-    void OnClose() override { stats_->RecordStreamClose(); }
-    void OnEvict() override { stats_->RecordStreamEvict(); }
-    void OnFeed(std::size_t accepted, bool truncated) override {
-      stats_->RecordStreamFeed(accepted, truncated);
-    }
-    void OnDecision(double score_us, bool early) override {
-      stats_->RecordStreamDecision(score_us, early);
-    }
+  /// Non-blocking form for the event-driven front end: `respond` is
+  /// called exactly once with the response line — inline for every verb
+  /// except CLASSIFY, which answers from shard `shard`'s dispatcher
+  /// thread when its micro-batch completes. Stream verbs run on the
+  /// calling thread against the session's home shard.
+  void HandleLineAsync(const std::string& line, std::size_t shard,
+                       std::function<void(std::string)> respond);
 
-   private:
-    ServerStats* stats_;
-  };
+ private:
+  struct Shard;
 
   ServerOptions options_;
   ModelRegistry registry_;
   ServerStats stats_;
-  BatchingQueue queue_;
-  StreamSink stream_sink_{&stats_};
-  stream::StreamSessionManager streams_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace rpm::serve

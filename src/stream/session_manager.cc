@@ -7,7 +7,14 @@ namespace rpm::stream {
 
 StreamSessionManager::StreamSessionManager(StreamManagerOptions options,
                                            StreamStatsSink* sink)
-    : options_(options), sink_(sink) {
+    : options_([&] {
+        StreamManagerOptions o = options;
+        if (o.id_start == 0) o.id_start = 1;
+        if (o.id_stride == 0) o.id_stride = 1;
+        return o;
+      }()),
+      sink_(sink),
+      next_id_(options_.id_start) {
   if (options_.reap_interval > std::chrono::nanoseconds::zero() &&
       options_.idle_timeout > std::chrono::nanoseconds::zero()) {
     reaper_ = std::thread([this] { ReaperLoop(); });
@@ -55,7 +62,8 @@ StreamSessionManager::OpenResult StreamSessionManager::Open(
       result.error = "too many open streams";
       return result;
     }
-    result.id = "s" + std::to_string(next_id_++);
+    result.id = "s" + std::to_string(next_id_);
+    next_id_ += options_.id_stride;
     sessions_.emplace(result.id, std::move(session));
   }
   result.ok = true;

@@ -73,6 +73,13 @@ struct StreamManagerOptions {
   std::chrono::nanoseconds idle_timeout = std::chrono::minutes(5);
   /// How often the background reaper wakes (zero: no reaper thread).
   std::chrono::nanoseconds reap_interval = std::chrono::seconds(1);
+  /// Session id numbering: ids are "s<N>" with N = id_start, id_start +
+  /// id_stride, ... A sharded server gives shard i (of S) id_start=i+1,
+  /// id_stride=S, so ids stay globally unique and (N-1) % S recovers the
+  /// owning shard from the id alone (see serve::InferenceServer).
+  /// Defaults preserve the historical s1, s2, ... sequence.
+  std::uint64_t id_start = 1;
+  std::uint64_t id_stride = 1;
 };
 
 /// Summary of a session's lifetime counters, returned by Close and used
@@ -144,7 +151,7 @@ class StreamSessionManager {
 
   mutable std::shared_mutex map_mu_;
   std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
-  std::uint64_t next_id_ = 1;
+  std::uint64_t next_id_;  // advances by options_.id_stride per Open
   bool shutdown_ = false;
 
   std::mutex reaper_mu_;
