@@ -38,11 +38,18 @@ void EventLoop::Stop() {
 }
 
 void EventLoop::Post(std::function<void()> fn) {
+  bool enqueued = false;
   {
     std::lock_guard lock(post_mu_);
-    posted_.push_back(std::move(fn));
+    if (!exited_) {
+      posted_.push_back(std::move(fn));
+      enqueued = true;
+    }
   }
-  Wake();
+  // Not enqueued: the loop has exited, so fn is destroyed unrun here
+  // (outside the lock). Queuing it would pin anything the closure owns
+  // — e.g. a Conn and through it this very loop — forever.
+  if (enqueued) Wake();
 }
 
 void EventLoop::PostOrRun(std::function<void()> fn) {
@@ -128,6 +135,15 @@ void EventLoop::Run() {
       break;
     }
   }
+  // Mark the loop exited and destroy any straggler posts unrun; from
+  // here on Post() drops fns immediately (see the header contract).
+  std::vector<std::function<void()>> leftover;
+  {
+    std::lock_guard lock(post_mu_);
+    exited_ = true;
+    leftover.swap(posted_);
+  }
+  leftover.clear();
   loop_thread_.store(std::thread::id(), std::memory_order_release);
 }
 

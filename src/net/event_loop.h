@@ -90,6 +90,7 @@ class EventLoop {
   std::atomic<std::thread::id> loop_thread_{};
 
   std::mutex post_mu_;
+  bool exited_ = false;  // Run() returned; further posts are dropped
   std::vector<std::function<void()>> posted_;
 
   // shared_ptr so a handler removing itself (or a peer) mid-dispatch

@@ -84,6 +84,11 @@ void PayloadWriter::Str(std::string_view s) {
   out_->append(s.data(), n);
 }
 
+void PayloadWriter::Blob(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  out_->append(s.data(), s.size());
+}
+
 void PayloadWriter::F64Array(const double* values, std::size_t n) {
   U32(static_cast<std::uint32_t>(n));
   for (std::size_t i = 0; i < n; ++i) F64(values[i]);
@@ -143,6 +148,18 @@ bool PayloadReader::Str(std::string* s) {
   const char* p;
   if (!Take(n, &p)) {
     pos_ -= 2;  // undo the length read so the reader stays consistent
+    return false;
+  }
+  s->assign(p, n);
+  return true;
+}
+
+bool PayloadReader::Blob(std::string* s) {
+  std::uint32_t n;
+  if (!U32(&n)) return false;
+  const char* p;
+  if (!Take(n, &p)) {
+    pos_ -= 4;  // undo the length read so the reader stays consistent
     return false;
   }
   s->assign(p, n);

@@ -15,8 +15,10 @@
 //   6       2     reserved      must be 0 (corruption tripwire)
 //   8       n     payload       verb-specific, see docs/SERVING.md
 //
-// Strings inside payloads are u16 length + raw bytes; sample vectors are
-// u32 count + count IEEE-754 doubles. A frame whose payload_len exceeds
+// Strings inside payloads are u16 length + raw bytes; bulk bodies
+// (METRICS/STATS/TRACE text) are blobs, u32 length + raw bytes; sample
+// vectors are u32 count + count IEEE-754 doubles. A frame whose
+// payload_len exceeds
 // the assembler bound is skipped as it streams in and surfaced once as
 // kOversized (the connection answers with an ERR frame and keeps going);
 // a nonzero reserved field is unrecoverable (kCorrupt — the stream
@@ -101,7 +103,12 @@ class PayloadWriter {
   void I32(std::int32_t v);
   void F64(double v);
   /// u16 length + bytes; strings longer than 65535 are truncated.
+  /// For short fields (names, ids, error messages) only — bulk bodies
+  /// go through Blob.
   void Str(std::string_view s);
+  /// u32 length + bytes, for bulk bodies (METRICS exposition, STATS/
+  /// TRACE JSON) that can exceed the u16 `str` bound.
+  void Blob(std::string_view s);
   /// u32 count + count doubles.
   void F64Array(const double* values, std::size_t n);
 
@@ -123,6 +130,7 @@ class PayloadReader {
   bool I32(std::int32_t* v);
   bool F64(double* v);
   bool Str(std::string* s);
+  bool Blob(std::string* s);
   /// Rejects counts larger than the bytes actually present.
   bool F64Array(std::vector<double>* values);
   bool AtEnd() const { return pos_ == data_.size(); }

@@ -35,9 +35,9 @@ struct FrontEnd::Shard {
 // ---- connection ------------------------------------------------------
 
 struct FrontEnd::Conn : std::enable_shared_from_this<FrontEnd::Conn> {
-  Conn(FrontEnd* fe, Shard* shard, int fd)
+  Conn(FrontEnd* fe, std::shared_ptr<Shard> shard, int fd)
       : fe(fe),
-        shard(shard),
+        shard(std::move(shard)),
         fd(fd),
         lines(fe->options_.max_line),
         frames(fe->options_.max_frame_payload) {}
@@ -46,7 +46,12 @@ struct FrontEnd::Conn : std::enable_shared_from_this<FrontEnd::Conn> {
   }
 
   FrontEnd* fe;
-  Shard* shard;
+  // shared_ptr: a Respond closure held by the server's batching queues
+  // keeps the shard (and its EventLoop) alive through `self` even if
+  // the FrontEnd is destroyed first. The Conn<->Shard cycle is broken
+  // by CloseNow (conns.erase + loop.Remove), which runs for every
+  // connection during Stop().
+  std::shared_ptr<Shard> shard;
   int fd;
   enum class Codec { kSniff, kText, kBinary };
   Codec codec = Codec::kSniff;
@@ -56,7 +61,9 @@ struct FrontEnd::Conn : std::enable_shared_from_this<FrontEnd::Conn> {
   std::string out;
   bool want_write = false;
   bool paused_read = false;
-  bool closing = false;  // close once `out` has flushed
+  bool read_eof = false;  // peer half-closed; no more requests can arrive
+  bool pumping = false;   // Pump() mid-drain: requests still unassigned
+  bool closing = false;   // close once `out` has flushed
   bool open = true;
   std::uint64_t next_req = 0;   // next request sequence to assign
   std::uint64_t next_resp = 0;  // next response sequence to send
@@ -73,7 +80,7 @@ struct FrontEnd::Conn : std::enable_shared_from_this<FrontEnd::Conn> {
   }
 
   void DoRead() {
-    if (!open) return;
+    if (!open || read_eof) return;
     char buf[16384];
     for (;;) {
       const ssize_t n = ::read(fd, buf, sizeof(buf));
@@ -81,9 +88,13 @@ struct FrontEnd::Conn : std::enable_shared_from_this<FrontEnd::Conn> {
         Ingest(std::string_view(buf, std::size_t(n)));
         continue;
       }
-      if (n == 0) {  // EOF: peer is gone, pending responses are moot
-        CloseNow();
-        return;
+      if (n == 0) {
+        // EOF is a half-close, not an abort: clients pipeline requests
+        // and shut down their write side (printf ... | nc -N). Requests
+        // already received still get answered below; the connection
+        // closes once the last response has flushed.
+        read_eof = true;
+        break;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
@@ -91,6 +102,7 @@ struct FrontEnd::Conn : std::enable_shared_from_this<FrontEnd::Conn> {
       return;
     }
     Pump();
+    MaybeCloseAfterEof();
   }
 
   // Codec negotiation: binary clients lead with "RPMB"; anything else
@@ -132,6 +144,7 @@ struct FrontEnd::Conn : std::enable_shared_from_this<FrontEnd::Conn> {
   }
 
   void Pump() {
+    pumping = true;
     if (codec == Codec::kText) {
       std::string line;
       while (open && !closing) {
@@ -187,13 +200,17 @@ struct FrontEnd::Conn : std::enable_shared_from_this<FrontEnd::Conn> {
       }
     }
     // Sniff state: nothing to pump until the codec is decided.
+    pumping = false;
   }
 
   RequestHandler::Respond MakeRespond(std::uint64_t seq) {
+    // `self` keeps the Conn alive and, through Conn::shard, the shard's
+    // EventLoop: a response arriving after FrontEnd destruction posts
+    // onto a stopped-but-live loop (where it is destroyed unrun) rather
+    // than dereferencing freed memory.
     auto self = shared_from_this();
-    EventLoop* loop = &shard->loop;
-    return [self, loop, seq](Response r) {
-      loop->PostOrRun([self, seq, r = std::move(r)]() mutable {
+    return [self, seq](Response r) {
+      self->shard->loop.PostOrRun([self, seq, r = std::move(r)]() mutable {
         self->Deliver(seq, std::move(r));
       });
     };
@@ -215,10 +232,26 @@ struct FrontEnd::Conn : std::enable_shared_from_this<FrontEnd::Conn> {
     }
     Flush();
     if (!open) return;
+    MaybeCloseAfterEof();
+    if (!open) return;
     if (!paused_read && out.size() > fe->options_.max_out_buffer) {
       paused_read = true;
       UpdateInterest();
     }
+  }
+
+  // After read-EOF nothing further can arrive: once every parsed
+  // request has been answered (next_resp caught up with next_req),
+  // flush and close. Requests still in flight (batched CLASSIFY) keep
+  // the connection open until their Deliver lands. Never fires from an
+  // inline Deliver inside Pump(): mid-drain, next_resp can equal
+  // next_req while later requests still sit unassigned in the
+  // assembler — DoRead re-checks once Pump() has drained everything.
+  void MaybeCloseAfterEof() {
+    if (!open || !read_eof || closing || pumping) return;
+    if (next_resp != next_req) return;
+    closing = true;
+    Flush();
   }
 
   void Flush() {
@@ -242,17 +275,20 @@ struct FrontEnd::Conn : std::enable_shared_from_this<FrontEnd::Conn> {
         want_write = false;
         UpdateInterest();
       }
-      if (paused_read && out.size() < fe->options_.max_out_buffer / 2) {
-        paused_read = false;
-        UpdateInterest();
-        // Edge-triggered: bytes may have queued in the kernel while
-        // reads were paused; poke the read path explicitly.
-        auto self = shared_from_this();
-        shard->loop.Post([self] { self->DoRead(); });
-      }
     } else if (!want_write) {
       want_write = true;
       UpdateInterest();
+    }
+    // Backpressure hysteresis: reads resume once the buffer has drained
+    // below half of max_out_buffer, not only once it is empty.
+    if (paused_read && !read_eof &&
+        out.size() < fe->options_.max_out_buffer / 2) {
+      paused_read = false;
+      UpdateInterest();
+      // Edge-triggered: bytes may have queued in the kernel while
+      // reads were paused; poke the read path explicitly.
+      auto self = shared_from_this();
+      shard->loop.Post([self] { self->DoRead(); });
     }
   }
 
@@ -339,7 +375,7 @@ bool FrontEnd::Start() {
       options_.metrics != nullptr ? options_.metrics : &fallback_registry;
 
   for (std::size_t i = 0; i < num_shards; ++i) {
-    auto shard = std::make_unique<Shard>();
+    auto shard = std::make_shared<Shard>();
     shard->index = i;
     if (!shard->loop.ok()) {
       std::fprintf(stderr, "[net] cannot create event loop (shard %zu)\n", i);
@@ -444,9 +480,10 @@ void FrontEnd::AcceptReady() {
 }
 
 void FrontEnd::AdoptConnection(int fd, std::uint64_t key) {
-  Shard* shard = shards_[ring_.PickHash(key)].get();
-  shard->loop.PostOrRun([this, shard, fd] {
-    auto conn = std::make_shared<Conn>(this, shard, fd);
+  const std::shared_ptr<Shard>& shard_ptr = shards_[ring_.PickHash(key)];
+  Shard* shard = shard_ptr.get();
+  shard->loop.PostOrRun([this, shard_ptr, shard, fd] {
+    auto conn = std::make_shared<Conn>(this, shard_ptr, fd);
     const bool added =
         shard->loop.Add(fd, EPOLLIN | EPOLLET | EPOLLRDHUP,
                         [conn](std::uint32_t events) {

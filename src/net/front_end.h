@@ -97,7 +97,9 @@ class FrontEnd {
   /// Graceful stop, idempotent: closes the listener, flushes and closes
   /// every connection on its own shard loop, joins the shard threads.
   /// The handler (and its server) outlive this call; drain the server
-  /// afterwards.
+  /// afterwards. Responses the server delivers after Stop() — or even
+  /// after the FrontEnd is destroyed — are discarded safely: each
+  /// Respond closure co-owns its shard's event loop.
   void Stop();
 
   /// Actual listening port (resolves tcp_port == 0); -1 for Unix.
@@ -119,7 +121,10 @@ class FrontEnd {
   RequestHandler* const handler_;
   const FrontEndOptions options_;
   ConsistentHashRing ring_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  // shared_ptr: every Conn co-owns its shard, so Respond closures still
+  // held by the server after Stop() keep the shard's EventLoop alive
+  // (late responses are then destroyed unrun, never a use-after-free).
+  std::vector<std::shared_ptr<Shard>> shards_;
   int listen_fd_ = -1;
   int port_ = -1;
   std::atomic<std::uint64_t> next_conn_key_{1};

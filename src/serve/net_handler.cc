@@ -95,16 +95,19 @@ void NetHandler::OnFrame(std::size_t shard, const net::Frame& frame,
       return;
     }
     case BinaryVerb::kStats: {
+      // Bulk bodies ride as blobs (u32 length): multi-shard exposition
+      // and span dumps routinely exceed the u16 `str` bound, which
+      // would silently truncate them.
       std::string payload;
       PayloadWriter writer(&payload);
-      writer.Str(server_->Stats().ToJson());
+      writer.Blob(server_->Stats().ToJson());
       respond(OkFrame(verb, payload));
       return;
     }
     case BinaryVerb::kMetrics: {
       std::string payload;
       PayloadWriter writer(&payload);
-      writer.Str(server_->MetricsText());
+      writer.Blob(server_->MetricsText());
       respond(OkFrame(verb, payload));
       return;
     }
@@ -120,7 +123,7 @@ void NetHandler::OnFrame(std::size_t shard, const net::Frame& frame,
       const auto spans = obs::Tracer::Default().Recent(n);
       std::string payload;
       PayloadWriter writer(&payload);
-      writer.Str(obs::RenderSpansJson(spans));
+      writer.Blob(obs::RenderSpansJson(spans));
       respond(OkFrame(verb, payload));
       return;
     }

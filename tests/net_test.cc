@@ -5,7 +5,7 @@
 // sharded server (id pinning, by-id routing, shard-local reaping,
 // shutdown accounting, callback classify), and socket end-to-end runs
 // over both codecs — including codec negotiation, pipelined response
-// ordering, and graceful stop.
+// ordering, half-close draining, and graceful stop.
 
 #include <gtest/gtest.h>
 
@@ -153,6 +153,41 @@ TEST(PayloadCodec, F64ArrayRejectsCountLargerThanPayload) {
   std::uint32_t count = 0;
   EXPECT_TRUE(reader.U32(&count));  // did not advance
   EXPECT_EQ(count, 1000000u);
+}
+
+TEST(PayloadCodec, BlobRoundTripsBeyondTheStrBound) {
+  // `str` caps at 65535 bytes (and truncates); bulk bodies (METRICS,
+  // STATS/TRACE JSON) ride as u32-length blobs and must round-trip
+  // exactly at any size.
+  const std::string big(100 * 1024, 'm');
+  std::string payload;
+  PayloadWriter writer(&payload);
+  writer.Blob(big);
+  PayloadReader reader(payload);
+  std::string back;
+  ASSERT_TRUE(reader.Blob(&back));
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(back, big) << "blob must not truncate at 64 KiB";
+
+  std::string empty_payload;
+  PayloadWriter empty_writer(&empty_payload);
+  empty_writer.Blob("");
+  PayloadReader empty_reader(empty_payload);
+  ASSERT_TRUE(empty_reader.Blob(&back));
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(PayloadCodec, TruncatedBlobFailsWithoutAdvancing) {
+  std::string payload;
+  PayloadWriter writer(&payload);
+  writer.U32(1000);  // claims 1000 bytes follow
+  payload += "short";
+  PayloadReader reader(payload);
+  std::string blob;
+  EXPECT_FALSE(reader.Blob(&blob));
+  std::uint32_t len = 0;
+  EXPECT_TRUE(reader.U32(&len));  // did not advance
+  EXPECT_EQ(len, 1000u);
 }
 
 TEST(PayloadCodec, EmptyPayloadReadsFail) {
@@ -603,6 +638,83 @@ TEST(FrontEndE2E, PipelinedTextResponsesKeepRequestOrder) {
   EXPECT_EQ(r2, "OK 1 cbf");
   EXPECT_EQ(r3, r1);  // same input, same label
   EXPECT_EQ(r4, "OK 0");
+  ::close(fd);
+}
+
+TEST(FrontEndE2E, HalfCloseStillAnswersPipelinedText) {
+  // The documented quickstart shape: pipeline requests, then shut down
+  // the write side (printf ... | nc -N). Read-EOF is a half-close, not
+  // an abort — every buffered request is answered (including the async
+  // CLASSIFY path) before the server closes.
+  Harness harness(1);
+  ASSERT_TRUE(harness.Start());
+  const int fd = ConnectTcp(harness.port());
+  ASSERT_GE(fd, 0);
+
+  const auto& instance = Fixture().split.test.instances()[0];
+  const int expected =
+      harness.server.Classify("cbf", ts::Series(instance.values)).label;
+  ASSERT_TRUE(SendAll(fd, "CLASSIFY cbf " +
+                              Csv(instance.values, instance.values.size()) +
+                              "\nMODELS\nSTREAMS\n"));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+  EXPECT_EQ(RecvLine(fd), "OK " + std::to_string(expected));
+  EXPECT_EQ(RecvLine(fd), "OK 1 cbf");
+  EXPECT_EQ(RecvLine(fd), "OK 0");
+  char extra = 0;
+  EXPECT_EQ(::recv(fd, &extra, 1, 0), 0)
+      << "connection must close after the last response";
+  ::close(fd);
+}
+
+TEST(FrontEndE2E, HalfCloseStillAnswersPipelinedBinary) {
+  Harness harness(1);
+  ASSERT_TRUE(harness.Start());
+  const int fd = ConnectTcp(harness.port());
+  ASSERT_GE(fd, 0);
+  std::string hello(net::kBinaryMagic, sizeof(net::kBinaryMagic));
+  ASSERT_TRUE(SendAll(fd, hello + Req(BinaryVerb::kModels) +
+                              Req(BinaryVerb::kStats)));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+  Frame frame;
+  ASSERT_TRUE(RecvFrame(fd, &frame));
+  EXPECT_EQ(frame.verb, std::uint8_t(BinaryVerb::kModels));
+  EXPECT_EQ(frame.status, std::uint8_t(WireStatus::kOk));
+  ASSERT_TRUE(RecvFrame(fd, &frame));
+  EXPECT_EQ(frame.verb, std::uint8_t(BinaryVerb::kStats));
+  ASSERT_EQ(frame.status, std::uint8_t(WireStatus::kOk));
+  // STATS bodies are blobs (u32 length): decode and sanity-check.
+  PayloadReader reader(frame.payload);
+  std::string json;
+  ASSERT_TRUE(reader.Blob(&json));
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(json.rfind("{", 0), 0u) << json;
+  char extra = 0;
+  EXPECT_EQ(::recv(fd, &extra, 1, 0), 0)
+      << "connection must close after the last response";
+  ::close(fd);
+}
+
+TEST(FrontEndE2E, BinaryMetricsBodySurvivesTheStrBound) {
+  // METRICS exposition grows with shard count and can exceed 64 KiB;
+  // the blob encoding must carry it intact (one frame, length == body).
+  Harness harness(4);
+  ASSERT_TRUE(harness.Start());
+  const int fd = ConnectTcp(harness.port());
+  ASSERT_GE(fd, 0);
+  std::string hello(net::kBinaryMagic, sizeof(net::kBinaryMagic));
+  ASSERT_TRUE(SendAll(fd, hello + Req(BinaryVerb::kMetrics)));
+  Frame frame;
+  ASSERT_TRUE(RecvFrame(fd, &frame));
+  ASSERT_EQ(frame.status, std::uint8_t(WireStatus::kOk));
+  PayloadReader reader(frame.payload);
+  std::string text;
+  ASSERT_TRUE(reader.Blob(&text));
+  EXPECT_TRUE(reader.AtEnd()) << "payload is exactly one blob";
+  EXPECT_NE(text.find("# EOF"), std::string::npos)
+      << "exposition must arrive complete, terminator included";
   ::close(fd);
 }
 
