@@ -168,6 +168,10 @@ BENCHMARK(BM_MotifCandidates)->Range(512, 8192);
 //     MatchAll (window-major, one moments pass per window block shared
 //     by the bucket), plus one row per ISA tier via ForceIsaTier and one
 //     row per length bucket via MatchBucket.
+// Two training-loop rows ride the same workload: match_all_seeded (the
+// cutoff-seeded scan the shapelet baselines feed with info-gain
+// cutoffs) and any_below (the first-hit existence sweep behind the
+// distinct-selection tau tests), each also pinned per ISA tier.
 // Context/store construction is charged to the side that uses it.
 //
 // checksum_drift is the forced-scalar vs dispatched-tier difference of
@@ -334,6 +338,117 @@ void RunJsonWorkload() {
     }
   }
 
+  // Training-loop kernels: the cutoff-seeded MatchAll and the AnyBelow
+  // existence sweep (the primitives behind the shapelet-baseline
+  // scoring loops and the distinct-selection tau tests). Seeds and the
+  // tau come from an untimed dispatched pre-pass, so every tier answers
+  // exactly the same question and the checksums must agree bit for bit.
+  std::vector<double> tight_seeds(kPatterns,
+                                  std::numeric_limits<double>::infinity());
+  {
+    rpm::distance::BatchMatcher matcher(patterns);
+    rpm::distance::MatchScratch scratch;
+    std::vector<rpm::distance::BestMatch> matches;
+    for (const auto& hay : series) {
+      const rpm::distance::SeriesContext ctx(hay);
+      matcher.MatchAll(ctx, &scratch, &matches);
+      for (std::size_t i = 0; i < matches.size(); ++i) {
+        tight_seeds[i] = std::min(tight_seeds[i], matches[i].distance);
+      }
+    }
+  }
+  // Seeds sit 2 % above each pattern's global best: almost every scan
+  // abandons against the seed (the regime info-gain pruning produces),
+  // only near-best series still improve on it.
+  for (double& s : tight_seeds) s *= 1.02;
+  // Tau at the median per-pattern best: roughly half the patterns exist
+  // below it somewhere, so the first-hit sweep sees hits and misses.
+  double tau = 0.0;
+  {
+    std::vector<double> sorted = tight_seeds;
+    std::sort(sorted.begin(), sorted.end());
+    tau = sorted[sorted.size() / 2];
+  }
+
+  const auto seeded_pass = [&](double* ns_out) {
+    double checksum = 0.0;
+    const auto t0 = Clock::now();
+    rpm::distance::BatchMatcher matcher(patterns);
+    rpm::distance::MatchScratch scratch;
+    std::vector<rpm::distance::BestMatch> matches;
+    for (const auto& hay : series) {
+      const rpm::distance::SeriesContext ctx(hay);
+      matcher.MatchAllSeeded(ctx, &scratch, tight_seeds, &matches);
+      for (const auto& m : matches) {
+        checksum += m.found() ? m.distance : -1.0;
+      }
+    }
+    const auto t1 = Clock::now();
+    *ns_out = std::min(
+        *ns_out,
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / ops);
+    return checksum;
+  };
+  const auto below_pass = [&](double* ns_out) {
+    double checksum = 0.0;
+    const auto t0 = Clock::now();
+    rpm::distance::BatchMatcher matcher(patterns);
+    rpm::distance::MatchScratch scratch;
+    std::vector<std::uint8_t> flags;
+    for (const auto& hay : series) {
+      const rpm::distance::SeriesContext ctx(hay);
+      matcher.AnyBelow(ctx, &scratch, tau, &flags);
+      for (std::uint8_t fl : flags) checksum += fl;
+    }
+    const auto t1 = Clock::now();
+    *ns_out = std::min(
+        *ns_out,
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / ops);
+    return checksum;
+  };
+
+  double seeded_checksum = 0.0;
+  double below_checksum = 0.0;
+  double seeded_ns = std::numeric_limits<double>::infinity();
+  double below_ns = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    seeded_checksum = seeded_pass(&seeded_ns);
+    below_checksum = below_pass(&below_ns);
+  }
+  std::vector<TierRow> seeded_rows;
+  std::vector<TierRow> below_rows;
+  double train_drift = 0.0;
+  for (rpm::distance::IsaTier tier :
+       {rpm::distance::IsaTier::kScalar, rpm::distance::IsaTier::kAvx2,
+        rpm::distance::IsaTier::kAvx512}) {
+    if (!rpm::distance::IsaTierAvailable(tier)) continue;
+    rpm::distance::ForceIsaTier(tier);
+    TierRow srow;
+    srow.name = rpm::distance::IsaTierName(tier);
+    TierRow brow;
+    brow.name = srow.name;
+    for (int rep = 0; rep < kReps; ++rep) {
+      srow.checksum = seeded_pass(&srow.ns);
+      brow.checksum = below_pass(&brow.ns);
+    }
+    seeded_rows.push_back(srow);
+    below_rows.push_back(brow);
+    if (srow.checksum != seeded_checksum) {
+      train_drift = srow.checksum - seeded_checksum;
+    }
+    if (brow.checksum != below_checksum) {
+      train_drift = brow.checksum - below_checksum;
+    }
+  }
+  rpm::distance::ResetIsaTier();
+  if (train_drift != 0.0) {
+    std::fprintf(stderr,
+                 "FATAL: cross-tier checksum drift %.17g in the seeded/"
+                 "any-below kernels — the ISA tiers must be bit-identical\n",
+                 train_drift);
+    std::exit(1);
+  }
+
   // 1NN-DTW workload: 20 queries against a 100-candidate pool, length
   // 128, Sakoe-Chiba band at 10 % of the length. The full kernel runs
   // banded DTW on every pair with no cutoff; the cascade prunes with the
@@ -443,6 +558,26 @@ void RunJsonWorkload() {
                  row.name, row.ns, naive_ns / row.ns);
   }
   std::fprintf(f,
+               "    {\"name\": \"match_all_seeded\", \"ns_per_op\": %.1f, "
+               "\"speedup_vs_matchall\": %.2f},\n",
+               seeded_ns, soa_ns / seeded_ns);
+  for (const TierRow& row : seeded_rows) {
+    std::fprintf(f,
+                 "    {\"name\": \"match_all_seeded_%s\", "
+                 "\"ns_per_op\": %.1f, \"speedup_vs_matchall\": %.2f},\n",
+                 row.name, row.ns, soa_ns / row.ns);
+  }
+  std::fprintf(f,
+               "    {\"name\": \"any_below\", \"ns_per_op\": %.1f, "
+               "\"speedup_vs_matchall\": %.2f},\n",
+               below_ns, soa_ns / below_ns);
+  for (const TierRow& row : below_rows) {
+    std::fprintf(f,
+                 "    {\"name\": \"any_below_%s\", \"ns_per_op\": %.1f, "
+                 "\"speedup_vs_matchall\": %.2f},\n",
+                 row.name, row.ns, soa_ns / row.ns);
+  }
+  std::fprintf(f,
                "    {\"name\": \"dtw_full\", \"ns_per_op\": %.1f, "
                "\"speedup\": 1.0},\n"
                "    {\"name\": \"dtw_cascade\", \"ns_per_op\": %.1f, "
@@ -461,10 +596,11 @@ void RunJsonWorkload() {
   std::fprintf(f,
                "  ],\n"
                "  \"checksum_drift\": %.3e,\n"
+               "  \"train_kernel_checksum_drift\": %.3e,\n"
                "  \"legacy_checksum_gap\": %.3e,\n"
                "  \"dtw_checksum_drift\": %.3e\n"
                "}\n",
-               drift, legacy_gap, dtw_drift);
+               drift, train_drift, legacy_gap, dtw_drift);
   std::fclose(f);
   std::printf("per-call %.1f ns/op, batched %.1f ns/op (%.2fx), soa %.1f "
               "ns/op (%.2fx, %.2fx vs batched)\n",
@@ -474,9 +610,17 @@ void RunJsonWorkload() {
     std::printf("  soa[%s] %.1f ns/op (%.2fx)\n", row.name, row.ns,
                 naive_ns / row.ns);
   }
-  std::printf("cross-tier checksum drift %.3e (must be 0), legacy gap "
-              "%.3e\n",
-              drift, legacy_gap);
+  std::printf("match_all_seeded %.1f ns/op (%.2fx vs matchall), any_below "
+              "%.1f ns/op (%.2fx vs matchall)\n",
+              seeded_ns, soa_ns / seeded_ns, below_ns, soa_ns / below_ns);
+  for (std::size_t i = 0; i < seeded_rows.size(); ++i) {
+    std::printf("  seeded[%s] %.1f ns/op, any_below[%s] %.1f ns/op\n",
+                seeded_rows[i].name, seeded_rows[i].ns, below_rows[i].name,
+                below_rows[i].ns);
+  }
+  std::printf("cross-tier checksum drift %.3e (must be 0), train-kernel "
+              "drift %.3e (must be 0), legacy gap %.3e\n",
+              drift, train_drift, legacy_gap);
   std::printf("dtw full %.1f ns/op, cascade %.1f ns/op, speedup %.2fx "
               "(checksum drift %.3e) -> BENCH_kernels.json\n",
               full_ns, cascade_ns, dtw_speedup, dtw_drift);

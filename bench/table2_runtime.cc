@@ -6,18 +6,23 @@
 //
 // Flags:
 //   --json     also write the table plus per-method train/classify sums
-//              to BENCH_table2.json (used by scripts/bench_snapshot.sh)
-//   --profile  skip the table; instead train RPM freshly on every suite
-//              dataset with the core phase profiler enabled and print
-//              per-phase wall time (discretization / grammar /
-//              clustering / selection)
+//              and the per-phase train timings (the same live profiled
+//              runs --profile prints) to BENCH_table2.json (used by
+//              scripts/bench_snapshot.sh)
+//   --profile  skip the table; instead train RPM and FS freshly on every
+//              suite dataset with the core phase profiler enabled and
+//              print per-phase wall time (discretization / grammar /
+//              clustering / selection / distinct for RPM; the
+//              shapelet-scan phase for FS)
 
 #include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <set>
 
+#include "baselines/shapelet_transform.h"
 #include "core/phase_profile.h"
 #include "harness.h"
 
@@ -25,48 +30,108 @@ namespace {
 
 using rpm::core::PhaseProfile;
 
-// Fresh RPM training per dataset with the global phase counters armed.
+// Per-dataset phase totals from one fresh, profiled training run.
+struct DatasetPhases {
+  std::string name;
+  std::array<double, PhaseProfile::kNumPhases> phases{};
+  double train = 0.0;
+};
+
+// Fresh training per suite dataset with the global phase counters armed.
 // The suite sweep cache is deliberately bypassed: profiling needs a live
-// run, and the counters only instrument the RPM pipeline.
-void RunProfile() {
-  std::printf("RPM training per-phase wall time, seconds\n");
-  std::printf("%-18s%11s%11s%11s%11s%11s%11s%12s\n", "Dataset",
-              "selection", "discretize", "grammar", "cluster", "transform",
-              "svm", "train-total");
-  std::array<double, PhaseProfile::kNumPhases> sums{};
-  double train_sum = 0.0;
+// run.
+std::vector<DatasetPhases> ProfileMethod(const char* method) {
+  std::vector<DatasetPhases> out;
   for (const auto& split : rpm::bench::Suite()) {
-    auto clf = rpm::bench::MakeMethod("RPM");
+    // "ST" (shapelet transform) is the extra comparator outside the six
+    // Table 2 methods; its candidate scans share the kShapelets counter
+    // with FS.
+    std::unique_ptr<rpm::baselines::Classifier> clf;
+    if (std::strcmp(method, "ST") == 0) {
+      clf = std::make_unique<rpm::baselines::ShapeletTransform>();
+    } else {
+      clf = rpm::bench::MakeMethod(method);
+    }
     PhaseProfile::Reset();
     PhaseProfile::Enable(true);
     const auto t0 = std::chrono::steady_clock::now();
     clf->Train(split.train);
     const auto t1 = std::chrono::steady_clock::now();
     PhaseProfile::Enable(false);
-    const auto phases = PhaseProfile::Totals();
-    const double train =
-        std::chrono::duration<double>(t1 - t0).count();
-    for (std::size_t i = 0; i < phases.size(); ++i) sums[i] += phases[i];
-    train_sum += train;
-    std::printf("%-18s%11.3f%11.3f%11.3f%11.3f%11.3f%11.3f%12.3f\n",
-                split.name.c_str(), phases[PhaseProfile::kSelection],
-                phases[PhaseProfile::kDiscretization],
-                phases[PhaseProfile::kGrammar],
-                phases[PhaseProfile::kClustering],
-                phases[PhaseProfile::kTransform],
-                phases[PhaseProfile::kSvm], train);
+    DatasetPhases d;
+    d.name = split.name;
+    d.phases = PhaseProfile::Totals();
+    d.train = std::chrono::duration<double>(t1 - t0).count();
+    out.push_back(std::move(d));
   }
-  std::printf("%-18s%11.3f%11.3f%11.3f%11.3f%11.3f%11.3f%12.3f\n", "TOTAL",
-              sums[PhaseProfile::kSelection],
-              sums[PhaseProfile::kDiscretization],
-              sums[PhaseProfile::kGrammar],
-              sums[PhaseProfile::kClustering],
-              sums[PhaseProfile::kTransform], sums[PhaseProfile::kSvm],
-              train_sum);
+  return out;
+}
+
+DatasetPhases SumPhases(const std::vector<DatasetPhases>& rows) {
+  DatasetPhases total;
+  total.name = "TOTAL";
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < r.phases.size(); ++i) {
+      total.phases[i] += r.phases[i];
+    }
+    total.train += r.train;
+  }
+  return total;
+}
+
+void RunProfile() {
+  const auto rpm_rows = ProfileMethod("RPM");
+  std::printf("RPM training per-phase wall time, seconds\n");
+  std::printf("%-18s%11s%11s%11s%11s%11s%11s%11s%12s\n", "Dataset",
+              "selection", "discretize", "grammar", "cluster", "distinct",
+              "transform", "svm", "train-total");
+  auto rpm_row = [](const DatasetPhases& d) {
+    std::printf("%-18s%11.3f%11.3f%11.3f%11.3f%11.3f%11.3f%11.3f%12.3f\n",
+                d.name.c_str(), d.phases[PhaseProfile::kSelection],
+                d.phases[PhaseProfile::kDiscretization],
+                d.phases[PhaseProfile::kGrammar],
+                d.phases[PhaseProfile::kClustering],
+                d.phases[PhaseProfile::kDistinct],
+                d.phases[PhaseProfile::kTransform],
+                d.phases[PhaseProfile::kSvm], d.train);
+  };
+  for (const auto& d : rpm_rows) rpm_row(d);
+  rpm_row(SumPhases(rpm_rows));
+
+  auto shapelet_table = [](const char* method,
+                           const std::vector<DatasetPhases>& rows) {
+    std::printf("\n%s training per-phase wall time, seconds\n", method);
+    std::printf("%-18s%11s%12s\n", "Dataset", "shapelets", "train-total");
+    auto row = [](const DatasetPhases& d) {
+      std::printf("%-18s%11.3f%12.3f\n", d.name.c_str(),
+                  d.phases[PhaseProfile::kShapelets], d.train);
+    };
+    for (const auto& d : rows) row(d);
+    row(SumPhases(rows));
+  };
+  shapelet_table("FS", ProfileMethod("FS"));
+  shapelet_table("ST", ProfileMethod("ST"));
+
   std::printf(
       "\nPhases overlap: selection is end-to-end stage-0 time, and the\n"
-      "discretize/grammar/cluster columns count that kind of work\n"
-      "anywhere in training (including inside selection's combo search).\n");
+      "discretize/grammar/cluster/distinct columns count that kind of\n"
+      "work anywhere in training (including inside selection's combo\n"
+      "search). The FS shapelets column is the candidate scan + split\n"
+      "routing share of the tree build.\n");
+}
+
+// One `"method": {"phase": seconds, ..., "train_total": s}` JSON object.
+void WritePhaseObject(std::FILE* f, const char* key,
+                      const std::vector<DatasetPhases>& rows, bool last) {
+  const DatasetPhases total = SumPhases(rows);
+  std::fprintf(f, "    \"%s\": {", key);
+  for (std::size_t i = 0; i < PhaseProfile::kNumPhases; ++i) {
+    std::fprintf(f, "\"%s\": %.4f, ",
+                 PhaseProfile::Name(static_cast<PhaseProfile::Phase>(i)),
+                 total.phases[i]);
+  }
+  std::fprintf(f, "\"train_total\": %.4f}%s\n", total.train,
+               last ? "" : ",");
 }
 
 }  // namespace
@@ -157,8 +222,15 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f,
                  "\n  },\n  \"ls_over_rpm\": {\"average\": %.2f, "
-                 "\"max\": %.2f}\n}\n",
+                 "\"max\": %.2f},\n",
                  speedup_avg, speedup_max);
+    // Per-phase train timings come from live profiled runs (the sweep
+    // cache has no phase breakdown), summed over the suite datasets.
+    std::fprintf(f, "  \"train_phases\": {\n");
+    WritePhaseObject(f, "rpm", ProfileMethod("RPM"), false);
+    WritePhaseObject(f, "fs", ProfileMethod("FS"), false);
+    WritePhaseObject(f, "st", ProfileMethod("ST"), true);
+    std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("-> BENCH_table2.json\n");
   }

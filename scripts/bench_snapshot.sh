@@ -9,12 +9,19 @@
 #                             ISA tier (scalar / avx2 / avx512, forced via
 #                             the RPM_FORCE_ISA override) plus a
 #                             soa_buckets array with per-length-bucket
-#                             ns/op. checksum_drift compares the forced
-#                             tiers' summed distances and the run aborts
-#                             unless it is exactly zero)
+#                             ns/op, and match_all_seeded / any_below
+#                             rows (the cutoff-seeded scan and the
+#                             first-hit existence sweep behind the
+#                             training hot loops, each also per forced
+#                             tier). checksum_drift and
+#                             train_kernel_checksum_drift compare the
+#                             forced tiers' checksums and the run aborts
+#                             unless both are exactly zero)
 #   BENCH_table2.json         table2_runtime --json (suite sweep:
-#                             per-dataset LS/FS/RPM totals and per-method
-#                             train sums)
+#                             per-dataset LS/FS/RPM totals, per-method
+#                             train sums, and a train_phases object with
+#                             the --profile per-phase rpm/fs/st wall
+#                             times)
 #   BENCH_stream.json         stream_bench          (streaming scorer:
 #                             samples/sec/session + decision p50/p95,
 #                             single and 8 concurrent sessions, plus a

@@ -71,7 +71,29 @@ for metric in $metrics; do
   fi
 done
 
-# --- 3. span names ----------------------------------------------------
+# --- 3. PatternStore public surface -----------------------------------
+# Every public method of the SoA pattern store must be covered by the
+# training-path performance notes (docs/PERF.md). Extracted from the
+# public section of the header, skipping comment lines and nested-type
+# names; the constructor matches the class name, which PERF.md names
+# anyway.
+ps_methods=$(awk '/public:/{pub=1} /private:/{pub=0}
+                  pub && $1 !~ /^\/\//' src/distance/pattern_store.h |
+             grep -oE '(^|[ ~*&])[A-Za-z_][A-Za-z0-9_]*\(' |
+             grep -oE '[A-Za-z_][A-Za-z0-9_]*' | sort -u |
+             grep -vE '^(BucketInfo|if|for|while|return|sizeof)$')
+if [ -z "$ps_methods" ]; then
+  echo "docs_lint: found no public methods in src/distance/pattern_store.h (pattern drift?)"
+  fail=1
+fi
+for m in $ps_methods; do
+  if ! grep -q "\b${m}\b" docs/PERF.md; then
+    echo "docs_lint: PatternStore public method ${m} (src/distance/pattern_store.h) missing from docs/PERF.md"
+    fail=1
+  fi
+done
+
+# --- 4. span names ----------------------------------------------------
 spans=$(
   {
     grep -rhoE 'TraceSpan [a-z_]+\("[a-z_.]+"' src |

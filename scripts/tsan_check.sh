@@ -56,11 +56,15 @@ echo "TSan check passed."
 
 # ASan+UBSan pass over the matcher suites (`matcher` ctest label: the
 # batched-scan equivalence tests and the SoA pattern-store cross-tier
-# golden sweep). The slab kernels read zero-padded 64-byte rows and the
-# across-window dot loops issue unaligned vector loads right up to the
-# last window — ASan catches any read past the arena or the series
-# buffer, UBSan any misaligned-pointer or overflow slip in the bucket
-# index arithmetic. TSan cannot see either, hence the separate build.
+# golden sweep — including the seeded/any-below golden suites) and the
+# training-path suites (`training` label: clustering, DTW cascade,
+# training cache, distinct selection — the consumers now routed through
+# the store's seeded scans). The slab kernels read zero-padded 64-byte
+# rows and the across-window dot loops issue unaligned vector loads
+# right up to the last window — ASan catches any read past the arena or
+# the series buffer, UBSan any misaligned-pointer or overflow slip in
+# the bucket index arithmetic. TSan cannot see either, hence the
+# separate build.
 asan_build_dir="${2:-${repo_root}/build-asan}"
 cmake -S "${repo_root}" -B "${asan_build_dir}" \
   -DRPM_SANITIZE=address,undefined \
@@ -71,5 +75,6 @@ cmake --build "${asan_build_dir}" -j
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=0 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 ctest --test-dir "${asan_build_dir}" --output-on-failure -L matcher
+ctest --test-dir "${asan_build_dir}" --output-on-failure -L training
 
-echo "ASan+UBSan matcher check passed."
+echo "ASan+UBSan matcher+training check passed."

@@ -7,8 +7,10 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/phase_profile.h"
 #include "distance/matcher.h"
 #include "sax/sax.h"
+#include "ts/parallel.h"
 #include "ts/rng.h"
 #include "ts/znorm.h"
 
@@ -167,63 +169,89 @@ void FastShapelets::Train(const ts::Dataset& train) {
     double best_gain = -1.0;
     ts::Series best_shapelet;
     double best_threshold = 0.0;
-    for (std::size_t oi = 0; oi < k; ++oi) {
-      const Candidate& c = cands[order[oi]];
-      const auto& src = train[idx[c.series]].values;
-      ts::Series shapelet(
-          src.begin() + static_cast<std::ptrdiff_t>(c.pos),
-          src.begin() + static_cast<std::ptrdiff_t>(c.pos + c.length));
-      ts::ZNormalizeInPlace(shapelet);
-      const distance::PatternContext shapelet_ctx(shapelet);
-      // Distances from every node series to the candidate.
-      std::vector<std::pair<double, int>> dist;  // (distance, label)
-      dist.reserve(idx.size());
-      for (std::size_t i : idx) {
-        dist.emplace_back(
-            distance::BatchedBestMatch(shapelet_ctx, train_ctx[i]).distance,
-            train[i].label);
+    std::size_t best_oi = 0;
+    // Candidate x series distance matrix; the winner's row also routes
+    // the split below without re-scanning the node series.
+    std::vector<double> dist_matrix;
+    // Scoped per node, closed before the recursion below — nested nodes
+    // charge their own scans, so the phase counter never double-counts.
+    {
+      core::ScopedPhaseTimer scan_timer(core::PhaseProfile::kShapelets);
+      // One SoA store over the top-k survivors: each node series is
+      // swept once for all of them (window moments shared bucket-wide)
+      // instead of k individual scans. Distances are bit-identical to
+      // the per-pattern path, so gains and splits are unchanged.
+      distance::BatchMatcher eval_matcher;
+      std::vector<ts::Series> top_shapelets(k);
+      for (std::size_t oi = 0; oi < k; ++oi) {
+        const Candidate& c = cands[order[oi]];
+        const auto& src = train[idx[c.series]].values;
+        ts::Series shapelet(
+            src.begin() + static_cast<std::ptrdiff_t>(c.pos),
+            src.begin() + static_cast<std::ptrdiff_t>(c.pos + c.length));
+        ts::ZNormalizeInPlace(shapelet);
+        eval_matcher.Add(shapelet);
+        top_shapelets[oi] = std::move(shapelet);
       }
-      std::sort(dist.begin(), dist.end());
-      // Scan split points.
-      std::map<int, std::size_t> left_hist;
-      for (std::size_t split = 1; split < dist.size(); ++split) {
-        ++left_hist[dist[split - 1].second];
-        if (dist[split].first == dist[split - 1].first) continue;
-        std::map<int, std::size_t> right_hist;
-        for (const auto& [label, count] : hist) {
-          const auto it = left_hist.find(label);
-          const std::size_t l = it == left_hist.end() ? 0 : it->second;
-          right_hist[label] = count - l;
+      dist_matrix.resize(k * idx.size());
+      ts::ParallelFor(idx.size(), ts::DefaultThreads(), [&](std::size_t t) {
+        static thread_local distance::MatchScratch scratch;
+        static thread_local std::vector<distance::BestMatch> matches;
+        eval_matcher.MatchAll(train_ctx[idx[t]], &scratch, &matches);
+        for (std::size_t oi = 0; oi < k; ++oi) {
+          dist_matrix[oi * idx.size() + t] = matches[oi].distance;
         }
-        const double hl = Entropy(left_hist, split);
-        const double hr = Entropy(right_hist, dist.size() - split);
-        const double nl = static_cast<double>(split);
-        const double nr = static_cast<double>(dist.size() - split);
-        const double n = nl + nr;
-        const double gain = h_node - (nl / n * hl + nr / n * hr);
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_shapelet = shapelet;
-          best_threshold =
-              0.5 * (dist[split - 1].first + dist[split].first);
+      });
+
+      for (std::size_t oi = 0; oi < k; ++oi) {
+        // Distances from every node series to the candidate.
+        std::vector<std::pair<double, int>> dist;  // (distance, label)
+        dist.reserve(idx.size());
+        for (std::size_t t = 0; t < idx.size(); ++t) {
+          dist.emplace_back(dist_matrix[oi * idx.size() + t],
+                            train[idx[t]].label);
+        }
+        std::sort(dist.begin(), dist.end());
+        // Scan split points.
+        std::map<int, std::size_t> left_hist;
+        for (std::size_t split = 1; split < dist.size(); ++split) {
+          ++left_hist[dist[split - 1].second];
+          if (dist[split].first == dist[split - 1].first) continue;
+          std::map<int, std::size_t> right_hist;
+          for (const auto& [label, count] : hist) {
+            const auto it = left_hist.find(label);
+            const std::size_t l = it == left_hist.end() ? 0 : it->second;
+            right_hist[label] = count - l;
+          }
+          const double hl = Entropy(left_hist, split);
+          const double hr = Entropy(right_hist, dist.size() - split);
+          const double nl = static_cast<double>(split);
+          const double nr = static_cast<double>(dist.size() - split);
+          const double n = nl + nr;
+          const double gain = h_node - (nl / n * hl + nr / n * hr);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_shapelet = top_shapelets[oi];
+            best_oi = oi;
+            best_threshold =
+                0.5 * (dist[split - 1].first + dist[split].first);
+          }
         }
       }
     }
     if (best_gain <= 1e-9 || best_shapelet.empty()) return node;
 
-    // Split and recurse.
-    const distance::PatternContext best_ctx(best_shapelet);
+    // Split and recurse, routing on the winner's matrix row — those are
+    // the exact distances the threshold was chosen from.
     std::vector<std::size_t> left_idx;
     std::vector<std::size_t> right_idx;
-    for (std::size_t i : idx) {
-      const double d =
-          distance::BatchedBestMatch(best_ctx, train_ctx[i]).distance;
-      (d <= best_threshold ? left_idx : right_idx).push_back(i);
+    for (std::size_t t = 0; t < idx.size(); ++t) {
+      const double d = dist_matrix[best_oi * idx.size() + t];
+      (d <= best_threshold ? left_idx : right_idx).push_back(idx[t]);
     }
     if (left_idx.empty() || right_idx.empty()) return node;
     node->leaf = false;
     node->shapelet = std::move(best_shapelet);
-    node->shapelet_ctx = best_ctx;
     node->threshold = best_threshold;
     node->left = self(self, std::move(left_idx), depth + 1);
     node->right = self(self, std::move(right_idx), depth + 1);
@@ -233,20 +261,47 @@ void FastShapelets::Train(const ts::Dataset& train) {
   std::vector<std::size_t> all(train.size());
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
   root_ = build(build, std::move(all), 0);
+
+  // Flatten the tree's shapelets into one SoA store. Every node's
+  // routing test `d <= threshold` is exactly `d < nextafter(threshold,
+  // +inf)`, so a single cutoff-seeded sweep decides all of them at once
+  // — Classify reads found-ness per node instead of scanning per level.
+  classify_matcher_ = distance::BatchMatcher{};
+  classify_seeds_.clear();
+  std::vector<Node*> stack;
+  if (root_ != nullptr) stack.push_back(root_.get());
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (n->leaf) continue;
+    n->slot = classify_matcher_.size();
+    classify_matcher_.Add(n->shapelet);
+    classify_seeds_.push_back(std::nextafter(
+        n->threshold, std::numeric_limits<double>::infinity()));
+    stack.push_back(n->left.get());
+    stack.push_back(n->right.get());
+  }
 }
 
 int FastShapelets::Classify(ts::SeriesView series) const {
   if (root_ == nullptr) {
     throw std::logic_error("FastShapelets::Classify before Train");
   }
-  // One prefix-sum context serves every shapelet on the root-to-leaf
-  // path; the per-node orders were precomputed at build time.
-  const distance::SeriesContext ctx(series);
   const Node* node = root_.get();
+  if (node->leaf) return node->label;
+  // One batched seeded sweep over every tree shapelet (shared window
+  // moments, first-improvement abandon against each node's threshold
+  // seed); the walk below then just reads each visited node's
+  // found-ness: found <=> best distance < nextafter(threshold, +inf)
+  // <=> distance <= threshold, the pre-batched routing test.
+  const distance::SeriesContext ctx(series);
+  distance::MatchScratch scratch;
+  std::vector<distance::BestMatch> matches;
+  classify_matcher_.MatchAllSeeded(ctx, &scratch, classify_seeds_,
+                                   &matches);
   while (!node->leaf) {
-    const double d =
-        distance::BatchedBestMatch(node->shapelet_ctx, ctx).distance;
-    node = (d <= node->threshold) ? node->left.get() : node->right.get();
+    node = matches[node->slot].found() ? node->left.get()
+                                       : node->right.get();
   }
   return node->label;
 }

@@ -51,9 +51,8 @@ class FastShapelets : public Classifier {
     bool leaf = true;
     int label = 0;
     ts::Series shapelet;  // z-normalized
-    /// Precomputed matching context of `shapelet`, so tree descent never
-    /// re-sorts the early-abandon order per classified series.
-    distance::PatternContext shapelet_ctx;
+    /// This node's pattern slot in `classify_matcher_`.
+    std::size_t slot = 0;
     double threshold = 0.0;
     std::unique_ptr<Node> left;   // distance <= threshold
     std::unique_ptr<Node> right;  // distance > threshold
@@ -61,6 +60,14 @@ class FastShapelets : public Classifier {
 
   FastShapeletsOptions options_;
   std::unique_ptr<Node> root_;
+  /// Every internal node's shapelet, flattened into one SoA store:
+  /// Classify runs a single batched seeded sweep instead of one scan per
+  /// node on the root-to-leaf path, and the tree walk reads per-node
+  /// found-ness. Seeds are nextafter(threshold, +inf) — `distance <=
+  /// threshold` is exactly `distance < nextafter(threshold, +inf)`, so
+  /// the seeded scan's found-ness answers each node's routing test.
+  distance::BatchMatcher classify_matcher_;
+  std::vector<double> classify_seeds_;
 };
 
 }  // namespace rpm::baselines

@@ -5,7 +5,9 @@
 #include <map>
 #include <stdexcept>
 
+#include "core/phase_profile.h"
 #include "distance/matcher.h"
+#include "ts/parallel.h"
 #include "ts/znorm.h"
 
 namespace rpm::baselines {
@@ -75,40 +77,68 @@ void ShapeletTransform::Train(const ts::Dataset& train) {
   if (hist.size() == 1) return;
 
   // Score sampled candidates by whole-train information gain. Every
-  // candidate scans every training series, so the per-series prefix-sum
-  // contexts are built once here and shared by all of them; each
-  // candidate's sort order is likewise computed once for the whole pass.
+  // candidate scans every training series, so the candidates are
+  // gathered into one SoA pattern store and each series is swept ONCE
+  // for all of them (window moments shared bucket-wide) instead of
+  // running K x N individual scans; the distances are bit-identical to
+  // the per-pattern path, so the gains — and the selected shapelets —
+  // are unchanged.
   std::vector<distance::SeriesContext> train_ctx;
   train_ctx.reserve(train.size());
   for (const auto& inst : train) train_ctx.emplace_back(inst.values);
 
   const std::size_t min_len = train.MinLength();
   std::vector<ScoredCandidate> scored;
-  for (double frac : options_.length_fractions) {
-    const auto len = static_cast<std::size_t>(
-        std::lround(frac * static_cast<double>(min_len)));
-    if (len < 4) continue;
-    for (std::size_t s = 0; s < train.size(); ++s) {
-      const auto& values = train[s].values;
-      if (values.size() < len) continue;
-      const std::size_t span = values.size() - len;
-      const std::size_t stride =
-          std::max<std::size_t>(1, span / options_.starts_per_series);
-      for (std::size_t p = 0; p <= span; p += stride) {
-        ts::Series cand(values.begin() + static_cast<std::ptrdiff_t>(p),
-                        values.begin() + static_cast<std::ptrdiff_t>(p + len));
-        ts::ZNormalizeInPlace(cand);
-        const distance::PatternContext cand_ctx(cand);
-        std::vector<std::pair<double, int>> dist;
-        dist.reserve(train.size());
-        for (std::size_t i = 0; i < train.size(); ++i) {
-          dist.emplace_back(
-              distance::BatchedBestMatch(cand_ctx, train_ctx[i]).distance,
-              train[i].label);
+  {
+    core::ScopedPhaseTimer scan_timer(core::PhaseProfile::kShapelets);
+    std::vector<ScoredCandidate> sampled;  // gain filled after the sweep
+    distance::BatchMatcher cand_matcher;
+    for (double frac : options_.length_fractions) {
+      const auto len = static_cast<std::size_t>(
+          std::lround(frac * static_cast<double>(min_len)));
+      if (len < 4) continue;
+      for (std::size_t s = 0; s < train.size(); ++s) {
+        const auto& values = train[s].values;
+        if (values.size() < len) continue;
+        const std::size_t span = values.size() - len;
+        const std::size_t stride =
+            std::max<std::size_t>(1, span / options_.starts_per_series);
+        for (std::size_t p = 0; p <= span; p += stride) {
+          ts::Series cand(
+              values.begin() + static_cast<std::ptrdiff_t>(p),
+              values.begin() + static_cast<std::ptrdiff_t>(p + len));
+          ts::ZNormalizeInPlace(cand);
+          cand_matcher.Add(cand);
+          sampled.push_back({0.0, s, p, len});
         }
-        scored.push_back(
-            {BestInfoGain(std::move(dist), hist), s, p, len});
       }
+    }
+
+    // Candidate x series distance matrix: one batched MatchAll per
+    // training series (series sharded across the thread pool — each
+    // worker writes its own column).
+    const std::size_t num_cands = cand_matcher.size();
+    std::vector<double> dist_matrix(num_cands * train.size());
+    ts::ParallelFor(train.size(), ts::DefaultThreads(), [&](std::size_t i) {
+      static thread_local distance::MatchScratch scratch;
+      static thread_local std::vector<distance::BestMatch> matches;
+      cand_matcher.MatchAll(train_ctx[i], &scratch, &matches);
+      for (std::size_t c = 0; c < num_cands; ++c) {
+        dist_matrix[c * train.size() + i] = matches[c].distance;
+      }
+    });
+
+    scored.reserve(num_cands);
+    for (std::size_t c = 0; c < num_cands; ++c) {
+      std::vector<std::pair<double, int>> dist;
+      dist.reserve(train.size());
+      for (std::size_t i = 0; i < train.size(); ++i) {
+        dist.emplace_back(dist_matrix[c * train.size() + i],
+                          train[i].label);
+      }
+      ScoredCandidate sc = sampled[c];
+      sc.gain = BestInfoGain(std::move(dist), hist);
+      scored.push_back(sc);
     }
   }
   std::sort(scored.begin(), scored.end(),

@@ -15,11 +15,12 @@ std::array<std::atomic<std::int64_t>, PhaseProfile::kNumPhases> g_nanos{};
 
 constexpr const char* kNames[PhaseProfile::kNumPhases] = {
     "discretization", "grammar", "clustering", "selection",
-    "transform",      "svm"};
+    "transform",      "svm",     "distinct",   "shapelets"};
 
 constexpr const char* kSpanNames[PhaseProfile::kNumPhases] = {
-    "train.discretization", "train.grammar", "train.clustering",
-    "train.selection",      "train.transform", "train.svm"};
+    "train.discretization", "train.grammar",    "train.clustering",
+    "train.selection",      "train.transform",  "train.svm",
+    "train.distinct",       "train.shapelets"};
 
 }  // namespace
 

@@ -39,6 +39,8 @@ class PhaseProfile {
     kSelection,           // stage 0: DIRECT SAX parameter selection
     kTransform,           // pattern-to-feature transform (best-match scans)
     kSvm,                 // SVM training/prediction (selection CV + final fit)
+    kDistinct,            // similar-candidate removal (tau threshold + tests)
+    kShapelets,           // shapelet-baseline candidate scans (ST/FS eval)
     kNumPhases,
   };
 

@@ -473,4 +473,35 @@ std::vector<BestMatch> BatchMatcher::MatchAll(
   return out;
 }
 
+void BatchMatcher::MatchAllSeeded(const SeriesContext& series,
+                                  MatchScratch* scratch,
+                                  const std::vector<double>& seeds,
+                                  std::vector<BestMatch>* out) const {
+  const MatcherMetrics& metrics = MatcherMetrics::Get();
+  metrics.matchall_calls->Increment();
+  obs::TraceSpan span("matcher.match_all");
+  // Same per-scan accounting as K individual seeded BatchedBestMatch
+  // calls (the windows a seed prunes still count as covered, exactly as
+  // in the per-pattern path's accounting).
+  metrics.scans->Increment(patterns_.size());
+  std::size_t windows = 0;
+  for (const auto& p : patterns_) windows += ScanWindows(p, series);
+  metrics.windows->Increment(windows);
+
+  const std::size_t buckets =
+      EnsureStore().MatchAllSeeded(series, scratch, seeds, out);
+  metrics.bucket_scans->Increment(buckets);
+}
+
+bool BatchMatcher::AnyBelow(const SeriesContext& series,
+                            MatchScratch* scratch, double tau,
+                            std::vector<std::uint8_t>* below) const {
+  const MatcherMetrics& metrics = MatcherMetrics::Get();
+  metrics.scans->Increment(patterns_.size());
+  std::size_t windows = 0;
+  for (const auto& p : patterns_) windows += ScanWindows(p, series);
+  metrics.windows->Increment(windows);
+  return EnsureStore().AnyBelow(series, scratch, tau, below);
+}
+
 }  // namespace rpm::distance

@@ -50,6 +50,8 @@ class PatternStore;
 struct MatchScratch {
   std::vector<double> best_sq;
   std::vector<std::size_t> best_pos;
+  /// Per-pattern decided/hit flags, used by the AnyBelow existence scan.
+  std::vector<std::uint8_t> below;
 };
 
 /// Per-pattern precomputation for the batched scan. The pattern is
@@ -185,6 +187,25 @@ class BatchMatcher {
   void MatchAll(const SeriesContext& series, MatchScratch* scratch,
                 std::vector<BestMatch>* out) const;
   std::vector<BestMatch> MatchAll(const SeriesContext& series) const;
+
+  /// MatchAll with per-pattern initial best-so-fars (`seeds[i]` in
+  /// distance space, +inf = unseeded): bit-identical to calling the
+  /// cutoff-seeded `BatchedBestMatch(pattern(i), series, seeds[i])` per
+  /// pattern — slots whose scan never beats the seed get the unfound
+  /// sentinel. `seeds` must have size() entries.
+  void MatchAllSeeded(const SeriesContext& series, MatchScratch* scratch,
+                      const std::vector<double>& seeds,
+                      std::vector<BestMatch>* out) const;
+
+  /// Batched existence test over every pattern at once: each decision is
+  /// identical to `BatchedMatchBelow(pattern(i), series, tau)`, but the
+  /// series is swept window-major through the SoA store, stopping each
+  /// pattern at its first sub-tau window. With `below == nullptr` the
+  /// call returns at the first sub-tau window of any pattern; otherwise
+  /// `below` gets one 0/1 flag per pattern. Returns true iff any
+  /// pattern matched below `tau`.
+  bool AnyBelow(const SeriesContext& series, MatchScratch* scratch,
+                double tau, std::vector<std::uint8_t>* below = nullptr) const;
 
   /// The lazily built SoA store (bench/introspection hook; builds it if
   /// no MatchAll has run yet).

@@ -82,6 +82,78 @@ void ScanBucketScalarFrom(const BucketScan& a, std::size_t pos) {
   }
 }
 
+// Everything one existence scan over a bucket needs. Unlike BucketScan
+// there is no per-pattern running best: the threshold seed is uniform
+// (tau^2 * n) and never improves — a pattern is simply decided the
+// first time a window passes both gates. `hit` is one 0/1 flag per
+// pattern; `*remaining` counts still-undecided patterns so the sweep
+// stops once the whole bucket is decided; `first_hit` makes the sweep
+// stop at the first hit of ANY pattern (aggregate existence mode).
+struct BelowScan {
+  const double* hay;
+  const double* prefix;
+  const double* prefix_sq;
+  std::size_t m;  // series length
+  std::size_t n;  // pattern length (>= 2 here; 1 and 0 are special-cased)
+  double inv_n;
+  const double* slab;  // first pattern row
+  std::size_t stride;  // row stride in doubles
+  std::size_t count;   // patterns in the bucket
+  const double* p_first;
+  const double* p_last;
+  const double* p_sum;
+  const double* p_sum_sq;
+  internal::DotFn dot;
+  double seed_sq;  // tau^2 * n (sign-preserved infinities pass through)
+  std::uint8_t* hit;
+  std::size_t* remaining;
+  bool first_hit;
+};
+
+// Scalar existence kernel, starting at window `pos`. Decision-identical
+// to the first-hit seeded per-pattern scan (matcher.cc BestMatchScan
+// with first_hit): that scan stops at its first improvement, so every
+// threshold it ever tests is seed-derived — exactly `seed_sq * sig2`
+// here — and "some window passes both gates" does not depend on sweep
+// order, so deciding window-major decides identically.
+void ScanBucketBelowScalarFrom(const BelowScan& a, std::size_t pos) {
+  const double nd = static_cast<double>(a.n);
+  for (; pos + a.n <= a.m && *a.remaining > 0; ++pos) {
+    const double sum = a.prefix[pos + a.n] - a.prefix[pos];
+    const double sum_sq = a.prefix_sq[pos + a.n] - a.prefix_sq[pos];
+    double mu = 0.0;
+    double sigma = 0.0;
+    ts::WindowMomentsFromSums(sum, sum_sq, a.inv_n, &mu, &sigma);
+    const double sig2 = sigma * sigma;
+    // The whole bucket shares one threshold: the seed never improves,
+    // so it hoists out of the pattern loop.
+    const double thresh = a.seed_sq * sig2;
+    const double w_f = a.hay[pos] - mu;
+    const double w_l = a.hay[pos + a.n - 1] - mu;
+    for (std::size_t p = 0; p < a.count; ++p) {
+      if (a.hit[p] != 0) continue;
+      const double d_first = w_f - a.p_first[p] * sigma;
+      double lb = d_first * d_first;
+      const double d_last = w_l - a.p_last[p] * sigma;
+      lb += d_last * d_last;
+      if (lb >= thresh) continue;
+      const double dot = a.dot(a.hay + pos, a.slab + p * a.stride, a.n);
+      const double csq = std::max(0.0, sum_sq - nd * mu * mu);
+      const double d2s = std::max(
+          0.0, csq - 2.0 * sigma * (dot - mu * a.p_sum[p]) +
+                   a.p_sum_sq[p] * sig2);
+      if (d2s < thresh) {
+        a.hit[p] = 1;
+        if (a.first_hit) {
+          *a.remaining = 0;
+          return;
+        }
+        if (--*a.remaining == 0) return;
+      }
+    }
+  }
+}
+
 #if defined(RPM_DOT_AVX2_DISPATCH)
 
 // AVX2 bucket kernel: four window positions per iteration. The block's
@@ -482,6 +554,122 @@ __attribute__((target("avx512f"))) void ScanBucketAvx512(
 }
 #pragma GCC diagnostic pop
 
+// AVX2 existence kernel: four window positions per iteration with the
+// same hoisted block moments and across-window dots as ScanBucketAvx2
+// (per-lane expression trees identical to the scalar body, explicit
+// mul/add/sub/sqrt, never FMA). The threshold is seed-derived and fixed
+// for the whole scan, so the vector gates ARE the per-window decisions:
+// no post-hoc scalar re-gate exists because there is no running best to
+// re-gate against — any set lane in (lb < thresh) & (d2s < thresh)
+// means some window decides the pattern, exactly as in the scalar body.
+// There is no 512-bit variant: the decisions are tier-invariant because
+// the per-lane arithmetic is, so AVX-512 hosts run this kernel, like
+// the per-pattern scan in matcher.cc.
+__attribute__((target("avx2"))) void ScanBucketBelowAvx2(
+    const BelowScan& a) {
+  const std::size_t n = a.n;
+  const std::size_t m = a.m;
+  const __m256d vinv_n = _mm256_set1_pd(a.inv_n);
+  const __m256d vnd = _mm256_set1_pd(static_cast<double>(n));
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vtwo = _mm256_set1_pd(2.0);
+  const __m256d vflat = _mm256_set1_pd(ts::kFlatThreshold);
+  const __m256d vseed = _mm256_set1_pd(a.seed_sq);
+
+  std::size_t pos = 0;
+  for (; pos + 3 + n <= m && *a.remaining > 0; pos += 4) {
+    const __m256d vsum = _mm256_sub_pd(_mm256_loadu_pd(a.prefix + pos + n),
+                                       _mm256_loadu_pd(a.prefix + pos));
+    const __m256d vsum_sq =
+        _mm256_sub_pd(_mm256_loadu_pd(a.prefix_sq + pos + n),
+                      _mm256_loadu_pd(a.prefix_sq + pos));
+    const __m256d vmu = _mm256_mul_pd(vsum, vinv_n);
+    const __m256d vvar = _mm256_max_pd(
+        vzero, _mm256_sub_pd(_mm256_mul_pd(vsum_sq, vinv_n),
+                             _mm256_mul_pd(vmu, vmu)));
+    __m256d vsigma = _mm256_sqrt_pd(vvar);
+    vsigma = _mm256_blendv_pd(vsigma, vone,
+                              _mm256_cmp_pd(vsigma, vflat, _CMP_LT_OQ));
+    const __m256d vsig2 = _mm256_mul_pd(vsigma, vsigma);
+    const __m256d vw_f =
+        _mm256_sub_pd(_mm256_loadu_pd(a.hay + pos), vmu);
+    const __m256d vw_l =
+        _mm256_sub_pd(_mm256_loadu_pd(a.hay + pos + n - 1), vmu);
+    const __m256d vcsq = _mm256_max_pd(
+        vzero, _mm256_sub_pd(vsum_sq,
+                             _mm256_mul_pd(_mm256_mul_pd(vnd, vmu), vmu)));
+    // One threshold for the whole bucket (the seed never improves).
+    const __m256d vthresh = _mm256_mul_pd(vseed, vsig2);
+
+    for (std::size_t p = 0; p < a.count; ++p) {
+      if (a.hit[p] != 0) continue;
+      const __m256d vd_f =
+          _mm256_sub_pd(vw_f, _mm256_mul_pd(_mm256_set1_pd(a.p_first[p]),
+                                            vsigma));
+      __m256d vlb = _mm256_mul_pd(vd_f, vd_f);
+      const __m256d vd_l =
+          _mm256_sub_pd(vw_l, _mm256_mul_pd(_mm256_set1_pd(a.p_last[p]),
+                                            vsigma));
+      vlb = _mm256_add_pd(vlb, _mm256_mul_pd(vd_l, vd_l));
+      const __m256d vkeep = _mm256_cmp_pd(vlb, vthresh, _CMP_LT_OQ);
+      if (_mm256_movemask_pd(vkeep) == 0) continue;
+
+      // Four windows' dots at once, one per lane — the canonical
+      // four-partial accumulation order per lane (see ScanBucketAvx2).
+      const double* row = a.slab + p * a.stride;
+      const double* hb = a.hay + pos;
+      __m256d v0 = vzero;
+      __m256d v1 = vzero;
+      __m256d v2 = vzero;
+      __m256d v3 = vzero;
+      std::size_t i = 0;
+      for (; i + 4 <= n; i += 4) {
+        v0 = _mm256_add_pd(
+            v0, _mm256_mul_pd(_mm256_loadu_pd(hb + i),
+                              _mm256_set1_pd(row[i])));
+        v1 = _mm256_add_pd(
+            v1, _mm256_mul_pd(_mm256_loadu_pd(hb + i + 1),
+                              _mm256_set1_pd(row[i + 1])));
+        v2 = _mm256_add_pd(
+            v2, _mm256_mul_pd(_mm256_loadu_pd(hb + i + 2),
+                              _mm256_set1_pd(row[i + 2])));
+        v3 = _mm256_add_pd(
+            v3, _mm256_mul_pd(_mm256_loadu_pd(hb + i + 3),
+                              _mm256_set1_pd(row[i + 3])));
+      }
+      for (; i < n; ++i) {
+        v0 = _mm256_add_pd(
+            v0, _mm256_mul_pd(_mm256_loadu_pd(hb + i),
+                              _mm256_set1_pd(row[i])));
+      }
+      const __m256d vdot =
+          _mm256_add_pd(_mm256_add_pd(v0, v1), _mm256_add_pd(v2, v3));
+
+      const __m256d vcross = _mm256_mul_pd(
+          _mm256_mul_pd(vtwo, vsigma),
+          _mm256_sub_pd(vdot, _mm256_mul_pd(vmu,
+                                            _mm256_set1_pd(a.p_sum[p]))));
+      const __m256d vd2s = _mm256_max_pd(
+          vzero,
+          _mm256_add_pd(_mm256_sub_pd(vcsq, vcross),
+                        _mm256_mul_pd(_mm256_set1_pd(a.p_sum_sq[p]),
+                                      vsig2)));
+      const int cand = _mm256_movemask_pd(_mm256_and_pd(
+          vkeep, _mm256_cmp_pd(vd2s, vthresh, _CMP_LT_OQ)));
+      if (cand != 0) {
+        a.hit[p] = 1;
+        if (a.first_hit) {
+          *a.remaining = 0;
+          return;
+        }
+        if (--*a.remaining == 0) return;
+      }
+    }
+  }
+  ScanBucketBelowScalarFrom(a, pos);  // trailing < 4 positions
+}
+
 #endif  // RPM_DOT_AVX2_DISPATCH
 
 }  // namespace
@@ -629,9 +817,10 @@ void PatternStore::ScanBucket(const Bucket& bucket,
   ScanBucketScalarFrom(a, 0);
 }
 
-std::size_t PatternStore::MatchAll(const SeriesContext& series,
-                                   MatchScratch* scratch,
-                                   std::vector<BestMatch>* out) const {
+std::size_t PatternStore::MatchAllImpl(const SeriesContext& series,
+                                       MatchScratch* scratch,
+                                       const std::vector<double>* seeds,
+                                       std::vector<BestMatch>* out) const {
   out->assign(num_patterns_, BestMatch{});  // all slots start unfound
   const std::size_t stored = orig_index_.size();
   if (stored == 0) return 0;
@@ -643,6 +832,20 @@ std::size_t PatternStore::MatchAll(const SeriesContext& series,
   scratch->best_pos.assign(stored, kNpos);
   double* best_sq = scratch->best_sq.data();
   std::size_t* best_pos = scratch->best_pos.data();
+  if (seeds != nullptr) {
+    // Seed each slot in the scan's length-scaled squared space
+    // (n * distance^2), preserving infinite seeds as-is — exactly the
+    // cutoff conversion of the per-pattern seeded scan (matcher.cc
+    // BatchedBestMatch with cutoff).
+    for (const Bucket& b : buckets_) {
+      const double nd = static_cast<double>(b.length);
+      for (std::size_t k = 0; k < b.count; ++k) {
+        const std::size_t slot = b.first + k;
+        const double s = (*seeds)[orig_index_[slot]];
+        best_sq[slot] = std::isinf(s) ? s : s * s * nd;
+      }
+    }
+  }
 
   for (const Bucket& b : buckets_) {
     if (b.length > m || m == 0) continue;  // sentinel slots
@@ -650,10 +853,11 @@ std::size_t PatternStore::MatchAll(const SeriesContext& series,
     if (b.length == 1) {
       // Every single-point window is exactly flat (z-value 0), so all
       // positions tie at distance |p| and the first window wins — the
-      // same special case the per-pattern scan applies.
+      // same special case the per-pattern scan applies, including its
+      // seed test.
       for (std::size_t k = 0; k < b.count; ++k) {
         const double p = *Row(b, k);
-        if (p * p < std::numeric_limits<double>::infinity()) {
+        if (p * p < best_sq[b.first + k]) {
           best_sq[b.first + k] = p * p;
           best_pos[b.first + k] = 0;
         }
@@ -673,6 +877,104 @@ std::size_t PatternStore::MatchAll(const SeriesContext& series,
     }
   }
   return buckets_scanned;
+}
+
+std::size_t PatternStore::MatchAll(const SeriesContext& series,
+                                   MatchScratch* scratch,
+                                   std::vector<BestMatch>* out) const {
+  return MatchAllImpl(series, scratch, nullptr, out);
+}
+
+std::size_t PatternStore::MatchAllSeeded(const SeriesContext& series,
+                                         MatchScratch* scratch,
+                                         const std::vector<double>& seeds,
+                                         std::vector<BestMatch>* out) const {
+  return MatchAllImpl(series, scratch, &seeds, out);
+}
+
+bool PatternStore::AnyBelow(const SeriesContext& series,
+                            MatchScratch* scratch, double tau,
+                            std::vector<std::uint8_t>* below) const {
+  if (below != nullptr) below->assign(num_patterns_, 0);
+  const std::size_t stored = orig_index_.size();
+  if (stored == 0) return false;
+  const std::size_t m = series.size();
+
+  scratch->below.assign(stored, 0);
+  std::uint8_t* hit = scratch->below.data();
+  const bool first_hit = below == nullptr;
+  bool any = false;
+
+  for (const Bucket& b : buckets_) {
+    if (b.length > m || m == 0) continue;  // decide false, like the scan
+    // Uniform per-bucket seed in length-scaled squared space, with the
+    // per-pattern scan's sign-preserving infinity passthrough.
+    const double seed_sq =
+        std::isinf(tau) ? tau
+                        : tau * tau * static_cast<double>(b.length);
+    if (b.length == 1) {
+      // Single-point windows are exactly flat: the decision is the
+      // per-pattern scan's `p*p < seed_sq` special case.
+      for (std::size_t k = 0; k < b.count; ++k) {
+        const double p = *Row(b, k);
+        if (p * p < seed_sq) {
+          hit[b.first + k] = 1;
+          any = true;
+          if (first_hit) return true;
+        }
+      }
+      continue;
+    }
+
+    std::size_t remaining = b.count;
+    BelowScan a;
+    a.hay = series.data().data();
+    a.prefix = series.PrefixData();
+    a.prefix_sq = series.PrefixSqData();
+    a.m = m;
+    a.n = b.length;
+    a.inv_n = b.inv_n;
+    a.slab = arena_.get() + b.slab;
+    a.stride = b.padded;
+    a.count = b.count;
+    a.p_first = first_.data() + b.first;
+    a.p_last = last_.data() + b.first;
+    a.p_sum = sum_.data() + b.first;
+    a.p_sum_sq = sum_sq_.data() + b.first;
+    a.seed_sq = seed_sq;
+    a.hit = hit + b.first;
+    a.remaining = &remaining;
+    a.first_hit = first_hit;
+
+    const IsaTier tier = CurrentIsaTier();
+#if defined(RPM_DOT_AVX2_DISPATCH)
+    if (tier >= IsaTier::kAvx2) {
+      a.dot = internal::VectorDotForLength(a.n);
+      ScanBucketBelowAvx2(a);
+    } else {
+      a.dot = &internal::DotBase;
+      ScanBucketBelowScalarFrom(a, 0);
+    }
+#else
+    (void)tier;
+    a.dot = &internal::DotBase;
+    ScanBucketBelowScalarFrom(a, 0);
+#endif
+    if (remaining < b.count) {
+      any = true;
+      if (first_hit) return true;
+    }
+  }
+
+  if (below != nullptr) {
+    for (const Bucket& b : buckets_) {
+      for (std::size_t k = 0; k < b.count; ++k) {
+        const std::size_t slot = b.first + k;
+        (*below)[orig_index_[slot]] = hit[slot];
+      }
+    }
+  }
+  return any;
 }
 
 void PatternStore::MatchBucket(std::size_t b, const SeriesContext& series,

@@ -76,6 +76,35 @@ class PatternStore {
   std::size_t MatchAll(const SeriesContext& series, MatchScratch* scratch,
                        std::vector<BestMatch>* out) const;
 
+  /// MatchAll with a per-pattern initial best-so-far: pattern i's scan
+  /// starts from `seeds[i]` (distance space, +inf = unseeded), so
+  /// windows that cannot beat the seed are pruned by the endpoint lower
+  /// bound exactly as in the cutoff-seeded per-pattern scan. Slots whose
+  /// scan never improves on the seed yield the unfound sentinel —
+  /// bit-identical to `BatchedBestMatch(pattern, series, seeds[i])` per
+  /// pattern, on every ISA tier. `seeds` must have size() entries, in
+  /// the original (caller) pattern order. Returns buckets scanned.
+  std::size_t MatchAllSeeded(const SeriesContext& series,
+                             MatchScratch* scratch,
+                             const std::vector<double>& seeds,
+                             std::vector<BestMatch>* out) const;
+
+  /// First-hit existence scan: decides, for every pattern, whether some
+  /// window of `series` matches it strictly below `tau` — each decision
+  /// identical to `BatchedMatchBelow(pattern, series, tau)` (the
+  /// pre-hit thresholds of that first-improvement scan are all
+  /// seed-derived, and "some window passes both gates" does not depend
+  /// on sweep order). A pattern's bucket sweep stops at its first
+  /// sub-tau window; with `below == nullptr` the whole call returns at
+  /// the first sub-tau window of any pattern. Returns true iff any
+  /// pattern matched below `tau`; when `below` is non-null it is
+  /// resized to size() and gets one 0/1 flag per pattern in original
+  /// order (empty or too-long patterns decide false, like the
+  /// per-pattern scan).
+  bool AnyBelow(const SeriesContext& series, MatchScratch* scratch,
+                double tau,
+                std::vector<std::uint8_t>* below = nullptr) const;
+
   /// One bucket's summary, for benchmarks and introspection.
   struct BucketInfo {
     std::size_t length = 0;       ///< exact pattern length of the bucket
@@ -107,6 +136,12 @@ class PatternStore {
   }
   void ScanBucket(const Bucket& bucket, const SeriesContext& series,
                   double* best_sq, std::size_t* best_pos) const;
+  // Shared bucket loop behind MatchAll (seeds == nullptr) and
+  // MatchAllSeeded.
+  std::size_t MatchAllImpl(const SeriesContext& series,
+                           MatchScratch* scratch,
+                           const std::vector<double>* seeds,
+                           std::vector<BestMatch>* out) const;
 
   // One aligned arena for every slab row (64-byte aligned rows).
   std::unique_ptr<double[], void (*)(double*)> arena_{nullptr, nullptr};

@@ -214,6 +214,130 @@ TEST(PatternStoreLayout, MatchBucketAgreesWithMatchAll) {
   }
 }
 
+// Seeded golden sweep: one pattern per length 2..512 plus degenerate
+// entries, adversarial per-pattern seeds (0 prunes everything, +inf is
+// the unseeded scan, the exact best distance sits on the strict-<
+// boundary, one-ulp-above probes the other side of it). Every tier's
+// MatchAllSeeded must reproduce the cutoff-seeded per-pattern scan bit
+// for bit — found-ness, position and distance.
+TEST(PatternStoreSeeded, MatchAllSeededBitIdenticalToSeededPerPatternScans) {
+  constexpr std::size_t kSeriesLen = 400;  // < 512: long patterns go sentinel
+  const ts::Series hay = RandomWalk(kSeriesLen, 21);
+  const distance::SeriesContext ctx(hay);
+
+  distance::BatchMatcher matcher;
+  for (std::size_t n = 2; n <= 512; ++n) {
+    matcher.Add(ZNormalizedPattern(n, 2000 + n));
+  }
+  matcher.Add(ts::Series{});               // empty -> sentinel
+  matcher.Add(ZNormalizedPattern(1, 13));  // single-point special case
+
+  // Unseeded best distances feed the boundary seeds below.
+  TierGuard guard;
+  distance::ForceIsaTier(distance::IsaTier::kScalar);
+  std::vector<double> best(matcher.size());
+  for (std::size_t i = 0; i < matcher.size(); ++i) {
+    best[i] = matcher.Match(i, ctx).distance;  // +inf when unfound
+  }
+
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> seeds(matcher.size());
+  for (std::size_t i = 0; i < matcher.size(); ++i) {
+    switch (i % 4) {
+      case 0: seeds[i] = 0.0; break;
+      case 1: seeds[i] = inf; break;
+      case 2: seeds[i] = best[i]; break;
+      default:
+        seeds[i] = std::isinf(best[i]) ? inf : std::nextafter(best[i], inf);
+    }
+  }
+
+  for (distance::IsaTier tier : AvailableTiers()) {
+    distance::ForceIsaTier(tier);
+    SCOPED_TRACE(distance::IsaTierName(distance::CurrentIsaTier()));
+    distance::MatchScratch scratch;
+    std::vector<distance::BestMatch> got;
+    matcher.MatchAllSeeded(ctx, &scratch, seeds, &got);
+    ASSERT_EQ(got.size(), matcher.size());
+    for (std::size_t i = 0; i < matcher.size(); ++i) {
+      SCOPED_TRACE("pattern " + std::to_string(i));
+      const distance::BestMatch want =
+          distance::BatchedBestMatch(matcher.pattern(i), ctx, seeds[i]);
+      EXPECT_EQ(got[i].position, want.position);
+      EXPECT_EQ(got[i].distance, want.distance);
+      // A zero seed admits nothing (every window distance is >= 0).
+      if (i % 4 == 0) {
+        EXPECT_FALSE(got[i].found());
+      }
+      // An infinite seed is exactly the unseeded scan.
+      if (i % 4 == 1) {
+        const distance::BestMatch plain = matcher.Match(i, ctx);
+        EXPECT_EQ(got[i].position, plain.position);
+        EXPECT_EQ(got[i].distance, plain.distance);
+      }
+    }
+  }
+}
+
+// AnyBelow golden sweep: for taus spanning never / boundary / split /
+// always, every tier's per-pattern decisions must equal the scalar-tier
+// BatchedMatchBelow reference (decision identity AND tier invariance at
+// once), and the aggregate mode must equal the OR of the flags.
+TEST(PatternStoreSeeded, AnyBelowDecisionIdenticalToBatchedMatchBelow) {
+  constexpr std::size_t kSeriesLen = 400;
+  const ts::Series hay = RandomWalk(kSeriesLen, 77);
+  const distance::SeriesContext ctx(hay);
+
+  distance::BatchMatcher matcher;
+  for (std::size_t n = 2; n <= 512; ++n) {
+    matcher.Add(ZNormalizedPattern(n, 4000 + n));
+  }
+  matcher.Add(ts::Series{});               // empty -> decides false
+  matcher.Add(ZNormalizedPattern(1, 17));  // single-point special case
+
+  TierGuard guard;
+  distance::ForceIsaTier(distance::IsaTier::kScalar);
+  std::vector<double> finite_best;
+  for (std::size_t i = 0; i < matcher.size(); ++i) {
+    const double d = matcher.Match(i, ctx).distance;
+    if (!std::isinf(d)) finite_best.push_back(d);
+  }
+  ASSERT_FALSE(finite_best.empty());
+  std::sort(finite_best.begin(), finite_best.end());
+  const double tau_mid = finite_best[finite_best.size() / 2];
+
+  const double kTaus[] = {0.0, finite_best.front(), tau_mid,
+                          std::numeric_limits<double>::infinity()};
+  for (const double tau : kTaus) {
+    SCOPED_TRACE("tau " + std::to_string(tau));
+    // Scalar per-pattern reference decisions.
+    distance::ForceIsaTier(distance::IsaTier::kScalar);
+    std::vector<std::uint8_t> want(matcher.size());
+    bool want_any = false;
+    for (std::size_t i = 0; i < matcher.size(); ++i) {
+      want[i] = distance::BatchedMatchBelow(matcher.pattern(i), ctx, tau)
+                    ? 1
+                    : 0;
+      want_any = want_any || want[i] != 0;
+    }
+
+    for (distance::IsaTier tier : AvailableTiers()) {
+      distance::ForceIsaTier(tier);
+      SCOPED_TRACE(distance::IsaTierName(distance::CurrentIsaTier()));
+      distance::MatchScratch scratch;
+      std::vector<std::uint8_t> below;
+      const bool any = matcher.AnyBelow(ctx, &scratch, tau, &below);
+      ASSERT_EQ(below.size(), matcher.size());
+      for (std::size_t i = 0; i < matcher.size(); ++i) {
+        EXPECT_EQ(below[i], want[i]) << "pattern " << i;
+      }
+      EXPECT_EQ(any, want_any);
+      // Aggregate mode (no flags out) must decide the same existence.
+      EXPECT_EQ(matcher.AnyBelow(ctx, &scratch, tau), want_any);
+    }
+  }
+}
+
 TEST(IsaDispatch, ScalarAlwaysAvailableAndForceClampsUnavailable) {
   EXPECT_TRUE(distance::IsaTierAvailable(distance::IsaTier::kScalar));
   TierGuard guard;
