@@ -1,0 +1,201 @@
+// Fuzzing driver for the serving surface. Runs seeded protocol and/or
+// model-file fuzz cases against a live in-process front end; on failure
+// prints the seed, the oracle violation, and a minimized repro plan, and
+// exits nonzero.
+//
+//   rpm_fuzz --mode protocol --seed 1 --iters 200
+//   rpm_fuzz --mode model --seed 0xdeadbeef --iters 10000
+//   rpm_fuzz --mode all --iters 100
+//   rpm_fuzz --replay tests/fuzz_corpus            # replay *.seed files
+//   rpm_fuzz --describe --seed 42                  # print the plan only
+//
+// Corpus seed files are three lines (# comments allowed):
+//   mode=protocol|model
+//   seed=<decimal or 0x-hex>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/grammar.h"
+#include "fuzz/harness.h"
+
+namespace {
+
+using rpm::fuzz::FailureReport;
+using rpm::fuzz::FuzzHarness;
+using rpm::fuzz::FuzzPlan;
+
+std::uint64_t ParseSeed(const std::string& text) {
+  return std::strtoull(text.c_str(), nullptr, 0);
+}
+
+struct CorpusEntry {
+  std::string file;
+  std::string mode = "protocol";
+  std::uint64_t seed = 0;
+};
+
+bool LoadCorpusFile(const std::string& path, CorpusEntry* entry) {
+  std::ifstream in(path);
+  if (!in) return false;
+  entry->file = path;
+  std::string line;
+  bool have_seed = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("mode=", 0) == 0) {
+      entry->mode = line.substr(5);
+    } else if (line.rfind("seed=", 0) == 0) {
+      entry->seed = ParseSeed(line.substr(5));
+      have_seed = true;
+    }
+  }
+  return have_seed;
+}
+
+std::vector<CorpusEntry> LoadCorpus(const std::string& path) {
+  std::vector<CorpusEntry> entries;
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return entries;
+  if (!S_ISDIR(st.st_mode)) {
+    CorpusEntry entry;
+    if (LoadCorpusFile(path, &entry)) entries.push_back(entry);
+    return entries;
+  }
+  std::vector<std::string> names;
+  if (DIR* dir = ::opendir(path.c_str())) {
+    while (dirent* e = ::readdir(dir)) {
+      const std::string name = e->d_name;
+      if (name.size() > 5 && name.rfind(".seed") == name.size() - 5) {
+        names.push_back(name);
+      }
+    }
+    ::closedir(dir);
+  }
+  std::sort(names.begin(), names.end());
+  for (const auto& name : names) {
+    CorpusEntry entry;
+    if (LoadCorpusFile(path + "/" + name, &entry)) entries.push_back(entry);
+  }
+  return entries;
+}
+
+int ReportFailure(FuzzHarness& harness, const FailureReport& report,
+                  const char* mode) {
+  std::fprintf(stderr, "FAIL mode=%s seed=0x%llx\n  %s\n", mode,
+               static_cast<unsigned long long>(report.seed),
+               report.what.c_str());
+  if (std::strcmp(mode, "protocol") == 0) {
+    std::fprintf(stderr, "minimizing...\n");
+    const FuzzPlan minimized = harness.MinimizeProtocolPlan(
+        rpm::fuzz::GenerateProtocolPlan(report.seed));
+    std::fprintf(stderr, "--- minimized repro (replay with --mode protocol "
+                         "--seed 0x%llx) ---\n%s",
+                 static_cast<unsigned long long>(report.seed),
+                 rpm::fuzz::FormatPlan(minimized).c_str());
+  }
+  std::fprintf(stderr,
+               "repro: rpm_fuzz --mode %s --seed 0x%llx --iters 1\n", mode,
+               static_cast<unsigned long long>(report.seed));
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "all";
+  std::uint64_t seed = 1;
+  std::size_t iters = 100;
+  std::string replay;
+  bool describe = false;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : std::string();
+    };
+    if (arg == "--mode") {
+      mode = next();
+    } else if (arg == "--seed") {
+      seed = ParseSeed(next());
+    } else if (arg == "--iters") {
+      iters = std::strtoull(next().c_str(), nullptr, 0);
+    } else if (arg == "--replay") {
+      replay = next();
+    } else if (arg == "--describe") {
+      describe = true;
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: rpm_fuzz [--mode protocol|model|all] [--seed N]\n"
+                   "                [--iters N] [--replay FILE|DIR]\n"
+                   "                [--describe] [--verbose]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  if (describe) {
+    const FuzzPlan plan = rpm::fuzz::GenerateProtocolPlan(seed);
+    std::fputs(rpm::fuzz::FormatPlan(plan).c_str(), stdout);
+    return 0;
+  }
+
+  rpm::fuzz::HarnessOptions options;
+  options.verbose = verbose;
+  FuzzHarness harness(options);
+
+  if (!replay.empty()) {
+    const auto corpus = LoadCorpus(replay);
+    if (corpus.empty()) {
+      std::fprintf(stderr, "no corpus seeds under %s\n", replay.c_str());
+      return 2;
+    }
+    for (const auto& entry : corpus) {
+      const FailureReport report =
+          entry.mode == "model" ? harness.RunModelCase(entry.seed)
+                                : harness.RunProtocolCase(entry.seed);
+      std::printf("%-6s %s seed=0x%llx %s\n",
+                  report.failed ? "FAIL" : "ok", entry.mode.c_str(),
+                  static_cast<unsigned long long>(entry.seed),
+                  entry.file.c_str());
+      if (report.failed) {
+        return ReportFailure(harness, report, entry.mode.c_str());
+      }
+    }
+    std::printf("replayed %zu corpus seeds clean\n", corpus.size());
+    return 0;
+  }
+
+  std::size_t protocol_runs = 0;
+  std::size_t model_runs = 0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    const std::uint64_t case_seed = seed + i;
+    if (mode == "protocol" || mode == "all") {
+      const FailureReport report = harness.RunProtocolCase(case_seed);
+      ++protocol_runs;
+      if (report.failed) return ReportFailure(harness, report, "protocol");
+    }
+    if (mode == "model" || mode == "all") {
+      const FailureReport report = harness.RunModelCase(case_seed);
+      ++model_runs;
+      if (report.failed) return ReportFailure(harness, report, "model");
+    }
+    if (verbose && (i + 1) % 50 == 0) {
+      std::fprintf(stderr, "... %zu/%zu\n", i + 1, iters);
+    }
+  }
+  std::printf("clean: %zu protocol + %zu model cases from seed 0x%llx\n",
+              protocol_runs, model_runs,
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -11,6 +11,10 @@
 #     and so does every trace span name recorded via TraceSpan /
 #     MaybeRecord.
 #
+# A third class of check keeps the fuzz harness honest rather than the
+# docs: every verb in the wire table must have a production in the fuzz
+# grammar (section 4), so protocol growth can't silently escape fuzzing.
+#
 # Run from the repo root (ctest sets WORKING_DIRECTORY accordingly):
 #   scripts/docs_lint.sh
 
@@ -93,7 +97,27 @@ for m in $ps_methods; do
   fi
 done
 
-# --- 4. span names ----------------------------------------------------
+# --- 4. fuzz grammar verb coverage ------------------------------------
+# The fuzz grammar (src/fuzz/grammar.cc) must generate every verb in the
+# wire table: a verb added to kVerbTable without a matching production
+# silently shrinks fuzz coverage, so make the gap loud here.
+if [ -z "$bin_verbs" ]; then
+  echo "docs_lint: no binary verbs to check against the fuzz grammar (pattern drift?)"
+  fail=1
+fi
+grammar_src=src/fuzz/grammar.cc
+if ! grep -q '"CLASSIFY"' "$grammar_src"; then
+  echo "docs_lint: ${grammar_src} lost its verb literals (pattern drift?)"
+  fail=1
+fi
+for verb in $bin_verbs; do
+  if ! grep -q "\"${verb}\"" "$grammar_src"; then
+    echo "docs_lint: verb ${verb} (src/net/frame.cc kVerbTable) has no production in ${grammar_src}"
+    fail=1
+  fi
+done
+
+# --- 5. span names ----------------------------------------------------
 spans=$(
   {
     grep -rhoE 'TraceSpan [a-z_]+\("[a-z_.]+"' src |

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Open-ended fuzzing soak: runs the rpm_fuzz CLI in repeated batches
+# until the time budget is spent, advancing the seed monotonically so
+# every batch covers fresh schedules. Intended for long sanitizer runs
+# (point it at an ASan/UBSan build dir) and overnight soaks; the ctest
+# `fuzz` label covers the bounded fixed-seed sweep instead.
+#
+# Each batch interleaves protocol schedules (live front end + fault
+# injection) and model-file mutations. On the first failure the CLI
+# prints the failing seed plus a minimized repro command; this script
+# stops there and exits 1 so the seed can be checked into
+# tests/fuzz_corpus/ once the bug is fixed.
+#
+# Usage: scripts/fuzz_soak.sh --minutes N [--build-dir DIR] [--seed S]
+#   --minutes N     time budget (default 10)
+#   --build-dir DIR build tree containing examples/rpm_fuzz (default: build)
+#   --seed S        base seed (default: derived from the clock, printed
+#                   so any failure is reproducible)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+minutes=10
+build_dir="${repo_root}/build"
+base_seed=""
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --minutes)   minutes="$2"; shift 2 ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --seed)      base_seed="$2"; shift 2 ;;
+    *) echo "fuzz_soak: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+done
+
+fuzz_bin="${build_dir}/examples/rpm_fuzz"
+if [ ! -x "${fuzz_bin}" ]; then
+  echo "fuzz_soak: ${fuzz_bin} not found; build with -DRPM_BUILD_EXAMPLES=ON" >&2
+  exit 2
+fi
+
+if [ -z "${base_seed}" ]; then
+  base_seed=$(date +%s)
+fi
+deadline=$(( $(date +%s) + minutes * 60 ))
+
+# The base seed is the whole reproduction story: record it up front so a
+# crash mid-soak still tells us where the run started.
+echo "fuzz_soak: base seed ${base_seed}, budget ${minutes}m, binary ${fuzz_bin}"
+
+batch=0
+seed=${base_seed}
+while [ "$(date +%s)" -lt "${deadline}" ]; do
+  batch=$((batch + 1))
+  echo "fuzz_soak: batch ${batch} (protocol seed ${seed}, model seed ${seed})"
+  if ! "${fuzz_bin}" --mode protocol --seed "${seed}" --iters 200; then
+    echo "fuzz_soak: PROTOCOL FAILURE in batch ${batch} (base seed ${base_seed})"
+    exit 1
+  fi
+  if ! "${fuzz_bin}" --mode model --seed "${seed}" --iters 2000; then
+    echo "fuzz_soak: MODEL FAILURE in batch ${batch} (base seed ${base_seed})"
+    exit 1
+  fi
+  seed=$((seed + 10000))
+done
+
+echo "fuzz_soak: clean after ${batch} batches (base seed ${base_seed})"

@@ -10,9 +10,11 @@
 # observability suites (8-thread registry/tracer hammer — the `obs`
 # label), and the network front-end suites (reactor threads, async
 # response re-sequencing, graceful stop racing live connections — the
-# `net` label). Any data race in the pool, the parallel transform paths,
-# the training cache, the serve path, the stream session manager, the
-# metric/trace cells, or the shard reactors fails the script.
+# `net` label), and the fixed-seed fuzz schedules driving all of the
+# above at once (the `fuzz` label). Any data race in the pool, the
+# parallel transform paths, the training cache, the serve path, the
+# stream session manager, the metric/trace cells, or the shard reactors
+# fails the script.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -52,6 +54,13 @@ ctest --test-dir "${build_dir}" --output-on-failure -L obs
 # back across threads and re-sequenced, and Stop() racing in-flight I/O.
 ctest --test-dir "${build_dir}" --output-on-failure -L net
 
+# Fuzzing suites: the fixed-seed protocol sweeps drive a live sharded
+# front end (reactor threads + dispatcher threads + the harness's poll
+# loop) through fault-injection schedules — split writes, abrupt
+# disconnects, shutdown racing pipelined streams — so any race those
+# interleavings expose fails here.
+ctest --test-dir "${build_dir}" --output-on-failure -L fuzz
+
 echo "TSan check passed."
 
 # ASan+UBSan pass over the matcher suites (`matcher` ctest label: the
@@ -77,4 +86,11 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 ctest --test-dir "${asan_build_dir}" --output-on-failure -L matcher
 ctest --test-dir "${asan_build_dir}" --output-on-failure -L training
 
-echo "ASan+UBSan matcher+training check passed."
+# The fuzz suites run here too: the bounded protocol sweep and the
+# model-mutation sweep feed adversarial bytes into the frame/line
+# assemblers and the model loaders, where heap overreads and integer
+# overflows (count bombs) are exactly what ASan/UBSan see and TSan
+# cannot.
+ctest --test-dir "${asan_build_dir}" --output-on-failure -L fuzz
+
+echo "ASan+UBSan matcher+training+fuzz check passed."

@@ -304,7 +304,7 @@ RpmClassifier RpmClassifier::Load(std::istream& in) {
       fail("truncated pattern header (pattern " + std::to_string(i) + " of " +
            std::to_string(num_patterns) + ")");
     }
-    if (len > kMaxPatternLength) {
+    if (len == 0 || len > kMaxPatternLength) {
       fail("corrupt pattern length " + std::to_string(len) + " (pattern " +
            std::to_string(i) + ")");
     }

@@ -1,0 +1,95 @@
+// Executes fuzz plans against a live serving stack and checks the
+// three-fold oracle:
+//
+//  1. Liveness — the case completes inside a hard deadline, no
+//     connection sees a premature close, and a fresh probe connection
+//     still gets answers after the adversarial traffic.
+//  2. Differential — CLASSIFY labels and STREAM_FEED decisions on
+//     well-formed requests are bit-identical to the in-process
+//     ClassificationEngine (streams replayed over the accepted-sample
+//     prefix via stream::ReplayWindows).
+//  3. Invariants — after FrontEnd::Stop + InferenceServer::Shutdown,
+//     streams_opened == streams_closed + streams_evicted and
+//     admitted == ok + timeout; on clean connections every request got
+//     exactly one response, in order.
+//
+// Every case builds its own InferenceServer + NetHandler + FrontEnd
+// (1–8 shards, geometry from the plan) on an ephemeral loopback port
+// and drives 1–6 concurrent client connections from a single
+// poll()-based scheduler, so a case is reproducible from its seed alone.
+//
+// The model fuzzer (RunModelCase) feeds seeded mutations of a
+// known-good serialized model to RpmClassifier::Load: any outcome other
+// than clean success or a thrown std::exception is a finding.
+
+#ifndef RPM_FUZZ_HARNESS_H_
+#define RPM_FUZZ_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fuzz/grammar.h"
+
+namespace rpm::fuzz {
+
+struct FailureReport {
+  bool failed = false;
+  std::uint64_t seed = 0;
+  std::string what;   ///< first oracle violation, human-readable
+  std::string repro;  ///< FormatPlan of the failing (minimized) plan
+};
+
+struct HarnessOptions {
+  /// Hard per-case deadline; exceeding it is the hang oracle firing.
+  int case_deadline_ms = 20000;
+  bool verbose = false;
+};
+
+class FuzzHarness {
+ public:
+  explicit FuzzHarness(HarnessOptions options = {});
+  ~FuzzHarness();
+
+  FuzzHarness(const FuzzHarness&) = delete;
+  FuzzHarness& operator=(const FuzzHarness&) = delete;
+
+  /// Generates the plan for `seed`, executes it, records the event log.
+  FailureReport RunProtocolCase(std::uint64_t seed);
+
+  /// Executes an explicit plan (replay / minimization).
+  FailureReport RunProtocolPlan(const FuzzPlan& plan);
+
+  /// One seeded model-file mutation against RpmClassifier::Load.
+  FailureReport RunModelCase(std::uint64_t seed);
+
+  /// Greedy ddmin-lite: drops connections, then trailing requests, while
+  /// the plan keeps failing; at most `budget` re-executions.
+  FuzzPlan MinimizeProtocolPlan(const FuzzPlan& plan,
+                                std::size_t budget = 64);
+
+  /// Event log of the last Run*Case call — a pure function of the seed,
+  /// so two runs of the same seed must produce byte-identical logs.
+  const std::vector<std::string>& events() const { return events_; }
+
+  /// The serialized fixture model the mutation fuzzer perturbs.
+  const std::string& model_text() const { return model_text_; }
+
+ private:
+  struct CaseResult;
+  CaseResult Execute(const FuzzPlan& plan, bool record_events);
+
+  HarnessOptions options_;
+  std::string model_text_;
+  std::string temp_dir_;                // good/mutated model files for LOAD
+  std::vector<std::string> path_names_; // symbolic -> file name
+  std::vector<std::string> events_;
+
+  struct EngineSlot;  // fixture classifier + warm engine
+  std::unique_ptr<EngineSlot> engine_;
+};
+
+}  // namespace rpm::fuzz
+
+#endif  // RPM_FUZZ_HARNESS_H_

@@ -1,0 +1,243 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace rpm::fuzz {
+namespace {
+
+struct Token {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // one past
+};
+
+std::vector<Token> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i >= text.size()) break;
+    Token t;
+    t.begin = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    t.end = i;
+    tokens.push_back(t);
+  }
+  return tokens;
+}
+
+bool IsNumeric(const std::string& text, const Token& t) {
+  const std::string token = text.substr(t.begin, t.end - t.begin);
+  char* end = nullptr;
+  std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size() && !token.empty();
+}
+
+std::string ReplaceToken(const std::string& text, const Token& t,
+                         const std::string& replacement) {
+  return text.substr(0, t.begin) + replacement + text.substr(t.end);
+}
+
+// Replacement values chosen to probe count fields (unbounded resize /
+// loop bounds), float parsers (inf/nan/overflow), and sign handling.
+const char* const kExtremes[] = {
+    "-1",
+    "0",
+    "99999999999999999999",  // overflows size_t extraction -> failbit
+    "1048577",               // just over the 1<<20 entry caps
+    "16777217",              // just over the 1<<24 pattern-length cap
+    "4294967296",
+    "1e308",
+    "-1e308",
+    "nan",
+    "inf",
+    "0.0000000001",
+};
+
+}  // namespace
+
+std::vector<std::string> ChunkBytes(const std::string& bytes,
+                                    WireFault fault, SplitMix64* rng) {
+  std::vector<std::string> segments;
+  if (fault != WireFault::kSplit || bytes.empty()) {
+    if (!bytes.empty()) segments.push_back(bytes);
+    return segments;
+  }
+  std::size_t pos = 0;
+  std::size_t dribbles = 0;
+  while (pos < bytes.size()) {
+    // Dribble single-digit chunks first (the adversarial part: headers
+    // and length prefixes land split across reads), then widen so large
+    // payloads do not take thousands of poll iterations.
+    const std::size_t want =
+        dribbles < 64 ? rng->Range(1, 7) : rng->Range(64, 512);
+    ++dribbles;
+    const std::size_t n = std::min(want, bytes.size() - pos);
+    segments.push_back(bytes.substr(pos, n));
+    pos += n;
+  }
+  return segments;
+}
+
+const char* ModelMutationName(std::uint64_t strategy) {
+  switch (strategy) {
+    case 0: return "truncate";
+    case 1: return "byte-flip";
+    case 2: return "numeric-extreme";
+    case 3: return "tag-corrupt";
+    case 4: return "line-duplicate";
+    case 5: return "line-delete";
+    case 6: return "header-corrupt";
+    case 7: return "count-bomb";
+    case 8: return "garbage-insert";
+  }
+  return "?";
+}
+
+std::string MutateModelText(const std::string& base, SplitMix64* rng,
+                            std::uint64_t* strategy_out) {
+  const std::uint64_t strategy = rng->Below(9);
+  if (strategy_out) *strategy_out = strategy;
+  std::string text = base;
+  switch (strategy) {
+    case 0: {  // truncate anywhere, including mid-token
+      text.resize(rng->Below(text.size()));
+      break;
+    }
+    case 1: {  // flip random bytes
+      const std::size_t flips = rng->Range(1, 8);
+      for (std::size_t i = 0; i < flips && !text.empty(); ++i) {
+        text[rng->Below(text.size())] ^=
+            static_cast<char>(1u << rng->Below(8));
+      }
+      break;
+    }
+    case 2: {  // replace one numeric token with an extreme
+      const auto tokens = Tokenize(text);
+      std::vector<Token> numeric;
+      for (const auto& t : tokens) {
+        if (IsNumeric(text, t)) numeric.push_back(t);
+      }
+      if (!numeric.empty()) {
+        const Token& target = numeric[rng->Below(numeric.size())];
+        text = ReplaceToken(
+            text, target,
+            kExtremes[rng->Below(sizeof(kExtremes) / sizeof(kExtremes[0]))]);
+      }
+      break;
+    }
+    case 3: {  // corrupt a section tag
+      const char* const tags[] = {"flags", "majority", "sax",    "patterns",
+                                  "classifier", "knn", "gnb",    "svm",
+                                  "moments",    "models"};
+      const char* tag = tags[rng->Below(sizeof(tags) / sizeof(tags[0]))];
+      const std::size_t at = text.find(tag);
+      if (at != std::string::npos) {
+        text = text.substr(0, at) + "zzz" + text.substr(at + std::strlen(tag));
+      }
+      break;
+    }
+    case 4: {  // duplicate one line
+      std::vector<std::string> lines;
+      std::size_t start = 0;
+      while (start <= text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+          lines.push_back(text.substr(start));
+          break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+      }
+      if (!lines.empty()) {
+        const std::size_t at = rng->Below(lines.size());
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at),
+                     lines[at]);
+        text.clear();
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          if (i) text += '\n';
+          text += lines[i];
+        }
+      }
+      break;
+    }
+    case 5: {  // delete one line
+      std::vector<std::string> lines;
+      std::size_t start = 0;
+      while (start <= text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+          lines.push_back(text.substr(start));
+          break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+      }
+      if (lines.size() > 1) {
+        lines.erase(lines.begin() +
+                    static_cast<std::ptrdiff_t>(rng->Below(lines.size())));
+        text.clear();
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          if (i) text += '\n';
+          text += lines[i];
+        }
+      }
+      break;
+    }
+    case 6: {  // damage the magic or the version
+      if (rng->Chance(1, 2)) {
+        const std::size_t at = text.find("RPM-MODEL");
+        if (at != std::string::npos) text[at + rng->Below(9)] = '#';
+      } else {
+        const std::size_t at = text.find("v1");
+        if (at != std::string::npos) {
+          text = text.substr(0, at) + "v" +
+                 std::to_string(rng->Range(2, 99)) + text.substr(at + 2);
+        }
+      }
+      break;
+    }
+    case 7: {  // bomb the count right after a section tag
+      const char* const tags[] = {"sax",     "patterns", "models",
+                                  "moments", "knn",      "gnb"};
+      const char* tag = tags[rng->Below(sizeof(tags) / sizeof(tags[0]))];
+      const auto tokens = Tokenize(text);
+      for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (text.compare(tokens[i].begin, tokens[i].end - tokens[i].begin,
+                         tag) == 0) {
+          // knn/gnb headers carry (k n d) / (n d): skip 0..2 tokens so
+          // the bomb can land on any of the count fields.
+          const std::size_t skip = rng->Below(3);
+          const std::size_t target = i + 1 + skip;
+          if (target < tokens.size()) {
+            text = ReplaceToken(
+                text, tokens[target],
+                kExtremes[rng->Below(sizeof(kExtremes) / sizeof(kExtremes[0]))]);
+          }
+          break;
+        }
+      }
+      break;
+    }
+    default: {  // insert garbage bytes
+      const std::size_t at = rng->Below(text.size() + 1);
+      std::string garbage;
+      const std::size_t n = rng->Range(1, 16);
+      for (std::size_t i = 0; i < n; ++i) {
+        garbage += static_cast<char>(rng->Below(256));
+      }
+      text = text.substr(0, at) + garbage + text.substr(at);
+      break;
+    }
+  }
+  return text;
+}
+
+}  // namespace rpm::fuzz

@@ -1,0 +1,44 @@
+// Byte-level mutators for the fuzz harness.
+//
+// ChunkBytes turns one request burst into the write segments the
+// scheduler hands to the socket — the split/coalesce half of the wire
+// faults (truncate/oversize/header-corrupt are synthesized by the
+// harness because they need protocol knowledge).
+//
+// MutateModelText produces adversarial RPM-MODEL files from a known-good
+// serialized model: truncations, bit flips, numeric-token extremes,
+// section-tag corruption, line duplication/deletion, header damage. The
+// target is RpmClassifier::Load (and the ml sub-loaders it delegates
+// to), which must reject every mutation with an exception — never crash,
+// hang, or allocate unboundedly.
+
+#ifndef RPM_FUZZ_MUTATOR_H_
+#define RPM_FUZZ_MUTATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "fuzz/grammar.h"
+#include "fuzz/rng.h"
+
+namespace rpm::fuzz {
+
+/// Splits `bytes` into the segments the scheduler writes one poll
+/// iteration apart. kSplit dribbles 1..7 bytes per segment (capped at
+/// 64 dribble segments, then larger chunks, so megabyte payloads stay
+/// fast); everything else returns one segment.
+std::vector<std::string> ChunkBytes(const std::string& bytes,
+                                    WireFault fault, SplitMix64* rng);
+
+/// Names of the model-mutation strategies, index-aligned with the
+/// strategy roll inside MutateModelText (for corpus seed descriptions).
+const char* ModelMutationName(std::uint64_t strategy);
+
+/// Applies one seeded mutation strategy to a serialized model.
+/// `strategy_out`, when non-null, receives the strategy index chosen.
+std::string MutateModelText(const std::string& base, SplitMix64* rng,
+                            std::uint64_t* strategy_out = nullptr);
+
+}  // namespace rpm::fuzz
+
+#endif  // RPM_FUZZ_MUTATOR_H_

@@ -1,0 +1,70 @@
+// Deterministic PRNG for the fuzzing harness: splitmix64, the same
+// finalizer the hash ring uses (net/hash_ring.h). Every random choice in
+// a fuzz case flows from one of these, seeded from the case seed, so a
+// seed fully determines the generated plan, the wire chunking, and the
+// fault schedule — replaying a seed replays the byte-identical event
+// sequence. No std::mt19937 here: its state layout is implementation-
+// defined enough that we do not want corpus seeds tied to a libstdc++
+// version.
+
+#ifndef RPM_FUZZ_RNG_H_
+#define RPM_FUZZ_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rpm::fuzz {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); n must be > 0. Modulo bias is irrelevant for
+  /// fuzzing-sized ranges.
+  std::uint64_t Below(std::uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi], inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// True with probability num/den.
+  bool Chance(std::uint64_t num, std::uint64_t den) {
+    return Below(den) < num;
+  }
+
+  /// Uniform double in [0, 1).
+  double Unit() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [-mag, mag].
+  double Signed(double mag) { return (Unit() * 2.0 - 1.0) * mag; }
+
+  /// Derives an independent substream: two forks with different ids
+  /// never correlate with each other or with the parent.
+  SplitMix64 Fork(std::uint64_t stream_id) {
+    SplitMix64 child(state_ ^ (0x9E3779B97F4A7C15ULL * (stream_id + 1)));
+    child.Next();
+    return child;
+  }
+
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Below(v.size())];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rpm::fuzz
+
+#endif  // RPM_FUZZ_RNG_H_

@@ -11,6 +11,14 @@
 #include <string>
 
 namespace rpm::ml {
+namespace {
+
+// Parsing caps, mirroring RpmClassifier::Load: corrupt count fields must
+// produce a descriptive error, never an unbounded loop or allocation.
+constexpr std::size_t kMaxLoadEntries = std::size_t{1} << 20;
+constexpr std::size_t kMaxLoadFeatures = std::size_t{1} << 16;
+
+}  // namespace
 
 void KnnFeatureClassifier::Train(const FeatureDataset& data) {
   data_ = data;
@@ -135,12 +143,22 @@ void KnnFeatureClassifier::Load(std::istream& in) {
   if (!(in >> tag >> k_ >> n >> d) || tag != "knn") {
     throw std::runtime_error("KnnFeatureClassifier::Load: bad header");
   }
+  // A corrupt header must fail with a message, not drive a huge loop or
+  // resize (regression: the hardening cases in tests/fuzz_test.cc).
+  if (n > kMaxLoadEntries || d > kMaxLoadFeatures) {
+    throw std::runtime_error("KnnFeatureClassifier::Load: corrupt counts " +
+                             std::to_string(n) + " x " + std::to_string(d));
+  }
   data_ = FeatureDataset{};
   for (std::size_t i = 0; i < n; ++i) {
     int label = 0;
     std::vector<double> row(d);
     in >> label;
     for (double& v : row) in >> v;
+    if (!in) {
+      throw std::runtime_error("KnnFeatureClassifier::Load: truncated row " +
+                               std::to_string(i));
+    }
     data_.Add(std::move(row), label);
   }
   if (!in) {
@@ -167,6 +185,10 @@ void GaussianNaiveBayes::Load(std::istream& in) {
   if (!(in >> tag >> n >> d) || tag != "gnb") {
     throw std::runtime_error("GaussianNaiveBayes::Load: bad header");
   }
+  if (n > kMaxLoadEntries || d > kMaxLoadFeatures) {
+    throw std::runtime_error("GaussianNaiveBayes::Load: corrupt counts " +
+                             std::to_string(n) + " x " + std::to_string(d));
+  }
   classes_.assign(n, ClassModel{});
   for (auto& m : classes_) {
     in >> m.label >> m.log_prior;
@@ -174,6 +196,7 @@ void GaussianNaiveBayes::Load(std::istream& in) {
     m.variance.resize(d);
     for (double& v : m.mean) in >> v;
     for (double& v : m.variance) in >> v;
+    if (!in) throw std::runtime_error("GaussianNaiveBayes::Load: truncated");
   }
   if (!in) throw std::runtime_error("GaussianNaiveBayes::Load: truncated");
 }

@@ -274,6 +274,12 @@ void SvmClassifier::Load(std::istream& in) {
   auto fail = [](const std::string& what) {
     throw std::runtime_error("SvmClassifier::Load: " + what);
   };
+  // Parsing caps, mirroring RpmClassifier::Load: corrupt count fields
+  // must produce a descriptive error, never an unbounded allocation
+  // (regression corpus: tests/fuzz_corpus/model_svm_count_bomb.seed).
+  constexpr std::size_t kMaxEntries = std::size_t{1} << 20;
+  constexpr std::size_t kMaxFeatures = std::size_t{1} << 16;
+  constexpr std::size_t kMaxTotalValues = std::size_t{1} << 24;
   std::string tag;
   int kernel = 0;
   if (!(in >> tag >> kernel >> options_.c >> options_.gamma >>
@@ -281,15 +287,25 @@ void SvmClassifier::Load(std::istream& in) {
       tag != "svm") {
     fail("bad header");
   }
+  if (kernel < 0 || kernel > static_cast<int>(KernelKind::kPolynomial)) {
+    fail("corrupt kernel kind " + std::to_string(kernel));
+  }
   options_.kernel = static_cast<KernelKind>(kernel);
   std::size_t d = 0;
   if (!(in >> tag >> d) || tag != "moments") fail("bad moments");
+  if (d > kMaxFeatures) {
+    fail("corrupt feature count " + std::to_string(d));
+  }
   feature_mean_.resize(d);
   feature_std_.resize(d);
   for (double& v : feature_mean_) in >> v;
   for (double& v : feature_std_) in >> v;
+  if (!in) fail("truncated moments");
   std::size_t num_models = 0;
   if (!(in >> tag >> num_models) || tag != "models") fail("bad models");
+  if (num_models > kMaxEntries) {
+    fail("corrupt model count " + std::to_string(num_models));
+  }
   models_.clear();
   models_.resize(num_models);
   for (auto& m : models_) {
@@ -297,11 +313,16 @@ void SvmClassifier::Load(std::istream& in) {
     if (!(in >> m.positive_label >> m.negative_label >> m.bias >> num_sv)) {
       fail("bad model row");
     }
+    if (num_sv > kMaxEntries ||
+        num_sv * std::max<std::size_t>(d, 1) > kMaxTotalValues) {
+      fail("corrupt support-vector count " + std::to_string(num_sv));
+    }
     m.alpha_y.resize(num_sv);
     m.support_vectors.assign(num_sv, std::vector<double>(d));
     for (std::size_t i = 0; i < num_sv; ++i) {
       in >> m.alpha_y[i];
       for (double& v : m.support_vectors[i]) in >> v;
+      if (!in) fail("truncated support vector " + std::to_string(i));
     }
   }
   if (!in) fail("truncated input");

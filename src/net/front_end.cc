@@ -256,7 +256,10 @@ struct FrontEnd::Conn : std::enable_shared_from_this<FrontEnd::Conn> {
 
   void Flush() {
     while (!out.empty()) {
-      const ssize_t n = ::write(fd, out.data(), out.size());
+      // MSG_NOSIGNAL: a peer that disconnects with responses still
+      // pending must surface as EPIPE here, not kill the process with
+      // SIGPIPE (found by the fuzz harness's abrupt-disconnect fault).
+      const ssize_t n = ::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
       if (n > 0) {
         out.erase(0, std::size_t(n));
         continue;

@@ -281,6 +281,53 @@ TEST(FrameAssemblerTest, TruncationMidFrameEmitsNothing) {
   EXPECT_EQ(assembler2.Next(&frame), FrameAssembler::FrameStatus::kNone);
 }
 
+TEST(FrameAssemblerTest, ExactMaxPayloadBoundary) {
+  // A payload of exactly max_payload is legal; one byte more is the
+  // oversized path. Both sides of the boundary, same assembler.
+  FrameAssembler assembler(32);
+  assembler.Append(Req(BinaryVerb::kClassify, std::string(32, 'a')));
+  Frame frame;
+  ASSERT_EQ(assembler.Next(&frame), FrameAssembler::FrameStatus::kFrame);
+  EXPECT_EQ(frame.payload.size(), 32u);
+  assembler.Append(Req(BinaryVerb::kClassify, std::string(33, 'b')));
+  ASSERT_EQ(assembler.Next(&frame), FrameAssembler::FrameStatus::kOversized);
+  // Recovery: the very next frame parses.
+  assembler.Append(Req(BinaryVerb::kStats, "ok"));
+  ASSERT_EQ(assembler.Next(&frame), FrameAssembler::FrameStatus::kFrame);
+  EXPECT_EQ(frame.payload, "ok");
+}
+
+TEST(LineAssemblerTest, ExactMaxLineBoundary) {
+  net::LineAssembler assembler(8);
+  assembler.Append(std::string(8, 'x') + "\n");
+  std::string line;
+  ASSERT_EQ(assembler.NextLine(&line), net::LineAssembler::LineStatus::kLine);
+  EXPECT_EQ(line.size(), 8u);
+  // One byte over: surfaced as oversized exactly once, then the stream
+  // resynchronizes on the next newline.
+  assembler.Append(std::string(9, 'y') + "\nok\n");
+  ASSERT_EQ(assembler.NextLine(&line),
+            net::LineAssembler::LineStatus::kOversized);
+  ASSERT_EQ(assembler.NextLine(&line), net::LineAssembler::LineStatus::kLine);
+  EXPECT_EQ(line, "ok");
+  EXPECT_EQ(assembler.NextLine(&line), net::LineAssembler::LineStatus::kNone);
+}
+
+TEST(LineAssemblerTest, OversizedLineSplitAcrossAppendsSurfacesOnce) {
+  // The discard happens as the bytes stream in; the kOversized marker
+  // must appear exactly once, at the point the line would have ended.
+  net::LineAssembler assembler(4);
+  assembler.Append("abc");
+  assembler.Append("defgh");  // crosses the bound mid-append
+  std::string line;
+  EXPECT_EQ(assembler.NextLine(&line), net::LineAssembler::LineStatus::kNone);
+  assembler.Append("ij\nz\n");
+  ASSERT_EQ(assembler.NextLine(&line),
+            net::LineAssembler::LineStatus::kOversized);
+  ASSERT_EQ(assembler.NextLine(&line), net::LineAssembler::LineStatus::kLine);
+  EXPECT_EQ(line, "z");
+}
+
 // ---------------- Consistent hash ring ----------------
 
 TEST(HashRing, DeterministicAndCoversAllShards) {
@@ -1004,6 +1051,40 @@ TEST(FrontEndE2E, ConnectionsSpreadAcrossShards) {
   EXPECT_GT(shards_used, 1) << "all 64 connections landed on one shard";
   EXPECT_EQ(harness.front_end->connections(), 64u);
   for (const int fd : fds) ::close(fd);
+}
+
+TEST(FrontEndE2E, BackpressureDrainsAllPipelinedResponses) {
+  // Shrink the outbound buffer so a burst of pipelined METRICS bodies
+  // (several KiB each) trips the backpressure threshold: the shard must
+  // pause reads, flush, resume below the low-water mark, and still
+  // deliver every response in request order — no drops, no reorders.
+  net::FrontEndOptions net_options;
+  net_options.max_out_buffer = 1024;
+  Harness harness(1, net_options);
+  ASSERT_TRUE(harness.Start());
+  const int fd = ConnectTcp(harness.port());
+  ASSERT_GE(fd, 0);
+
+  constexpr int kBursts = 50;
+  std::string burst;
+  for (int i = 0; i < kBursts; ++i) burst += "METRICS\nSTREAMS\n";
+  ASSERT_TRUE(SendAll(fd, burst));
+
+  for (int i = 0; i < kBursts; ++i) {
+    // Each METRICS response is "OK metrics", an OpenMetrics body, and a
+    // closing "# EOF" line; the pipelined STREAMS reply follows it.
+    ASSERT_EQ(RecvLine(fd), "OK metrics") << "burst " << i;
+    std::string line = RecvLine(fd);
+    int body_lines = 0;
+    while (line != "# EOF") {
+      ++body_lines;
+      ASSERT_LT(body_lines, 10000) << "burst " << i << ": runaway body";
+      line = RecvLine(fd);
+    }
+    EXPECT_GT(body_lines, 0) << "burst " << i << ": empty METRICS body";
+    EXPECT_EQ(RecvLine(fd), "OK 0") << "burst " << i;  // the STREAMS reply
+  }
+  ::close(fd);
 }
 
 }  // namespace
