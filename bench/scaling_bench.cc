@@ -5,11 +5,27 @@
 // candidate-matching stage (Transform during selection) dominates, as the
 // paper observes ("this step seems to be the bottleneck of the training
 // stage due to the repeated distance call").
+//
+// `--json` runs the archive-scale sweep instead (docs/DATASETS.md): CBF
+// archives up to --max series (default 1,000,000) are streamed to RPMD
+// files via GenerateToFile, then trained through the mmap-backed
+// DatasetReader with a stratified per-class training cap and sampled
+// candidate discovery. Each size emits a BENCH_scaling.json row with
+// generation/open/train wall times, the per-phase TrainingReport split,
+// and the process peak RSS — the bounded-memory and sub-linear
+// discovery-growth evidence ROADMAP item 1 asks for.
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/rpm.h"
+#include "ts/dataset_io.h"
 #include "ts/generators.h"
 
 namespace {
@@ -38,9 +54,137 @@ void Row(const rpm::ts::DatasetSplit& split, std::size_t window) {
               r.patterns_selected);
 }
 
+double PeakRssMb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  // ru_maxrss is KiB on Linux.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Archive-scale sweep: stream a CBF archive of each size to disk, train
+// off the mmap reader under constant caps, and emit one JSON row per
+// size. With the caps binding, the materialized subset — and with it the
+// candidate-discovery cost — is constant in the archive size, so the
+// mine_seconds column must stay flat while num_series grows 50x; peak
+// RSS tracks the subset plus the touched value pages, not the file.
+int ArchiveSweep(std::size_t max_series, const std::string& workdir) {
+  using namespace rpm;
+  constexpr std::size_t kLength = 128;
+  constexpr std::size_t kTrainCap = 200;       // per class, stratified
+  constexpr std::size_t kDiscoveryCap = 50;    // per class, reservoir
+  std::vector<std::size_t> sizes;
+  for (std::size_t n : {std::size_t{20'000}, std::size_t{100'000},
+                        std::size_t{400'000}, std::size_t{1'000'000}}) {
+    if (n <= max_series) sizes.push_back(n);
+  }
+  if (sizes.empty()) sizes.push_back(max_series);
+
+  std::FILE* f = std::fopen("BENCH_scaling.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_scaling.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"archive_scaling\",\n"
+               "  \"family\": \"CBF\",\n"
+               "  \"length\": %zu,\n"
+               "  \"max_train_per_class\": %zu,\n"
+               "  \"discovery_sample_per_class\": %zu,\n"
+               "  \"rows\": [\n",
+               kLength, kTrainCap, kDiscoveryCap);
+
+  bool first = true;
+  for (std::size_t n : sizes) {
+    const std::string path =
+        workdir + "/scaling_" + std::to_string(n) + ".rpmd";
+    ts::ArchiveOptions gen;
+    gen.num_series = n;
+    gen.length = kLength;
+    gen.seed = 20160315 + n;
+    auto t0 = std::chrono::steady_clock::now();
+    ts::GenerateToFile("CBF", gen, path);
+    const double gen_seconds = Seconds(t0);
+
+    // Repeat runs over pristine generator output: skip the per-chunk
+    // data CRC so only the sampled series' pages fault in (the
+    // structural tables are still verified at open).
+    ts::DatasetReaderOptions reader_options;
+    reader_options.verify_data_crc = false;
+    t0 = std::chrono::steady_clock::now();
+    const ts::DatasetReader reader(path, reader_options);
+    const double open_seconds = Seconds(t0);
+
+    core::RpmOptions opt = Fixed(32);
+    opt.discovery_sample_per_class = kDiscoveryCap;
+    opt.num_threads = 4;
+    core::TrainFromDiskOptions disk;
+    disk.max_train_per_class = kTrainCap;
+    core::RpmClassifier clf(opt);
+    t0 = std::chrono::steady_clock::now();
+    clf.Train(reader, disk);
+    const double train_seconds = Seconds(t0);
+    const auto& r = clf.report();
+    const double rss_mb = PeakRssMb();
+
+    std::fprintf(f,
+                 "%s    {\"num_series\": %zu, \"file_mb\": %.1f, "
+                 "\"gen_seconds\": %.3f, \"open_seconds\": %.6f, "
+                 "\"train_seconds\": %.3f, \"select_sax_seconds\": %.3f, "
+                 "\"mine_seconds\": %.3f, \"select_patterns_seconds\": "
+                 "%.3f, \"fit_seconds\": %.3f, \"candidates\": %zu, "
+                 "\"patterns\": %zu, \"peak_rss_mb\": %.1f}",
+                 first ? "" : ",\n", n,
+                 static_cast<double>(reader.file_bytes()) / (1024.0 * 1024.0),
+                 gen_seconds, open_seconds, train_seconds,
+                 r.parameter_selection_seconds, r.candidate_mining_seconds,
+                 r.pattern_selection_seconds, r.classifier_fit_seconds,
+                 r.candidates_total, r.patterns_selected, rss_mb);
+    first = false;
+    std::printf("  n=%8zu  file=%7.1fMB  gen=%6.2fs open=%.4fs "
+                "train=%6.2fs (mine=%5.2fs)  rss=%7.1fMB\n",
+                n, static_cast<double>(reader.file_bytes()) /
+                       (1024.0 * 1024.0),
+                gen_seconds, open_seconds, train_seconds,
+                r.candidate_mining_seconds, rss_mb);
+    std::remove(path.c_str());
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_scaling.json\n");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  std::size_t max_series = 1'000'000;
+  std::string workdir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--max") == 0 && i + 1 < argc) {
+      max_series = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--workdir") == 0 && i + 1 < argc) {
+      workdir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: scaling_bench [--json] [--max N] [--workdir D]\n");
+      return 2;
+    }
+  }
+  if (json) {
+    std::printf("Archive-scale sweep (CBF, RPMD via mmap, capped "
+                "training):\n");
+    return ArchiveSweep(max_series, workdir);
+  }
+
   using namespace rpm;
   std::printf("Scaling in training-set size (CBF, length 128):\n");
   for (std::size_t n : {5u, 10u, 20u, 40u}) {

@@ -1,0 +1,143 @@
+// Converter between the UCR text format (ts/ucr_io.h) and the chunked
+// RPMD binary format (ts/dataset_io.h, spec in docs/DATASETS.md).
+//
+// Usage:
+//   ucr_convert pack   IN.ucr  OUT.rpmd  [--chunk N] [--fixed]
+//   ucr_convert unpack IN.rpmd OUT.ucr
+//   ucr_convert info   IN.rpmd
+//   ucr_convert gen    FAMILY  OUT.rpmd  --num N [--length N] [--seed N]
+//
+// pack streams the parsed instances into a writer (pass --fixed to pin
+// the file to the first instance's length and drop the length tables);
+// unpack round-trips back to text; info opens the file — verifying the
+// header, directory, and table CRCs — and prints its shape without
+// touching value pages; gen streams a synthetic family (see
+// `ucr_convert gen` with no args for names) straight to disk, so
+// million-series archives never exist in memory.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "ts/dataset_io.h"
+#include "ts/generators.h"
+#include "ts/ucr_io.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ucr_convert pack   IN.ucr  OUT.rpmd  [--chunk N] "
+               "[--fixed]\n"
+               "       ucr_convert unpack IN.rpmd OUT.ucr\n"
+               "       ucr_convert info   IN.rpmd\n"
+               "       ucr_convert gen    FAMILY  OUT.rpmd  --num N "
+               "[--length N] [--seed N]\n"
+               "families:");
+  for (const auto& name : rpm::ts::GeneratorFamilies()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+int Pack(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  rpm::ts::DatasetWriterOptions options;
+  bool fixed = false;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fixed") {
+      fixed = true;
+    } else if (arg == "--chunk" && i + 1 < argc) {
+      options.chunk_series = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      return Usage();
+    }
+  }
+  const rpm::ts::Dataset data = rpm::ts::LoadUcrFile(argv[2]);
+  if (fixed && !data.empty()) {
+    options.fixed_length = data[0].values.size();
+  }
+  rpm::ts::DatasetWriter writer(argv[3], options);
+  for (const auto& inst : data) writer.Append(inst);
+  writer.Finish();
+  std::printf("%s: %zu series -> %s (%zu chunks%s)\n", argv[2], data.size(),
+              argv[3], writer.chunks_written(),
+              fixed ? ", fixed-length" : "");
+  return 0;
+}
+
+int Unpack(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const rpm::ts::DatasetReader reader(argv[2]);
+  rpm::ts::SaveUcrFile(reader.ReadAll(), argv[3]);
+  std::printf("%s: %zu series -> %s\n", argv[2], reader.size(), argv[3]);
+  return 0;
+}
+
+int Info(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const rpm::ts::DatasetReader reader(argv[2]);
+  std::printf("%s: %zu series, %zu chunks, %zu bytes\n", argv[2],
+              reader.size(), reader.num_chunks(), reader.file_bytes());
+  if (reader.fixed_length() != 0) {
+    std::printf("  fixed length %zu\n", reader.fixed_length());
+  } else if (!reader.empty()) {
+    std::size_t lo = reader.length(0);
+    std::size_t hi = lo;
+    for (std::size_t i = 1; i < reader.size(); ++i) {
+      lo = std::min(lo, reader.length(i));
+      hi = std::max(hi, reader.length(i));
+    }
+    std::printf("  lengths %zu..%zu\n", lo, hi);
+  }
+  for (const auto& [label, count] : reader.ClassHistogram()) {
+    std::printf("  class %d: %zu\n", label, count);
+  }
+  return 0;
+}
+
+int Gen(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  rpm::ts::ArchiveOptions options;
+  for (int i = 4; i + 1 < argc; i += 2) {
+    const std::string arg = argv[i];
+    const auto value = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    if (arg == "--num") {
+      options.num_series = static_cast<std::size_t>(value);
+    } else if (arg == "--length") {
+      options.length = static_cast<std::size_t>(value);
+    } else if (arg == "--seed") {
+      options.seed = value;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.num_series == 0) return Usage();
+  const std::size_t written =
+      rpm::ts::GenerateToFile(argv[2], options, argv[3]);
+  std::printf("%s: %zu series of length %zu -> %s\n", argv[2], written,
+              options.length, argv[3]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "pack") return Pack(argc, argv);
+    if (command == "unpack") return Unpack(argc, argv);
+    if (command == "info") return Info(argc, argv);
+    if (command == "gen") return Gen(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ucr_convert %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  return Usage();
+}

@@ -35,6 +35,21 @@
 #                             scrape: Prometheus text, STATS JSON, and
 #                             recent trace spans — the observability
 #                             view of the same run)
+#   BENCH_scaling.json        scaling_bench --json  (archive-scale sweep,
+#                             docs/DATASETS.md: CBF archives of 20k..1M
+#                             series streamed to RPMD files and trained
+#                             through the mmap DatasetReader under a
+#                             stratified 200/class training cap and
+#                             50/class sampled candidate discovery; one
+#                             row per size with generation / open /
+#                             train wall times, the per-phase
+#                             TrainingReport split, and process peak
+#                             RSS. With the caps binding, mine_seconds
+#                             must stay flat and peak_rss_mb bounded
+#                             while num_series grows 50x — the archive
+#                             files themselves are deleted after each
+#                             row. RPM_BENCH_SCALING_MAX caps the sweep
+#                             (default 1000000) for quick runs.)
 #
 # Usage: scripts/bench_snapshot.sh [build-dir]   (default: build)
 #
@@ -51,7 +66,8 @@ build_dir="${1:-${repo_root}/build}"
 if [[ ! -x "${build_dir}/bench/micro_kernels" ||
       ! -x "${build_dir}/bench/table2_runtime" ||
       ! -x "${build_dir}/bench/stream_bench" ||
-      ! -x "${build_dir}/bench/serve_bench" ]]; then
+      ! -x "${build_dir}/bench/serve_bench" ||
+      ! -x "${build_dir}/bench/scaling_bench" ]]; then
   echo "bench binaries missing under ${build_dir}/bench;" \
        "configure with -DRPM_BUILD_BENCHMARKS=ON and build first" >&2
   exit 1
@@ -63,6 +79,14 @@ cd "${repo_root}"
 "${build_dir}/bench/stream_bench"
 "${build_dir}/bench/serve_bench"
 
+# Archive files are written to (and removed from) a scratch dir so a
+# killed run never leaves gigabyte .rpmd files at the repo root.
+scaling_work="$(mktemp -d)"
+trap 'rm -rf "${scaling_work}"' EXIT
+"${build_dir}/bench/scaling_bench" --json \
+    --max "${RPM_BENCH_SCALING_MAX:-1000000}" --workdir "${scaling_work}"
+
 echo "snapshot written: ${repo_root}/BENCH_kernels.json," \
      "${repo_root}/BENCH_table2.json, ${repo_root}/BENCH_stream.json," \
-     "${repo_root}/BENCH_serve.json, ${repo_root}/BENCH_serve_metrics.json"
+     "${repo_root}/BENCH_serve.json, ${repo_root}/BENCH_serve_metrics.json," \
+     "${repo_root}/BENCH_scaling.json"

@@ -135,6 +135,30 @@ for span in $spans; do
   fi
 done
 
+# --- 6. dataset I/O public surface ------------------------------------
+# Every public symbol of the binary dataset layer must be covered by the
+# format spec (docs/DATASETS.md): free functions, both classes, and
+# every public method. Extraction starts in "public" state (free
+# functions and struct members), turns off at private: sections, and
+# back on when a class body closes at column 0.
+ds_header=src/ts/dataset_io.h
+ds_symbols=$(awk 'BEGIN{pub=1} /private:/{pub=0} /public:/{pub=1}
+                  /^};/{pub=1} pub && $1 !~ /^\/\//' "$ds_header" |
+             grep -oE '(^|[ ~*&])[A-Za-z_][A-Za-z0-9_]*\(' |
+             grep -oE '[A-Za-z_][A-Za-z0-9_]*' | sort -u |
+             grep -vE '^(if|for|while|return|sizeof|defined)$')
+ds_classes="DatasetFormatError DatasetWriterOptions DatasetWriter DatasetReaderOptions DatasetReader"
+if [ -z "$ds_symbols" ] || ! echo "$ds_symbols" | grep -q 'Crc32'; then
+  echo "docs_lint: found no public symbols in ${ds_header} (pattern drift?)"
+  fail=1
+fi
+for sym in $ds_symbols $ds_classes; do
+  if ! grep -q "\b${sym}\b" docs/DATASETS.md; then
+    echo "docs_lint: dataset symbol ${sym} (${ds_header}) missing from docs/DATASETS.md"
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "docs_lint: FAILED"
   exit 1

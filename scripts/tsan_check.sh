@@ -11,10 +11,12 @@
 # label), and the network front-end suites (reactor threads, async
 # response re-sequencing, graceful stop racing live connections — the
 # `net` label), and the fixed-seed fuzz schedules driving all of the
-# above at once (the `fuzz` label). Any data race in the pool, the
-# parallel transform paths, the training cache, the serve path, the
-# stream session manager, the metric/trace cells, or the shard reactors
-# fails the script.
+# above at once (the `fuzz` label), and the dataset/format suites
+# (`dataset` label: concurrent mmap readers racing the lazy per-chunk
+# CRC flags, and the sharded TrainingCache behind archive-scale
+# training). Any data race in the pool, the parallel transform paths,
+# the training cache shards, the serve path, the stream session manager,
+# the metric/trace cells, or the shard reactors fails the script.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -61,6 +63,11 @@ ctest --test-dir "${build_dir}" --output-on-failure -L net
 # interleavings expose fails here.
 ctest --test-dir "${build_dir}" --output-on-failure -L fuzz
 
+# Dataset/format suites: pool workers hammering one mmap reader's
+# values() — racing the lazy per-chunk CRC verification flags — and the
+# sharded TrainingCache under concurrent split evaluations.
+ctest --test-dir "${build_dir}" --output-on-failure -L dataset
+
 echo "TSan check passed."
 
 # ASan+UBSan pass over the matcher suites (`matcher` ctest label: the
@@ -93,4 +100,11 @@ ctest --test-dir "${asan_build_dir}" --output-on-failure -L training
 # cannot.
 ctest --test-dir "${asan_build_dir}" --output-on-failure -L fuzz
 
-echo "ASan+UBSan matcher+training+fuzz check passed."
+# The dataset suites run here too: the byte-flip and truncation sweeps
+# hand the mmap parser adversarial headers, directories, and length
+# tables, where out-of-bounds offsets and count bombs are what
+# ASan/UBSan see; the round-trip suites walk every zero-copy view right
+# up to the mapping's edge.
+ctest --test-dir "${asan_build_dir}" --output-on-failure -L dataset
+
+echo "ASan+UBSan matcher+training+fuzz+dataset check passed."

@@ -7,6 +7,7 @@
 
 #include "cluster/hierarchical.h"
 #include "core/phase_profile.h"
+#include "core/sampling.h"
 #include "core/training_cache.h"
 #include "grammar/motifs.h"
 #include "ts/parallel.h"
@@ -34,11 +35,50 @@ ConcatenatedClass ConcatenateClass(const ts::Dataset& train, int label) {
   return out;
 }
 
+ConcatenatedClass ConcatenateClassSubset(
+    const ts::Dataset& train, int label,
+    std::span<const std::size_t> indices) {
+  ConcatenatedClass out;
+  out.class_label = label;
+  for (std::size_t i : indices) {
+    const auto& inst = train[i];
+    if (inst.label != label) continue;
+    if (out.num_instances > 0) out.boundaries.push_back(out.values.size());
+    out.values.insert(out.values.end(), inst.values.begin(),
+                      inst.values.end());
+    ++out.num_instances;
+  }
+  return out;
+}
+
+namespace {
+
+// The class series Sequitur discovery runs on: all instances of the
+// class, or — past the discovery_sample_per_class cap — a seeded
+// uniform subset of them (docs/DATASETS.md, "Sampling semantics").
+// Below the cap the un-sampled path runs unchanged, so sampled and full
+// training are bit-identical on every suite the cap doesn't bind.
+ConcatenatedClass ConcatenateForDiscovery(const ts::Dataset& train, int label,
+                                          const RpmOptions& options) {
+  const std::size_t cap = options.discovery_sample_per_class;
+  if (cap == 0) return ConcatenateClass(train, label);
+  const std::vector<std::size_t> members = train.IndicesOfClass(label);
+  if (members.size() <= cap) return ConcatenateClass(train, label);
+  const std::vector<std::size_t> pick =
+      ReservoirSample(members.size(), cap, ClassSeed(options.seed, label));
+  std::vector<std::size_t> chosen;
+  chosen.reserve(pick.size());
+  for (std::size_t p : pick) chosen.push_back(members[p]);
+  return ConcatenateClassSubset(train, label, chosen);
+}
+
+}  // namespace
+
 std::vector<PatternCandidate> FindClassCandidates(
     const ts::Dataset& train, int label, const sax::SaxOptions& sax_options,
     const RpmOptions& options) {
   std::vector<PatternCandidate> candidates;
-  const ConcatenatedClass cls = ConcatenateClass(train, label);
+  const ConcatenatedClass cls = ConcatenateForDiscovery(train, label, options);
   if (cls.values.size() < sax_options.window || cls.num_instances == 0) {
     return candidates;
   }

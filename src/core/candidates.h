@@ -9,6 +9,7 @@
 #define RPM_CORE_CANDIDATES_H_
 
 #include <map>
+#include <span>
 #include <vector>
 
 #include "core/options.h"
@@ -32,6 +33,13 @@ struct ConcatenatedClass {
 
 /// Concatenates all instances of `label` in order.
 ConcatenatedClass ConcatenateClass(const ts::Dataset& train, int label);
+
+/// Concatenates the instances at `indices` (ascending positions into
+/// `train`, all carrying `label`) in order. With every index of the
+/// class present this is byte-identical to ConcatenateClass — the
+/// invariant behind the sampled-vs-full exactness guarantee.
+ConcatenatedClass ConcatenateClassSubset(const ts::Dataset& train, int label,
+                                         std::span<const std::size_t> indices);
 
 /// Runs Algorithm 1 for one class with the given SAX parameters.
 /// Returns the candidate pool (possibly empty when nothing repeats often

@@ -8,8 +8,10 @@
 #include "core/candidates.h"
 #include "core/distinct.h"
 #include "core/phase_profile.h"
+#include "core/sampling.h"
 #include "core/transform.h"
 #include "ml/metrics.h"
+#include "ts/dataset_io.h"
 #include "ts/parallel.h"
 
 namespace rpm::core {
@@ -78,6 +80,20 @@ void RpmClassifier::Train(const ts::Dataset& train) {
   feature_classifier_->Train(transformed);
   report_.classifier_fit_seconds = seconds_since(t0);
   trained_ = true;
+}
+
+void RpmClassifier::Train(const ts::DatasetReader& archive,
+                          const TrainFromDiskOptions& disk) {
+  if (archive.empty()) {
+    throw std::invalid_argument("RpmClassifier::Train: empty archive");
+  }
+  // Pick the training subset off the label column alone (decoded at
+  // open; no value pages are faulted in), then materialize just those
+  // series. With no binding cap StratifiedSample returns every index in
+  // order, so this is bit-identical to Train(archive.ReadAll()).
+  const std::vector<std::size_t> subset = StratifiedSample(
+      archive.labels(), disk.max_train_per_class, options_.seed);
+  Train(archive.ReadSubset(subset));
 }
 
 TransformOptions RpmClassifier::classify_transform_options() const {

@@ -22,7 +22,22 @@
 #include "ml/simple_classifiers.h"
 #include "ts/series.h"
 
+namespace rpm::ts {
+class DatasetReader;
+}  // namespace rpm::ts
+
 namespace rpm::core {
+
+/// Caps applied when training straight off an on-disk RPMD archive
+/// (ts/dataset_io.h); see docs/DATASETS.md, "Sampling semantics".
+struct TrainFromDiskOptions {
+  /// Per-class cap on the instances materialized from the archive: past
+  /// it a stratified reservoir sample (seeded from RpmOptions::seed) is
+  /// read instead of the full class. 0 — or a cap at or above every
+  /// class size — materializes everything, making disk training
+  /// bit-identical to Train(reader.ReadAll()).
+  std::size_t max_train_per_class = 0;
+};
 
 /// Per-stage training diagnostics, populated by Train.
 struct TrainingReport {
@@ -50,6 +65,13 @@ class RpmClassifier {
   /// training data. Degenerate inputs (no minable patterns) fall back to
   /// a majority-class model so Classify never fails.
   void Train(const ts::Dataset& train);
+
+  /// Archive-scale variant: trains off an mmap-backed RPMD reader. Only
+  /// the label column is scanned to pick the (possibly capped) training
+  /// subset — value pages are touched solely for the series actually
+  /// materialized — so peak memory tracks the subset, not the file.
+  void Train(const ts::DatasetReader& archive,
+             const TrainFromDiskOptions& disk = {});
 
   /// Classifies one series.
   int Classify(ts::SeriesView series) const;

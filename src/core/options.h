@@ -90,11 +90,25 @@ struct RpmOptions {
   /// are independent); 1 = fully sequential.
   std::size_t num_threads = 1;
 
+  /// Archive-scale candidate discovery (docs/DATASETS.md): cap on the
+  /// instances per class concatenated in front of Sequitur. Past the
+  /// cap a seeded uniform subset (ReservoirSample, ClassSeed(seed,
+  /// label)) is mined instead; the frequency requirement gamma applies
+  /// to the sampled count. 0 — and any cap at or above the class size —
+  /// leaves training bit-identical to the unsampled pipeline.
+  std::size_t discovery_sample_per_class = 0;
+
   /// Byte budget for the parameter-search discretization cache
   /// (TrainingCache): DIRECT / grid probes share z-normalized window and
   /// PAA matrices across SAX combos instead of rediscretizing. 0 disables
   /// the cache. Cached and uncached runs are bit-identical.
   std::size_t training_cache_bytes = std::size_t{256} << 20;
+
+  /// Lock shards of the TrainingCache (each shard owns its slice of the
+  /// byte budget behind its own mutex, so concurrent split evaluations
+  /// never convoy on one lock). 0 picks a default sized to num_threads;
+  /// any value yields bit-identical results.
+  std::size_t training_cache_shards = 0;
 
   /// Non-owning cache injected by parameter selection into the inner
   /// candidate-mining calls; leave null elsewhere (candidate mining falls

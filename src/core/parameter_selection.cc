@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <memory>
+#include <mutex>
 
 #include "core/candidates.h"
 #include "core/phase_profile.h"
@@ -47,15 +48,23 @@ sax::SaxOptions MakeSax(int window, int paa, int alphabet,
 }
 
 // Evaluation shared by both engines, memoized on the integer triple.
+// Evaluate() is thread-safe (first writer of a triple wins), so the grid
+// pre-warm below can shard combos across the pool while the sequential
+// search still reads one coherent memo.
 class ComboEvaluator {
  public:
   ComboEvaluator(const ts::Dataset& train, const RpmOptions& options)
       : train_(train),
         options_(options),
-        discretization_cache_(options.training_cache_bytes > 0
-                                  ? std::make_unique<TrainingCache>(
-                                        options.training_cache_bytes)
-                                  : nullptr) {
+        discretization_cache_(
+            options.training_cache_bytes > 0
+                ? std::make_unique<TrainingCache>(
+                      options.training_cache_bytes,
+                      options.training_cache_shards != 0
+                          ? options.training_cache_shards
+                          : std::max(TrainingCache::kDefaultShards,
+                                     options.num_threads))
+                : nullptr) {
     // Fixed splits reused across combos keep comparisons apples-to-apples.
     ts::Rng rng(options.seed);
     for (std::size_t s = 0; s < std::max<std::size_t>(1, options.param_splits);
@@ -69,13 +78,23 @@ class ComboEvaluator {
     const std::array<int, 3> key = {static_cast<int>(sax.window),
                                     static_cast<int>(sax.paa_size),
                                     sax.alphabet};
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    {
+      std::lock_guard<std::mutex> lock(memo_mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+    }
+    // Compute outside the lock; losing a race just discards a duplicate
+    // (identical) result. Map nodes are stable, so the returned reference
+    // outlives later insertions.
     std::map<int, double> f = EvaluateUncached(sax);
+    std::lock_guard<std::mutex> lock(memo_mu_);
     return cache_.emplace(key, std::move(f)).first->second;
   }
 
-  std::size_t combos_evaluated() const { return cache_.size(); }
+  std::size_t combos_evaluated() const {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    return cache_.size();
+  }
 
  private:
   std::map<int, double> EvaluateUncached(const sax::SaxOptions& sax) const {
@@ -162,6 +181,7 @@ class ComboEvaluator {
   /// evaluations share it safely.
   std::unique_ptr<TrainingCache> discretization_cache_;
   std::vector<std::pair<ts::Dataset, ts::Dataset>> splits_;
+  mutable std::mutex memo_mu_;
   std::map<std::array<int, 3>, std::map<int, double>> cache_;
 };
 
@@ -208,6 +228,23 @@ ParameterSelectionResult SelectSaxParameters(const ts::Dataset& train,
          std::max(1, options.grid_window_step)},
         {range.paa_lo, range.paa_hi, 2},
         {range.alphabet_lo, range.alphabet_hi, 2}};
+    // Shard the lattice across the pool to warm the evaluator's memo;
+    // the sequential exhaustive search below then reads pure cache hits.
+    // Selection stays bit-identical to the sequential run because
+    // Evaluate memoizes one deterministic result per triple and the
+    // minimizer scan order is unchanged.
+    std::vector<std::array<int, 3>> lattice;
+    for (int w = ranges[0].lo; w <= ranges[0].hi; w += ranges[0].step) {
+      for (int p = ranges[1].lo; p <= ranges[1].hi; p += ranges[1].step) {
+        for (int a = ranges[2].lo; a <= ranges[2].hi; a += ranges[2].step) {
+          lattice.push_back({w, p, a});
+        }
+      }
+    }
+    ts::ParallelFor(lattice.size(), options.num_threads, [&](std::size_t i) {
+      evaluator.Evaluate(
+          MakeSax(lattice[i][0], lattice[i][1], lattice[i][2], range));
+    });
     opt::GridSearchMin(
         [&](std::span<const int> p) {
           const sax::SaxOptions sax = MakeSax(p[0], p[1], p[2], range);

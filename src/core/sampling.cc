@@ -1,0 +1,70 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+namespace rpm::core {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates adjacent seeds/labels so per-class
+// substreams are independent even for labels 1, 2, 3, ...
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t ClassSeed(std::uint64_t seed, int label) {
+  return Mix64(seed ^ Mix64(static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(label))));
+}
+
+std::vector<std::size_t> ReservoirSample(std::size_t population,
+                                         std::size_t k, std::uint64_t seed) {
+  std::vector<std::size_t> out;
+  if (k >= population || k == 0) {
+    // 0 means "no cap" to every caller; identity either way.
+    out.resize(population);
+    for (std::size_t i = 0; i < population; ++i) out[i] = i;
+    return out;
+  }
+  out.resize(k);
+  for (std::size_t i = 0; i < k; ++i) out[i] = i;
+  // Algorithm R: element i replaces a reservoir slot with probability
+  // k/(i+1). mt19937_64 + uniform_int_distribution keeps the draw
+  // deterministic for a given seed (pinned by sampling tests).
+  std::mt19937_64 engine(seed);
+  for (std::size_t i = k; i < population; ++i) {
+    const std::size_t j = static_cast<std::size_t>(
+        std::uniform_int_distribution<std::uint64_t>(0, i)(engine));
+    if (j < k) out[j] = i;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> StratifiedSample(std::span<const int> labels,
+                                          std::size_t per_class,
+                                          std::uint64_t seed) {
+  // Group indices by label (map keeps classes in ascending label order,
+  // though the final sort makes the output order-independent anyway).
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    by_class[labels[i]].push_back(i);
+  }
+  std::vector<std::size_t> out;
+  for (const auto& [label, members] : by_class) {
+    const std::vector<std::size_t> pick =
+        ReservoirSample(members.size(), per_class, ClassSeed(seed, label));
+    for (std::size_t p : pick) out.push_back(members[p]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rpm::core

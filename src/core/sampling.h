@@ -1,0 +1,51 @@
+// Deterministic dataset sampling for archive-scale training
+// (docs/DATASETS.md, "Sampling semantics"). Two primitives:
+//
+//   ReservoirSample   Vitter's Algorithm R over [0, population) — a
+//                     uniform k-subset, independent of value content.
+//   StratifiedSample  one reservoir per class label, so every class
+//                     keeps (up to) `per_class` members regardless of
+//                     imbalance.
+//
+// Both are seeded, return indices sorted ascending (so a sampled subset
+// preserves dataset order, and a cap >= the population returns the
+// identity — the property the sampled-vs-full exactness tests pin), and
+// are deterministic across platforms for a given (population, k, seed).
+// The candidate-discovery path (core/candidates.cc) applies
+// ReservoirSample per class in front of Sequitur when
+// RpmOptions::discovery_sample_per_class is set; RpmClassifier's
+// DatasetReader overload applies either primitive to the on-disk label
+// column before materializing anything.
+
+#ifndef RPM_CORE_SAMPLING_H_
+#define RPM_CORE_SAMPLING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rpm::core {
+
+/// Uniform k-subset of {0, ..., population-1}, sorted ascending.
+/// k >= population returns the identity permutation's index set.
+std::vector<std::size_t> ReservoirSample(std::size_t population,
+                                         std::size_t k, std::uint64_t seed);
+
+/// Per-class reservoir over a label column: at most `per_class` indices
+/// of every distinct label, merged and sorted ascending. Each class
+/// draws from an independent label-derived substream of `seed`, so the
+/// subset a class receives does not depend on which other classes are
+/// present. per_class == 0 selects everything.
+std::vector<std::size_t> StratifiedSample(std::span<const int> labels,
+                                          std::size_t per_class,
+                                          std::uint64_t seed);
+
+/// Label-aware seed derivation used by the per-class discovery sampling
+/// (splitmix64 finalizer over seed ^ label); exposed so tests can pin
+/// the exact subsequence a class sees.
+std::uint64_t ClassSeed(std::uint64_t seed, int label);
+
+}  // namespace rpm::core
+
+#endif  // RPM_CORE_SAMPLING_H_

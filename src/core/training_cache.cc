@@ -1,5 +1,6 @@
 #include "core/training_cache.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace rpm::core {
@@ -45,35 +46,54 @@ std::size_t TrainingCache::KeyHash::operator()(const Key& k) const {
   return static_cast<std::size_t>(h ^ (h >> 32));
 }
 
+TrainingCache::TrainingCache(std::size_t max_bytes, std::size_t shards) {
+  if (shards == 0) shards = kDefaultShards;
+  shard_max_bytes_ = std::max<std::size_t>(1, max_bytes / shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+TrainingCache::Shard& TrainingCache::ShardFor(const Key& key) {
+  // KeyHash mixes all fields; fold the upper bits so the shard pick and
+  // the map's bucket pick inside the shard use different bit ranges.
+  const std::size_t h = KeyHash{}(key);
+  return *shards_[(h >> 8) % shards_.size()];
+}
+
 std::shared_ptr<const void> TrainingCache::Find(const Key& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++misses_;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
     return nullptr;
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru);
   return it->second.value;
 }
 
 void TrainingCache::Insert(const Key& key, std::shared_ptr<const void> value,
                            std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (entries_.count(key) > 0) return;  // Lost a compute race; keep first.
-  lru_.push_front(key);
-  entries_.emplace(key, Entry{std::move(value), bytes, lru_.begin()});
-  bytes_ += bytes;
-  while (bytes_ > max_bytes_ && entries_.size() > 1) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.entries.count(key) > 0) return;  // Lost a compute race.
+  shard.lru.push_front(key);
+  shard.entries.emplace(key, Entry{std::move(value), bytes,
+                                   shard.lru.begin()});
+  shard.bytes += bytes;
+  while (shard.bytes > shard_max_bytes_ && shard.entries.size() > 1) {
     // Never evict what was just inserted: the caller still needs it, and
     // an over-budget singleton would otherwise thrash forever.
-    const Key victim = lru_.back();
+    const Key victim = shard.lru.back();
     if (victim == key) break;
-    auto vit = entries_.find(victim);
-    bytes_ -= vit->second.bytes;
-    entries_.erase(vit);
-    lru_.pop_back();
-    ++evictions_;
+    auto vit = shard.entries.find(victim);
+    shard.bytes -= vit->second.bytes;
+    shard.entries.erase(vit);
+    shard.lru.pop_back();
+    ++shard.evictions;
   }
 }
 
@@ -122,21 +142,37 @@ std::shared_ptr<const std::vector<sax::SaxRecord>> TrainingCache::Discretize(
 }
 
 TrainingCache::Stats TrainingCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   Stats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.evictions = evictions_;
-  s.bytes = bytes_;
-  s.entries = entries_.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.evictions += shard->evictions;
+    s.bytes += shard->bytes;
+    s.entries += shard->entries.size();
+  }
+  return s;
+}
+
+TrainingCache::Stats TrainingCache::shard_stats(std::size_t i) const {
+  const Shard& shard = *shards_.at(i);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Stats s;
+  s.hits = shard.hits;
+  s.misses = shard.misses;
+  s.evictions = shard.evictions;
+  s.bytes = shard.bytes;
+  s.entries = shard.entries.size();
   return s;
 }
 
 void TrainingCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  lru_.clear();
-  bytes_ = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
 }
 
 }  // namespace rpm::core

@@ -15,9 +15,15 @@
 // + boundary values), so callers need no bookkeeping and identical
 // class series across calls share entries automatically. Entries are
 // evicted LRU once the byte budget is exceeded; values are handed out
-// as shared_ptr so eviction never invalidates a borrower. All methods
-// are thread-safe: stages are computed outside the lock, so concurrent
-// split evaluations never serialize on each other's discretization.
+// as shared_ptr so eviction never invalidates a borrower.
+//
+// The cache is sharded: keys hash onto `shards` independent
+// (mutex, map, LRU list) slices, each owning max_bytes/shards of the
+// budget, so concurrent split evaluations racing on different keys
+// never convoy on one lock (the cross-shard lock convoy the
+// archive-scale PR removed). Stages are still computed outside any
+// lock. Sharding is invisible to callers beyond stats(): results are
+// bit-identical for any shard count, budgets permitting.
 //
 // Every lookup path reproduces sax::DiscretizeSlidingWindow bit for bit
 // (asserted by training_cache_test).
@@ -40,13 +46,17 @@ namespace rpm::core {
 
 class TrainingCache {
  public:
-  /// `max_bytes` bounds the resident payload (matrix + record storage);
-  /// least-recently-used entries are dropped once it is exceeded.
-  explicit TrainingCache(std::size_t max_bytes = std::size_t{256} << 20)
-      : max_bytes_(max_bytes) {}
+  /// `max_bytes` bounds the resident payload (matrix + record storage)
+  /// across all shards; least-recently-used entries are dropped from a
+  /// shard once its max_bytes/shards slice is exceeded. `shards` == 0
+  /// picks the default (kDefaultShards).
+  explicit TrainingCache(std::size_t max_bytes = std::size_t{256} << 20,
+                         std::size_t shards = 0);
 
   TrainingCache(const TrainingCache&) = delete;
   TrainingCache& operator=(const TrainingCache&) = delete;
+
+  static constexpr std::size_t kDefaultShards = 8;
 
   /// Drop-in replacement for sax::DiscretizeSlidingWindow that memoizes
   /// all three stages. `num_threads` parallelizes stage computation on
@@ -62,7 +72,13 @@ class TrainingCache {
     std::size_t bytes = 0;
     std::size_t entries = 0;
   };
+  /// Aggregate over every shard.
   Stats stats() const;
+
+  /// One shard's slice of the stats (i < num_shards()).
+  Stats shard_stats(std::size_t i) const;
+
+  std::size_t num_shards() const { return shards_.size(); }
 
   void Clear();
 
@@ -85,18 +101,24 @@ class TrainingCache {
     std::list<Key>::iterator lru;
   };
 
+  /// One independent (budget, lock, map, LRU) slice of the cache.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> entries;
+    std::list<Key> lru;  ///< front = most recent
+    std::size_t bytes = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+  };
+
+  Shard& ShardFor(const Key& key);
   std::shared_ptr<const void> Find(const Key& key);
   void Insert(const Key& key, std::shared_ptr<const void> value,
               std::size_t bytes);
 
-  const std::size_t max_bytes_;
-  mutable std::mutex mu_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
-  std::list<Key> lru_;  ///< front = most recent
-  std::size_t bytes_ = 0;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t evictions_ = 0;
+  std::size_t shard_max_bytes_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace rpm::core

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <map>
 #include <numbers>
+#include <stdexcept>
+#include <utility>
 
+#include "ts/dataset_io.h"
 #include "ts/rng.h"
 #include "ts/znorm.h"
 
@@ -653,6 +657,101 @@ std::vector<DatasetSplit> RotationSuite(const SuiteOptions& options) {
   suite.push_back(
       MakeSyntheticControl(Scaled(10, k), Scaled(20, k), 60, s + 15));
   return suite;
+}
+
+namespace {
+
+using FamilyFn = DatasetSplit (*)(std::size_t, std::size_t, std::size_t,
+                                  std::uint64_t);
+
+// Name -> generator, in the order GeneratorFamilies() reports.
+const std::vector<std::pair<std::string, FamilyFn>>& FamilyTable() {
+  static const std::vector<std::pair<std::string, FamilyFn>> table = {
+      {"CBF", &MakeCbf},
+      {"TwoPatterns", &MakeTwoPatterns},
+      {"SyntheticControl", &MakeSyntheticControl},
+      {"GunPoint", &MakeGunPoint},
+      {"Coffee", &MakeCoffee},
+      {"ECG", &MakeEcg},
+      {"Trace", &MakeTrace},
+      {"ShapeOutlines", &MakeShapeOutlines},
+      {"ItalyPower", &MakeItalyPower},
+      {"Wafer", &MakeWafer},
+      {"AbpAlarm", &MakeAbpAlarm},
+      {"AbpAlarmTypes", &MakeAbpAlarmTypes},
+      {"Symbols", &MakeSymbols},
+      {"FaceFour", &MakeFaceFour},
+      {"Lightning", &MakeLightning},
+      {"MoteStrain", &MakeMoteStrain},
+      {"Cricket", &MakeCricket},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::vector<std::string> GeneratorFamilies() {
+  std::vector<std::string> names;
+  names.reserve(FamilyTable().size());
+  for (const auto& [name, fn] : FamilyTable()) names.push_back(name);
+  return names;
+}
+
+std::size_t GenerateToWriter(const std::string& family,
+                             const ArchiveOptions& options,
+                             DatasetWriter& writer) {
+  FamilyFn make = nullptr;
+  for (const auto& [name, fn] : FamilyTable()) {
+    if (name == family) make = fn;
+  }
+  if (make == nullptr) {
+    throw std::invalid_argument("GenerateToWriter: unknown family '" +
+                                family + "'");
+  }
+  // Each round draws one bounded batch per class through the family's
+  // ordinary split generator (test side empty) with a round-derived
+  // seed, streams its instances out, and drops it. The per-round seed
+  // schedule — not a shared RNG — is what keeps the emission independent
+  // of batch_per_class-boundary placement issues and byte-reproducible.
+  std::size_t emitted = 0;
+  std::uint64_t round = 0;
+  while (emitted < options.num_series) {
+    const std::uint64_t round_seed =
+        options.seed ^ ((round + 1) * 0x9E3779B97F4A7C15ull);
+    const std::size_t per_class =
+        std::max<std::size_t>(1, options.batch_per_class);
+    DatasetSplit batch = make(per_class, 0, options.length, round_seed);
+    // The split generators group their output by class; interleave the
+    // classes (label order) so truncating the final round at num_series
+    // still leaves every prefix of the file class-balanced.
+    std::map<int, std::vector<std::size_t>> by_label;
+    for (std::size_t i = 0; i < batch.train.size(); ++i) {
+      by_label[batch.train[i].label].push_back(i);
+    }
+    for (std::size_t k = 0; emitted < options.num_series; ++k) {
+      bool any = false;
+      for (const auto& [label, members] : by_label) {
+        if (k >= members.size()) continue;
+        any = true;
+        writer.Append(batch.train[members[k]]);
+        if (++emitted >= options.num_series) break;
+      }
+      if (!any) break;
+    }
+    ++round;
+  }
+  return emitted;
+}
+
+std::size_t GenerateToFile(const std::string& family,
+                           const ArchiveOptions& options,
+                           const std::string& path) {
+  DatasetWriterOptions write_options;
+  write_options.fixed_length = options.length;
+  DatasetWriter writer(path, write_options);
+  const std::size_t emitted = GenerateToWriter(family, options, writer);
+  writer.Finish();
+  return emitted;
 }
 
 }  // namespace rpm::ts

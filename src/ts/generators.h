@@ -138,6 +138,41 @@ std::vector<DatasetSplit> BenchmarkSuite(const SuiteOptions& options = {});
 /// (counterparts of Coffee, GunPoint, ShapeOutlines, Trace, SyntheticControl).
 std::vector<DatasetSplit> RotationSuite(const SuiteOptions& options = {});
 
+class DatasetWriter;  // ts/dataset_io.h
+
+/// Archive-scale streaming emission (docs/DATASETS.md). Instead of
+/// materializing a million-series DatasetSplit, GenerateToWriter draws
+/// the requested family in bounded batches (one `batch_per_class` round
+/// of every class at a time, labels interleaved in generator order) and
+/// appends each instance to a binary DatasetWriter as it is produced.
+/// Resident memory is O(batch_per_class * classes * length) regardless
+/// of `num_series`. Deterministic given (family, options): the emitted
+/// file is byte-identical across runs with the same options.
+struct ArchiveOptions {
+  std::size_t num_series = 0;       ///< total instances to emit
+  std::size_t length = 128;
+  std::uint64_t seed = 20160315;
+  /// Instances drawn per class per batch round (the resident bound).
+  std::size_t batch_per_class = 512;
+};
+
+/// Family names accepted by GenerateToWriter / GenerateToFile
+/// ("CBF", "TwoPatterns", "GunPoint", ...; the Make* generators above).
+std::vector<std::string> GeneratorFamilies();
+
+/// Streams `options.num_series` instances of `family` into `writer`
+/// (caller Finishes it). Throws std::invalid_argument on an unknown
+/// family. Returns the number of series emitted.
+std::size_t GenerateToWriter(const std::string& family,
+                             const ArchiveOptions& options,
+                             DatasetWriter& writer);
+
+/// GenerateToWriter into a fresh fixed-length RPMD file at `path`
+/// (created, written, and Finished inside the call).
+std::size_t GenerateToFile(const std::string& family,
+                           const ArchiveOptions& options,
+                           const std::string& path);
+
 }  // namespace rpm::ts
 
 #endif  // RPM_TS_GENERATORS_H_

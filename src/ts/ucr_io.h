@@ -1,7 +1,15 @@
-// Reader/writer for the UCR time-series archive text format:
-// one instance per line, the first field is the class label, remaining
-// fields are the observations; fields are separated by commas or
-// whitespace. Real UCR files drop into this reproduction unchanged.
+// Reader/writer for the UCR time-series archive text format: one
+// instance per line, the first field is the class label, remaining
+// fields are the observations. Fields may be separated by commas,
+// spaces, or tabs — mixed freely within a line — and CRLF line endings
+// are accepted, so real UCR files (including Windows-edited copies)
+// drop into this reproduction unchanged. Labels written as floats
+// (e.g. "1.0000000e+00", as in several archive files) are rounded to
+// the nearest integer (llround); that rounding is the label contract
+// the binary RPMD format (ts/dataset_io.h) inherits when text files
+// are packed with ucr_convert — RPMD itself stores labels as int32
+// exactly. For archive-scale data prefer the binary format: parsing
+// decimal text is the slow path, docs/DATASETS.md has the comparison.
 
 #ifndef RPM_TS_UCR_IO_H_
 #define RPM_TS_UCR_IO_H_

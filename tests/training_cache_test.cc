@@ -124,8 +124,9 @@ TEST(TrainingCache, SharesLayersAtTheRightGranularity) {
 TEST(TrainingCache, EvictsLruButStaysCorrect) {
   const ts::Series s = MakeSeries(600, 31);
   // Budget far below one window matrix: every call recomputes, results
-  // must still be exact and the resident size bounded.
-  TrainingCache cache(4096);
+  // must still be exact and the resident size bounded. One shard, so the
+  // assertions below see a single LRU list.
+  TrainingCache cache(4096, 1);
   sax::SaxOptions opt;
   opt.window = 50;
   for (int alphabet = 3; alphabet <= 8; ++alphabet) {
@@ -136,6 +137,99 @@ TEST(TrainingCache, EvictsLruButStaysCorrect) {
   EXPECT_GT(cache.stats().evictions, 0u);
   // The bound may be exceeded only by the most recent insertion chain.
   EXPECT_LE(cache.stats().entries, 3u);
+}
+
+TEST(TrainingCache, ShardCountDoesNotChangeResults) {
+  const ts::Series s = MakeSeries(400, 33);
+  // 1, default, and many shards must produce bit-identical records and
+  // identical aggregate hit/miss accounting for a sequential workload.
+  TrainingCache one(std::size_t{16} << 20, 1);
+  TrainingCache dflt(std::size_t{16} << 20);
+  TrainingCache many(std::size_t{16} << 20, 64);
+  EXPECT_EQ(one.num_shards(), 1u);
+  EXPECT_EQ(dflt.num_shards(), TrainingCache::kDefaultShards);
+  EXPECT_EQ(many.num_shards(), 64u);
+  for (std::size_t w : {std::size_t{12}, std::size_t{30}}) {
+    for (int alphabet : {3, 6}) {
+      sax::SaxOptions opt;
+      opt.window = w;
+      opt.paa_size = 5;
+      opt.alphabet = alphabet;
+      const auto a = one.Discretize(s, opt);
+      const auto b = dflt.Discretize(s, opt);
+      const auto c = many.Discretize(s, opt);
+      EXPECT_EQ(*a, *b);
+      EXPECT_EQ(*a, *c);
+    }
+  }
+  const auto sa = one.stats();
+  const auto sb = dflt.stats();
+  const auto sc = many.stats();
+  EXPECT_EQ(sa.hits, sb.hits);
+  EXPECT_EQ(sa.misses, sb.misses);
+  EXPECT_EQ(sa.entries, sb.entries);
+  EXPECT_EQ(sa.hits, sc.hits);
+  EXPECT_EQ(sa.entries, sc.entries);
+}
+
+TEST(TrainingCache, ShardStatsSumToAggregate) {
+  const ts::Series s = MakeSeries(300, 35);
+  TrainingCache cache;
+  for (std::size_t w = 8; w <= 40; w += 4) {
+    sax::SaxOptions opt;
+    opt.window = w;
+    opt.paa_size = 4;
+    opt.alphabet = 5;
+    cache.Discretize(s, opt);
+    cache.Discretize(s, opt);  // one records-level hit per combo
+  }
+  TrainingCache::Stats sum;
+  for (std::size_t i = 0; i < cache.num_shards(); ++i) {
+    const auto shard = cache.shard_stats(i);
+    sum.hits += shard.hits;
+    sum.misses += shard.misses;
+    sum.evictions += shard.evictions;
+    sum.bytes += shard.bytes;
+    sum.entries += shard.entries;
+  }
+  const auto total = cache.stats();
+  EXPECT_EQ(sum.hits, total.hits);
+  EXPECT_EQ(sum.misses, total.misses);
+  EXPECT_EQ(sum.evictions, total.evictions);
+  EXPECT_EQ(sum.bytes, total.bytes);
+  EXPECT_EQ(sum.entries, total.entries);
+  EXPECT_GT(total.hits, 0u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(TrainingCache, ShardedConcurrentHammerStaysExact) {
+  const ts::Series s = MakeSeries(500, 37);
+  // Tiny per-shard budgets force concurrent eviction alongside the
+  // concurrent hits/misses; every returned value must still be exact
+  // (runs under TSan via the `training` label).
+  TrainingCache cache(std::size_t{64} << 10, 4);
+  std::vector<sax::SaxOptions> combos;
+  for (std::size_t w : {std::size_t{10}, std::size_t{24}, std::size_t{40}}) {
+    for (int alphabet : {3, 5, 7}) {
+      sax::SaxOptions opt;
+      opt.window = w;
+      opt.paa_size = 6;
+      opt.alphabet = alphabet;
+      combos.push_back(opt);
+    }
+  }
+  const std::size_t reps = 6;
+  std::vector<int> ok(combos.size() * reps, 0);
+  ts::ParallelFor(ok.size(), 8, [&](std::size_t i) {
+    const auto& opt = combos[i % combos.size()];
+    ok[i] = *cache.Discretize(s, opt) == sax::DiscretizeSlidingWindow(s, opt)
+                ? 1
+                : 0;
+  });
+  for (std::size_t i = 0; i < ok.size(); ++i) EXPECT_EQ(ok[i], 1);
 }
 
 TEST(TrainingCache, ZeroWindowAndShortSeries) {

@@ -153,6 +153,25 @@ TEST(UcrIo, ParseScientificLabels) {
   EXPECT_EQ(d[0].label, 1);
 }
 
+TEST(UcrIo, MixedSeparatorsAndCrlf) {
+  // Real archive files mix commas, spaces, and tabs — sometimes within
+  // one line — and Windows-edited copies carry CRLF endings. All of it
+  // must parse to the same instances.
+  const Dataset d =
+      ParseUcr("1,0.5 1.5\t2.5\r\n2\t1.0,2.0 3.0\r\n-1 ,4.0,\t5.0, 6.0\n");
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0].label, 1);
+  EXPECT_EQ(d[0].values, (Series{0.5, 1.5, 2.5}));
+  EXPECT_EQ(d[1].label, 2);
+  EXPECT_EQ(d[1].values, (Series{1.0, 2.0, 3.0}));
+  EXPECT_EQ(d[2].label, -1);
+  EXPECT_EQ(d[2].values, (Series{4.0, 5.0, 6.0}));
+  // Float labels round to nearest (the documented contract), including
+  // when negative.
+  EXPECT_EQ(ParseUcr("-1.2e0,1.0\n")[0].label, -1);
+  EXPECT_EQ(ParseUcr("2.7,1.0\n")[0].label, 3);
+}
+
 TEST(UcrIo, SkipsBlankLinesAndRejectsGarbage) {
   const Dataset d = ParseUcr("\n1,2,3\n\n");
   EXPECT_EQ(d.size(), 1u);
